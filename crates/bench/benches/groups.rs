@@ -1,0 +1,34 @@
+//! Criterion bench: one representative kernel per Table I group, timed on
+//! the reference back-end — the suite's cross-group comparison rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::{Tuning, VariantId};
+use std::time::Duration;
+
+fn group_benches(c: &mut Criterion) {
+    let tuning = Tuning::default();
+    let cases = [
+        ("Algorithm_SCAN", 100_000),
+        ("Apps_PRESSURE", 100_000),
+        ("Basic_MULADDSUB", 100_000),
+        ("Comm_HALO_PACKING", 3 * 12 * 12 * 12),
+        ("Lcals_EOS", 100_000),
+        ("Polybench_JACOBI_2D", 2 * 96 * 96),
+        ("Stream_TRIAD", 100_000),
+    ];
+    let mut group = c.benchmark_group("groups");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (name, n) in cases {
+        let kernel = kernels::find(name).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| kernel.execute(VariantId::BaseSeq, n, 1, &tuning));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, group_benches);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: the analysis pipeline itself — per-kernel simulation,
+//! the TMA model, and the Ward clustering (the Thicket-side workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfmodel::{Machine, MachineId};
+use std::time::Duration;
+
+fn model_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let kernel = kernels::find("Stream_TRIAD").unwrap();
+    let sig = kernel.signature(32_000_000);
+    let ddr = Machine::get(MachineId::SprDdr);
+    group.bench_function("tma_breakdown", |b| {
+        b.iter(|| perfmodel::tma_breakdown(&ddr, &sig));
+    });
+    group.bench_function("predict_time_all_machines", |b| {
+        b.iter(|| {
+            MachineId::all()
+                .into_iter()
+                .map(|id| perfmodel::predict_time(&Machine::get(id), &sig).total_s)
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("simulate_suite", |b| {
+        b.iter(suite::simulate::simulate_all);
+    });
+    group.bench_function("ward_clustering_4", |b| {
+        b.iter(|| suite::simulate::ClusterAnalysis::run(4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, model_benches);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: RAJA abstraction overhead (§II-C item 3) — Base vs
+//! RAJA variants for representative kernels of each shape, including the
+//! LTIMES / LTIMES_NOVIEW view-cost pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::{Tuning, VariantId};
+use std::time::Duration;
+
+fn overhead_benches(c: &mut Criterion) {
+    let tuning = Tuning::default();
+    let cases = [
+        ("Basic_DAXPY", 100_000),
+        ("Basic_IF_QUAD", 50_000),
+        ("Lcals_HYDRO_1D", 100_000),
+        ("Apps_LTIMES", 40_000),
+        ("Apps_LTIMES_NOVIEW", 40_000),
+        ("Polybench_GEMM", 3 * 48 * 48),
+    ];
+    let mut group = c.benchmark_group("raja_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (name, n) in cases {
+        let kernel = kernels::find(name).unwrap();
+        for v in [VariantId::BaseSeq, VariantId::RajaSeq] {
+            group.bench_with_input(BenchmarkId::new(name, v.name()), &v, |b, &v| {
+                b.iter(|| kernel.execute(v, n, 1, &tuning));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, overhead_benches);
+criterion_main!(benches);

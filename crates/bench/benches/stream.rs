@@ -1,0 +1,33 @@
+//! Criterion bench: the Stream group under every back-end — real
+//! wall-clock bandwidth on this host (the suite's §II-C "bottom line").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernels::{Tuning, VariantId};
+use std::time::Duration;
+
+fn stream_benches(c: &mut Criterion) {
+    let n = 100_000;
+    let tuning = Tuning::default();
+    let mut group = c.benchmark_group("stream");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for name in ["Stream_ADD", "Stream_COPY", "Stream_DOT", "Stream_MUL", "Stream_TRIAD"] {
+        let kernel = kernels::find(name).unwrap();
+        let bytes = kernel.metrics(n);
+        group.throughput(Throughput::Bytes(
+            (bytes.bytes_read + bytes.bytes_written) as u64,
+        ));
+        for v in [VariantId::BaseSeq, VariantId::RajaSeq, VariantId::RajaPar, VariantId::RajaSimGpu]
+        {
+            group.bench_with_input(BenchmarkId::new(name, v.name()), &v, |b, &v| {
+                b.iter(|| kernel.execute(v, n, 1, &tuning));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stream_benches);
+criterion_main!(benches);

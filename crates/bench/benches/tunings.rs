@@ -1,0 +1,33 @@
+//! Criterion bench: the GPU block-size tuning sweep (§II-C "tuning") on
+//! the simulated device — RAJAPerf's `block_64`..`block_1024` tunings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::{Tuning, VariantId};
+use std::time::Duration;
+
+fn tuning_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_block_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for name in ["Stream_TRIAD", "Basic_REDUCE3_INT"] {
+        let kernel = kernels::find(name).unwrap();
+        for bs in [64usize, 128, 256, 512, 1024] {
+            let tuning = Tuning {
+                gpu_block_size: bs,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("block_{bs}")),
+                &tuning,
+                |b, tuning| {
+                    b.iter(|| kernel.execute(VariantId::RajaSimGpu, 100_000, 1, tuning));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tuning_benches);
+criterion_main!(benches);

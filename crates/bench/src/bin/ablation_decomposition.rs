@@ -1,0 +1,48 @@
+//! Ablation: the rank-decomposition caveat of §IV/§V — for super-linear
+//! kernels, the per-node work depends on how many ranks split the 32M
+//! problem, so machines with fewer ranks do more total work. Sweeps rank
+//! counts and reports total work and predicted time for O(N) vs O(N^{3/2})
+//! kernels.
+
+use perfmodel::{predict_time, Machine, MachineId};
+use suite::simulate::NODE_PROBLEM_SIZE;
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("Per-node total FLOPs and predicted time vs rank count (32M elements)\n\n");
+    for name in ["Stream_TRIAD", "Basic_MAT_MAT_SHARED", "Polybench_GEMM"] {
+        let kernel = kernels::find(name).unwrap();
+        let sig = kernel.signature(NODE_PROBLEM_SIZE);
+        out.push_str(&format!(
+            "{name} (complexity {}):\n",
+            kernel.info().complexity.label()
+        ));
+        out.push_str(&format!(
+            "  {:>6} {:>16} {:>16}\n",
+            "ranks", "total GFLOPs", "time on MI-like"
+        ));
+        for ranks in [4usize, 8, 16, 56, 112] {
+            let per_rank = sig.scaled_to(NODE_PROBLEM_SIZE / ranks);
+            let total_flops = per_rank.flops * ranks as f64;
+            let mut m = Machine::get(MachineId::EpycMi250x);
+            m.ranks = ranks;
+            m.cores_per_node = ranks * 110;
+            let t = predict_time(&m, &sig);
+            out.push_str(&format!(
+                "  {:>6} {:>16.1} {:>15.3e}s\n",
+                ranks,
+                total_flops / 1e9,
+                t.total_s
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "Reading: O(N) kernels do identical total work at any decomposition; the\n\
+         O(N^{3/2}) matrix kernels do ~sqrt(ranks) less total work with more ranks,\n\
+         which is why the paper excludes them (and the Comm kernels) from the\n\
+         cross-architecture comparison and flags the GPU results for Polybench.\n",
+    );
+    print!("{out}");
+    rajaperf_bench::save_output("ablation_decomposition.txt", &out);
+}

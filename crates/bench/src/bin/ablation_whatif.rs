@@ -1,0 +1,50 @@
+//! Ablation / what-if: sweep a hypothetical machine's memory bandwidth
+//! (holding compute at SPR-DDR levels) and report each kernel's predicted
+//! speedup and the bandwidth at which its bottleneck flips from memory to
+//! compute — the crossover structure behind §V's "once the memory
+//! bottleneck is addressed, the next constraint is FLOPS".
+
+use perfmodel::{predict_time, Machine, MachineId};
+use suite::simulate::NODE_PROBLEM_SIZE;
+
+fn main() {
+    let base = Machine::get(MachineId::SprDdr);
+    let factors = [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0];
+    let mut out = String::new();
+    out.push_str("What-if: SPR-DDR with scaled memory bandwidth (compute held fixed)\n\n");
+    out.push_str(&format!("{:<28}", "Kernel"));
+    for f in factors {
+        out.push_str(&format!(" {:>8}", format!("x{f}")));
+    }
+    out.push_str(&format!(" {:>12}\n", "flips at"));
+
+    for kernel in kernels::registry() {
+        let info = kernel.info();
+        let sig = kernel.signature(NODE_PROBLEM_SIZE);
+        let t0 = predict_time(&base, &sig).total_s;
+        out.push_str(&format!("{:<28}", info.name));
+        let mut flip: Option<f64> = None;
+        for f in factors {
+            let mut m = base.clone();
+            m.achieved_bw_node *= f;
+            m.achieved_read_bw_node *= f;
+            m.achieved_write_bw_node *= f;
+            let t = predict_time(&m, &sig);
+            out.push_str(&format!(" {:>8.2}", t0 / t.total_s));
+            if flip.is_none() && t.dominant() != "memory" {
+                flip = Some(f);
+            }
+        }
+        out.push_str(&format!(
+            " {:>12}\n",
+            flip.map(|f| format!("x{f}")).unwrap_or_else(|| "never".into())
+        ));
+    }
+    out.push_str(
+        "\nReading: streaming kernels keep scaling until very large factors; compute- and\n\
+         atomic-bound kernels flip immediately (x1) and gain nothing — bandwidth upgrades\n\
+         only pay off for the memory-bound population, quantifying the paper's Fig. 9.\n",
+    );
+    print!("{out}");
+    rajaperf_bench::save_output("ablation_whatif.txt", &out);
+}

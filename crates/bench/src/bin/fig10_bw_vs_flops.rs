@@ -1,0 +1,65 @@
+//! Regenerates Fig. 10: achieved memory bandwidth vs achieved FLOPS per
+//! kernel on each of the four machines, the above/below-diagonal
+//! classification, the 17 FLOP-heavy kernels on SPR-DDR (§V-D), and the
+//! >10 TFLOPS callouts on EPYC-MI250X.
+
+use perfmodel::MachineId;
+use suite::simulate::simulate_all;
+
+fn main() {
+    let sims = simulate_all();
+    let mut out = String::new();
+    let mut rows = Vec::new();
+    for id in MachineId::all() {
+        out.push_str(&format!("--- {} ---\n", id.shorthand()));
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>10}\n",
+            "Kernel", "GB/s", "GFLOP/s", "side"
+        ));
+        for sim in &sims {
+            let bw = sim.bandwidth[&id];
+            let fl = sim.flops[&id];
+            // The dashed diagonal: FLOPS == bytes/s (1 flop per byte).
+            let side = if fl > bw { "FLOPS" } else { "memory" };
+            out.push_str(&format!(
+                "{:<28} {:>12.1} {:>12.1} {:>10}\n",
+                sim.name,
+                bw / 1e9,
+                fl / 1e9,
+                side
+            ));
+            rows.push(serde_json::json!({
+                "machine": id.shorthand(), "kernel": sim.name, "group": sim.group,
+                "bandwidth_gbs": bw / 1e9, "flops_gfs": fl / 1e9, "side": side,
+            }));
+        }
+        out.push('\n');
+    }
+
+    let flop_heavy: Vec<&str> = sims
+        .iter()
+        .filter(|s| s.flops[&MachineId::SprDdr] > s.bandwidth[&MachineId::SprDdr])
+        .map(|s| s.name.as_str())
+        .collect();
+    out.push_str(&format!(
+        "FLOP-heavy kernels on SPR-DDR (above the diagonal): {} kernels (paper: 17)\n  {}\n",
+        flop_heavy.len(),
+        flop_heavy.join(", ")
+    ));
+    let callouts: Vec<String> = sims
+        .iter()
+        .filter(|s| s.flops[&MachineId::EpycMi250x] > 10e12)
+        .map(|s| format!("{} ({:.1} GFLOPS)", s.name, s.flops[&MachineId::EpycMi250x] / 1e9))
+        .collect();
+    out.push_str(&format!(
+        "\nEPYC-MI250X kernels above 10 TFLOPS (paper calls out 4: MAT_MAT_SHARED 13326.4, \
+         EDGE3D 84113.3, VOL3D 11259.0, DIFFUSION3DPA 14974.5):\n  {}\n",
+        callouts.join(", ")
+    ));
+    print!("{out}");
+    rajaperf_bench::save_output("fig10_bw_vs_flops.txt", &out);
+    rajaperf_bench::save_output(
+        "fig10_bw_vs_flops.json",
+        &serde_json::to_string_pretty(&rows).unwrap(),
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates Fig. 1: analytic metrics per kernel iteration — bytes
+//! read, bytes written, FLOPs, and FLOPs/byte, normalized by problem size.
+//! Values above the cap are flagged "Cap" exactly as the paper's axis
+//! truncation marks them.
+
+fn main() {
+    const CAP: f64 = 120.0;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>14} {:>10} {:>12}\n",
+        "Kernel", "BytesRead/it", "BytesWritten/it", "Flops/it", "Flops/Byte"
+    ));
+    let mut rows = Vec::new();
+    for k in kernels::registry() {
+        let info = k.info();
+        let n = info.default_size;
+        let m = k.metrics(n);
+        let (br, bw, fl) = (
+            m.bytes_read / n as f64,
+            m.bytes_written / n as f64,
+            m.flops / n as f64,
+        );
+        let capped = br > CAP || bw > CAP || fl > CAP;
+        let fmt = |v: f64| {
+            if v > CAP {
+                format!("{v:.1}*Cap")
+            } else {
+                format!("{v:.2}")
+            }
+        };
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>14} {:>10} {:>12.4}{}\n",
+            info.name,
+            fmt(br),
+            fmt(bw),
+            fmt(fl),
+            m.flops_per_byte(),
+            if capped { "  *" } else { "" }
+        ));
+        rows.push(serde_json::json!({
+            "kernel": info.name, "group": info.group.name(),
+            "bytes_read_per_it": br, "bytes_written_per_it": bw,
+            "flops_per_it": fl, "flops_per_byte": m.flops_per_byte(),
+        }));
+    }
+    out.push_str("\n(*) one or more values exceed the plotting cap, shown truncated as in Fig. 1.\n");
+    print!("{out}");
+    rajaperf_bench::save_output("fig1_analytic_metrics.txt", &out);
+    rajaperf_bench::save_output(
+        "fig1_analytic_metrics.json",
+        &serde_json::to_string_pretty(&rows).unwrap(),
+    );
+}

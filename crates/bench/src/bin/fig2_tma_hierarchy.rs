@@ -1,0 +1,8 @@
+//! Regenerates Fig. 2: the top-down (TMA) hierarchy used to attribute
+//! pipeline slots on the CPU systems.
+
+fn main() {
+    let text = perfmodel::tma::tma_hierarchy().render();
+    print!("{text}");
+    rajaperf_bench::save_output("fig2_tma_hierarchy.txt", &text);
+}

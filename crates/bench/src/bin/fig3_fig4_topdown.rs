@@ -1,0 +1,47 @@
+//! Regenerates Figs. 3 and 4: the per-kernel top-down (TMA) breakdown on
+//! the CPU systems. Pass `ddr` (Fig. 3, default) or `hbm` (Fig. 4).
+
+use perfmodel::MachineId;
+use suite::simulate::simulate_all;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "ddr".into());
+    let (machine, fig) = match arg.as_str() {
+        "hbm" => (MachineId::SprHbm, "fig4"),
+        _ => (MachineId::SprDdr, "fig3"),
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Top-down metrics on {} (stacked to 1.0)\n",
+        machine.shorthand()
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}   memory-bound bar\n",
+        "Kernel", "FE", "BadSpec", "Retire", "Core", "Memory"
+    ));
+    let mut rows = Vec::new();
+    for sim in simulate_all() {
+        let Some(t) = sim.tma.get(&machine) else { continue };
+        out.push_str(&format!(
+            "{:<28} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}   {}\n",
+            sim.name,
+            t.frontend_bound,
+            t.bad_speculation,
+            t.retiring,
+            t.core_bound,
+            t.memory_bound,
+            rajaperf_bench::bar(t.memory_bound, 1.0, 30),
+        ));
+        rows.push(serde_json::json!({
+            "kernel": sim.name, "group": sim.group,
+            "frontend_bound": t.frontend_bound, "bad_speculation": t.bad_speculation,
+            "retiring": t.retiring, "core_bound": t.core_bound, "memory_bound": t.memory_bound,
+        }));
+    }
+    print!("{out}");
+    rajaperf_bench::save_output(&format!("{fig}_topdown_{}.txt", machine.shorthand()), &out);
+    rajaperf_bench::save_output(
+        &format!("{fig}_topdown_{}.json", machine.shorthand()),
+        &serde_json::to_string_pretty(&rows).unwrap(),
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates Fig. 5: the instruction roofline on the P9-V100 system,
+//! one section per cache level (L1, L2, HBM), with the per-level ceilings
+//! and each kernel's (intensity, warp GIPS) point.
+
+use perfmodel::{roofline, CacheLevel, Machine, MachineId};
+use suite::simulate::roofline_all;
+
+fn main() {
+    let machine = MachineId::P9V100;
+    let m = Machine::get(machine);
+    let c = roofline::ceilings(&m);
+    let points = roofline_all(machine);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Instruction roofline, {} (node aggregate)\n",
+        machine.shorthand()
+    ));
+    out.push_str(&format!(
+        "ceilings: peak {:.1} warp GIPS; L1 {:.1} / L2 {:.1} / HBM {:.1} GTXN/s\n\n",
+        c.peak_warp_gips, c.l1_gtxn_s, c.l2_gtxn_s, c.hbm_gtxn_s
+    ));
+    let mut rows = Vec::new();
+    for (li, level) in CacheLevel::all().into_iter().enumerate() {
+        out.push_str(&format!("--- {} cache instruction roofline ---\n", level.name()));
+        out.push_str(&format!(
+            "{:<28} {:<10} {:>14} {:>12} {:>10} {:>10}\n",
+            "Kernel", "Group", "Intensity", "Warp GIPS", "GTXN/s", "Bound"
+        ));
+        for (name, group, levels) in &points {
+            let p = &levels[li];
+            let bound = if roofline::is_bandwidth_limited(&c, p) {
+                "memory"
+            } else {
+                "compute"
+            };
+            out.push_str(&format!(
+                "{:<28} {:<10} {:>14.4} {:>12.2} {:>10.2} {:>10}\n",
+                name, group, p.intensity, p.warp_gips, p.gtxn_s, bound
+            ));
+            rows.push(serde_json::json!({
+                "kernel": name, "group": group, "level": level.name(),
+                "intensity": p.intensity, "warp_gips": p.warp_gips,
+                "gtxn_s": p.gtxn_s, "bound": bound,
+            }));
+        }
+        out.push('\n');
+    }
+    print!("{out}");
+    rajaperf_bench::save_output("fig5_roofline.txt", &out);
+    rajaperf_bench::save_output(
+        "fig5_roofline.json",
+        &serde_json::to_string_pretty(&rows).unwrap(),
+    );
+}

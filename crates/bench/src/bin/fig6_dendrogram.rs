@@ -1,0 +1,22 @@
+//! Regenerates Fig. 6: the Ward dendrogram of the agglomerative clustering
+//! over SPR-DDR top-down tuples.
+
+use suite::simulate::ClusterAnalysis;
+
+fn main() {
+    let ca = ClusterAnalysis::run(4);
+    let labels: Vec<String> = ca.sims.iter().map(|s| s.name.clone()).collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Agglomerative clustering (Ward, Euclidean) of {} kernels on SPR-DDR TMA tuples\n",
+        ca.sims.len()
+    ));
+    out.push_str(&format!(
+        "flat cut at distance {:.4} -> {} clusters (the paper cuts at 1.4 -> 4)\n\n",
+        ca.threshold,
+        ca.num_clusters()
+    ));
+    out.push_str(&ca.linkage.dendrogram_text(&labels));
+    print!("{out}");
+    rajaperf_bench::save_output("fig6_dendrogram.txt", &out);
+}

@@ -1,0 +1,65 @@
+//! Regenerates Fig. 7: per-cluster group membership, mean top-down
+//! metrics, and mean speedups over SPR-DDR.
+
+use perfmodel::MachineId;
+use suite::simulate::ClusterAnalysis;
+
+fn main() {
+    let ca = ClusterAnalysis::run(4);
+    let k = ca.num_clusters();
+    let mut out = String::new();
+
+    out.push_str("Group distribution across clusters (counts):\n");
+    out.push_str(&format!("{:<12} {:>8}", "Group", "Total"));
+    for i in 0..k {
+        out.push_str(&format!(" {:>6}", format!("c{i}")));
+    }
+    out.push('\n');
+    for (g, counts) in ca.group_distribution() {
+        let total: usize = counts.iter().sum();
+        out.push_str(&format!("{:<12} {:>8}", g, total));
+        for c in &counts {
+            out.push_str(&format!(" {:>6}", c));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("\nPer-cluster mean top-down metrics and speedups over SPR-DDR:\n");
+    out.push_str(&format!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>12}\n",
+        "Cluster", "Frontend", "BadSpec", "Retiring", "Core", "Memory", "SPR-HBM", "P9-V100", "EPYC-MI250X"
+    ));
+    let means = ca.cluster_tma_means();
+    let hbm = ca.cluster_speedup_means(MachineId::SprHbm);
+    let v100 = ca.cluster_speedup_means(MachineId::P9V100);
+    let mi = ca.cluster_speedup_means(MachineId::EpycMi250x);
+    for i in 0..k {
+        out.push_str(&format!(
+            "{:<8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>9.4} {:>9.4} {:>12.4}\n",
+            i, means[i][0], means[i][1], means[i][2], means[i][3], means[i][4],
+            hbm[i], v100[i], mi[i]
+        ));
+    }
+    out.push_str(&format!(
+        "\nMost memory-bound cluster: {} (paper: Cluster 2, mem 0.8812, speedups 2.60/7.36/22.65)\n",
+        ca.most_memory_bound_cluster()
+    ));
+    out.push_str(&format!(
+        "Most core-bound cluster:   {} (paper: Cluster 3, core 0.5358, speedups 0.87/3.36/6.26)\n",
+        ca.most_core_bound_cluster()
+    ));
+
+    out.push_str("\nMembership:\n");
+    for i in 0..k {
+        let members: Vec<&str> = ca
+            .sims
+            .iter()
+            .zip(&ca.labels)
+            .filter(|(_, &l)| l == i)
+            .map(|(s, _)| s.name.as_str())
+            .collect();
+        out.push_str(&format!("c{i} ({}): {}\n", members.len(), members.join(", ")));
+    }
+    print!("{out}");
+    rajaperf_bench::save_output("fig7_clusters.txt", &out);
+}

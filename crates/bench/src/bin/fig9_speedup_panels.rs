@@ -1,0 +1,59 @@
+//! Regenerates Fig. 9: four panels — SPR-DDR Memory Bound per kernel, and
+//! each kernel's speedup on SPR-HBM, P9-V100, and EPYC-MI250X relative to
+//! SPR-DDR. Kernels above 1x on SPR-HBM are annotated (as in panel 2);
+//! the Stream_TRIAD value (yellow line) is printed per panel; speedups
+//! above 40x are called out (the paper annotates Apps_EDGE3D at 118.6).
+
+use perfmodel::MachineId;
+use suite::simulate::simulate_all;
+
+fn main() {
+    let sims = simulate_all();
+    let triad = sims.iter().find(|s| s.name == "Stream_TRIAD").unwrap();
+    let machines = [MachineId::SprHbm, MachineId::P9V100, MachineId::EpycMi250x];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>10} | {:>9} {:>9} {:>12}\n",
+        "Kernel", "MemBound", "SPR-HBM", "P9-V100", "EPYC-MI250X"
+    ));
+    let mut rows = Vec::new();
+    for sim in &sims {
+        let mb = sim
+            .tma
+            .get(&MachineId::SprDdr)
+            .map(|t| t.memory_bound)
+            .unwrap_or(0.0);
+        let mut line = format!("{:<28} {:>10.3} |", sim.name, mb);
+        for m in machines {
+            let s = sim.speedup[&m];
+            let mark = if m == MachineId::SprHbm && s > 1.0 {
+                "*"
+            } else if s > 40.0 {
+                "!"
+            } else {
+                " "
+            };
+            line.push_str(&format!(" {:>8}{mark}", rajaperf_bench::fmt_speedup(s)));
+        }
+        out.push_str(&line);
+        out.push('\n');
+        rows.push(serde_json::json!({
+            "kernel": sim.name, "group": sim.group, "memory_bound_ddr": mb,
+            "speedup_hbm": sim.speedup[&MachineId::SprHbm],
+            "speedup_v100": sim.speedup[&MachineId::P9V100],
+            "speedup_mi250x": sim.speedup[&MachineId::EpycMi250x],
+        }));
+    }
+    out.push_str("\nReference (yellow) line — Stream_TRIAD speedups: ");
+    for m in machines {
+        out.push_str(&format!("{} {:.2}  ", m.shorthand(), triad.speedup[&m]));
+    }
+    out.push_str("\n(*) SPR-HBM speedup > 1x (annotated in the paper's panel 2)\n");
+    out.push_str("(!) speedup > 40x (the paper annotates Apps_EDGE3D at 118.6 on EPYC-MI250X)\n");
+    print!("{out}");
+    rajaperf_bench::save_output("fig9_speedup_panels.txt", &out);
+    rajaperf_bench::save_output(
+        "fig9_speedup_panels.json",
+        &serde_json::to_string_pretty(&rows).unwrap(),
+    );
+}

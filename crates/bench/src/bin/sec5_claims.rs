@@ -1,0 +1,135 @@
+//! Checks the quantified claims of §V (memory-speed and FLOPS trade-offs)
+//! against the model, claim by claim, printing PASS/DIVERGES for each.
+
+use perfmodel::MachineId;
+use suite::simulate::simulate_all;
+
+fn main() {
+    let sims = simulate_all();
+    let mut out = String::new();
+    let mut check = |label: &str, ok: bool, detail: String| {
+        out.push_str(&format!(
+            "[{}] {label}\n      {detail}\n",
+            if ok { "PASS    " } else { "DIVERGES" }
+        ));
+    };
+
+    // §V-A: most memory-bound kernels speed up on SPR-HBM.
+    let memory_bound: Vec<_> = sims
+        .iter()
+        .filter(|s| s.tma.get(&MachineId::SprDdr).map(|t| t.memory_bound > 0.3).unwrap_or(false))
+        .collect();
+    let gained: usize = memory_bound
+        .iter()
+        .filter(|s| s.speedup[&MachineId::SprHbm] > 1.0)
+        .count();
+    check(
+        "§V-A: most memory-bound kernels gain on SPR-HBM (paper: 40 of 67 memory-bound kernels)",
+        gained * 2 > memory_bound.len(),
+        format!("{gained} of {} memory-bound kernels gain", memory_bound.len()),
+    );
+
+    // §V-B: the retiring-bound trio gains on the V100 without being memory bound.
+    for name in ["Basic_INIT_VIEW1D", "Basic_INIT_VIEW1D_OFFSET", "Basic_NESTED_INIT"] {
+        let s = sims.iter().find(|s| s.name == name).unwrap();
+        let mb = s.tma[&MachineId::SprDdr].memory_bound;
+        check(
+            &format!("§V-B: {name} gains on P9-V100 while not memory bound"),
+            s.speedup[&MachineId::P9V100] > 1.0 && mb < 0.5,
+            format!("V100 {:.2}x, mem bound {:.2}", s.speedup[&MachineId::P9V100], mb),
+        );
+    }
+    // §V-B: the no-speedup exceptions on the V100.
+    for name in [
+        "Basic_PI_ATOMIC",
+        "Polybench_ADI",
+        "Polybench_ATAX",
+        "Polybench_GEMVER",
+        "Polybench_GESUMMV",
+        "Polybench_MVT",
+    ] {
+        let s = sims.iter().find(|s| s.name == name).unwrap();
+        check(
+            &format!("§V-B: {name} shows no speedup on P9-V100"),
+            s.speedup[&MachineId::P9V100] < 1.1,
+            format!("V100 {:.2}x", s.speedup[&MachineId::P9V100]),
+        );
+    }
+    // §V-B: kernels that gain on the V100 but not SPR-HBM.
+    for name in [
+        "Algorithm_MEMSET",
+        "Apps_FIR",
+        "Apps_LTIMES",
+        "Apps_LTIMES_NOVIEW",
+        "Apps_VOL3D",
+        "Basic_MAT_MAT_SHARED",
+        "Polybench_2MM",
+        "Polybench_3MM",
+        "Polybench_GEMM",
+    ] {
+        let s = sims.iter().find(|s| s.name == name).unwrap();
+        check(
+            &format!("§V-B: {name} gains on P9-V100 but not on SPR-HBM"),
+            s.speedup[&MachineId::P9V100] > 1.0 && s.speedup[&MachineId::SprHbm] < 1.6,
+            format!(
+                "V100 {:.2}x, HBM {:.2}x",
+                s.speedup[&MachineId::P9V100],
+                s.speedup[&MachineId::SprHbm]
+            ),
+        );
+    }
+
+    // §V-C: almost everything gains on EPYC-MI250X; the exceptions don't.
+    let total = sims.len();
+    let gained: usize = sims
+        .iter()
+        .filter(|s| s.speedup[&MachineId::EpycMi250x] > 1.0)
+        .count();
+    check(
+        "§V-C: almost all kernels gain on EPYC-MI250X",
+        gained as f64 > 0.75 * total as f64,
+        format!("{gained} of {total} gain"),
+    );
+    for name in [
+        "Basic_PI_ATOMIC",
+        "Polybench_ATAX",
+        "Polybench_GEMVER",
+        "Polybench_GESUMMV",
+        "Polybench_MVT",
+    ] {
+        let s = sims.iter().find(|s| s.name == name).unwrap();
+        check(
+            &format!("§V-C: {name} shows no real speedup on EPYC-MI250X"),
+            s.speedup[&MachineId::EpycMi250x] < 1.6,
+            format!("MI250X {:.2}x", s.speedup[&MachineId::EpycMi250x]),
+        );
+    }
+
+    // §V-D: the FLOP-heavy kernels mostly gain more on the GPUs than on HBM.
+    let flop_heavy: Vec<_> = sims
+        .iter()
+        .filter(|s| s.flops[&MachineId::SprDdr] > s.bandwidth[&MachineId::SprDdr])
+        .collect();
+    let more_on_gpu = flop_heavy
+        .iter()
+        .filter(|s| {
+            s.speedup[&MachineId::P9V100] > s.speedup[&MachineId::SprHbm]
+                && s.speedup[&MachineId::EpycMi250x] > s.speedup[&MachineId::SprHbm]
+        })
+        .count();
+    check(
+        "§V-D: most FLOP-heavy kernels gain more on both GPUs than on SPR-HBM (paper: 15 of 17)",
+        more_on_gpu + 2 >= flop_heavy.len(),
+        format!("{more_on_gpu} of {}", flop_heavy.len()),
+    );
+    // §V-D: EDGE3D's extreme MI250X speedup.
+    let edge = sims.iter().find(|s| s.name == "Apps_EDGE3D").unwrap();
+    check(
+        "§V-D/Fig 9: Apps_EDGE3D exceeds 40x on EPYC-MI250X (paper: 118.6x)",
+        edge.speedup[&MachineId::EpycMi250x] > 40.0,
+        format!("MI250X {:.1}x", edge.speedup[&MachineId::EpycMi250x]),
+    );
+
+    print!("{out}");
+    rajaperf_bench::save_output("sec5_claims.txt", &out);
+}

@@ -1,0 +1,65 @@
+//! Regenerates Table I: the kernel inventory — groups, programming-model
+//! coverage, RAJA features, and complexity annotations.
+
+use kernels::{Feature, PaperModel};
+
+fn main() {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:<10} {:<7} {:<30} {:<28} {:>8}\n",
+        "Kernel", "Group", "Cmplx", "Paper models", "Features", "Variants"
+    ));
+    let mut per_group: std::collections::BTreeMap<&str, usize> = Default::default();
+    for k in kernels::registry() {
+        let info = k.info();
+        *per_group.entry(info.group.name()).or_default() += 1;
+        let models: Vec<&str> = info
+            .paper_models
+            .iter()
+            .map(|m| match m {
+                PaperModel::Seq => "Seq",
+                PaperModel::OpenMp => "OMP",
+                PaperModel::OmpTarget => "OMPT",
+                PaperModel::Cuda => "CUDA",
+                PaperModel::Hip => "HIP",
+                PaperModel::Sycl => "SYCL",
+                PaperModel::Kokkos => "Kokkos",
+            })
+            .collect();
+        let feats: Vec<&str> = info
+            .features
+            .iter()
+            .map(|f| match f {
+                Feature::Forall => "forall",
+                Feature::Kernel => "kernel",
+                Feature::Sort => "sort",
+                Feature::Scan => "scan",
+                Feature::Reduction => "reduct",
+                Feature::Atomic => "atomic",
+                Feature::View => "view",
+                Feature::Workgroup => "workgrp",
+                Feature::Mpi => "mpi",
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<28} {:<10} {:<7} {:<30} {:<28} {:>8}\n",
+            info.name,
+            info.group.name(),
+            info.complexity.label(),
+            models.join(","),
+            feats.join(","),
+            info.variants.len(),
+        ));
+    }
+    out.push_str("\nGroup totals (Table I census):\n");
+    for (g, n) in &per_group {
+        out.push_str(&format!("  {g:<12} {n}\n"));
+    }
+    out.push_str(&format!(
+        "  {:<12} {}\n",
+        "TOTAL",
+        per_group.values().sum::<usize>()
+    ));
+    print!("{out}");
+    rajaperf_bench::save_output("table1_inventory.txt", &out);
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table II: the four systems with theoretical and achieved
+//! FLOPS (Basic_MAT_MAT_SHARED) and memory bandwidth (Stream_TRIAD).
+//! The achieved columns are produced by running the two ceiling kernels
+//! through the performance model, not by echoing the constants.
+
+use perfmodel::{predict_time, Machine, MachineId};
+use suite::simulate::NODE_PROBLEM_SIZE;
+
+fn main() {
+    let mat = kernels::find("Basic_MAT_MAT_SHARED").unwrap();
+    let triad = kernels::find("Stream_TRIAD").unwrap();
+    let mat_sig = mat.signature(NODE_PROBLEM_SIZE);
+    let triad_sig = triad.signature(NODE_PROBLEM_SIZE);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<14} {:<24} {:>6} | {:>9} {:>13} {:>6} | {:>9} {:>12} {:>6}\n",
+        "Shorthand", "System", "Architecture", "Units",
+        "peak TF", "MAT_MAT TF", "% exp",
+        "peak TB/s", "TRIAD TB/s", "% exp"
+    ));
+    for id in MachineId::all() {
+        let m = Machine::get(id);
+        let t_mat = predict_time(&m, &mat_sig);
+        let fl = perfmodel::predict::achieved_flops(&m, &mat_sig, &t_mat);
+        let t_triad = predict_time(&m, &triad_sig);
+        let bw = perfmodel::predict::achieved_bandwidth(&m, &triad_sig, &t_triad);
+        out.push_str(&format!(
+            "{:<12} {:<14} {:<24} {:>6} | {:>9.1} {:>13.1} {:>6.1} | {:>9.1} {:>12.2} {:>6.1}\n",
+            m.id.shorthand(),
+            m.system,
+            m.architecture,
+            m.units_per_node,
+            m.peak_flops_node / 1e12,
+            fl / 1e12,
+            100.0 * fl / m.peak_flops_node,
+            m.peak_bw_node / 1e12,
+            bw / 1e12,
+            100.0 * bw / m.peak_bw_node,
+        ));
+    }
+    out.push_str("\nPaper Table II reference: SPR-DDR 0.8 TF (18.0%) / 0.5 TB/s (77.7%); SPR-HBM 0.7 (15.5%) / 1.11 (33.7%);\n");
+    out.push_str("P9-V100 7.0 (22.4%) / 3.3 (92.6%); EPYC-MI250X 13.3 (7.0%) / 10.2 (79.5%).\n");
+    print!("{out}");
+    rajaperf_bench::save_output("table2_machines.txt", &out);
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table III: the per-system run parameters (variant, tuning,
+//! ranks, problem size per node).
+
+use perfmodel::{Machine, MachineId};
+use suite::simulate::NODE_PROBLEM_SIZE;
+
+fn main() {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<12} {:<12} {:>6} {:>16} {:>16}\n",
+        "System", "Variant", "Tuning", "Ranks", "Size/node", "Size/rank"
+    ));
+    for id in MachineId::all() {
+        let m = Machine::get(id);
+        let tuning = m
+            .gpu_block_size
+            .map(|b| format!("block_{b}"))
+            .unwrap_or_else(|| "default".to_string());
+        out.push_str(&format!(
+            "{:<12} {:<12} {:<12} {:>6} {:>16} {:>16}\n",
+            m.id.shorthand(),
+            m.variant,
+            tuning,
+            m.ranks,
+            NODE_PROBLEM_SIZE,
+            NODE_PROBLEM_SIZE / m.ranks,
+        ));
+    }
+    print!("{out}");
+    rajaperf_bench::save_output("table3_run_params.txt", &out);
+}

@@ -1,0 +1,855 @@
+//! Caliper-style performance instrumentation.
+//!
+//! [Caliper](https://github.com/LLNL/Caliper) is LLNL's library-level
+//! performance profiling toolkit: applications annotate code *regions*, and
+//! Caliper services attach measurements (timers, hardware counters,
+//! application metrics) to the call-path those regions form. Each run writes
+//! a `.cali` profile that analysis tools (Thicket) consume, with Adiak run
+//! metadata embedded as profile *globals*.
+//!
+//! This crate reproduces that model for the RAJAPerf-rs suite:
+//!
+//! * [`Session`] — a measurement channel holding the call-path tree and
+//!   per-node aggregated statistics. A process-wide default session backs the
+//!   free functions ([`begin`], [`end`], [`set_metric`], ...), mirroring how
+//!   Caliper's annotation macros write into implicitly-configured channels.
+//! * [`Region`] — RAII guard for scoped annotation (`CALI_CXX_MARK_SCOPE`).
+//! * [`ConfigManager`] — parses Caliper-style config strings such as
+//!   `"runtime-report,output=stdout"` or `"spot(output=run.cali)"` and
+//!   controls which outputs `flush` produces.
+//! * [`Profile`] — the serialized run profile (globals + per-node records),
+//!   our JSON equivalent of a `.cali` file.
+//!
+//! # Example
+//! ```
+//! use caliper::Session;
+//! let session = Session::new();
+//! {
+//!     let _r = session.region("Stream_TRIAD");
+//!     session.set_metric("Bytes/Rep", 3.0e6);
+//!     // ... kernel work ...
+//! }
+//! let profile = session.profile();
+//! assert_eq!(profile.records.len(), 1);
+//! assert_eq!(profile.records[0].path, vec!["Stream_TRIAD"]);
+//! ```
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Aggregated statistics for one metric on one call-path node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricAgg {
+    /// Sum of all recorded values.
+    pub sum: f64,
+    /// Minimum recorded value.
+    pub min: f64,
+    /// Maximum recorded value.
+    pub max: f64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl MetricAgg {
+    fn new(v: f64) -> Self {
+        MetricAgg {
+            sum: v,
+            min: v,
+            max: v,
+            count: 1,
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    /// Arithmetic mean of the recorded values.
+    pub fn avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Statistics collected for one node of the call-path tree.
+#[derive(Debug, Clone, Default)]
+struct NodeStats {
+    /// Inclusive wall-time aggregation (seconds) over visits.
+    time: Option<MetricAgg>,
+    /// Number of begin/end visits.
+    visits: u64,
+    /// Application metrics attached with `set_metric`/`add_metric`.
+    metrics: BTreeMap<String, MetricAgg>,
+}
+
+/// One record of a serialized profile: a call path plus its metric columns.
+///
+/// Metric column names follow Caliper's aggregation naming convention:
+/// `sum#time.duration`, `avg#time.duration`, `min#...`, `max#...`, and the
+/// raw metric name for application metrics (average over visits) alongside
+/// `sum#<name>` / `min#<name>` / `max#<name>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Call path from the root region to this node.
+    pub path: Vec<String>,
+    /// Aggregated metric columns.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Record {
+    /// Final path component (the region's own name).
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// Look up a metric column.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+}
+
+/// A serialized run profile — our `.cali` equivalent.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Run-level metadata (the Adiak snapshot), name → JSON value.
+    pub globals: BTreeMap<String, serde_json::Value>,
+    /// Per-call-path aggregated records, in depth-first path order.
+    pub records: Vec<Record>,
+}
+
+impl Profile {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serialization cannot fail")
+    }
+
+    /// Parse a profile from JSON text.
+    pub fn from_json(text: &str) -> Result<Profile, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Write the profile to a file.
+    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read a profile from a file.
+    pub fn read_file(path: &std::path::Path) -> std::io::Result<Profile> {
+        let text = std::fs::read_to_string(path)?;
+        Profile::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Find the record with the given final path component.
+    pub fn find(&self, name: &str) -> Option<&Record> {
+        self.records.iter().find(|r| r.name() == name)
+    }
+
+    /// A global metadata value as a string, if present.
+    pub fn global_str(&self, name: &str) -> Option<&str> {
+        self.globals.get(name).and_then(|v| v.as_str())
+    }
+}
+
+#[derive(Default)]
+struct SessionInner {
+    /// Call-path tree flattened to path → stats.
+    nodes: BTreeMap<Vec<String>, NodeStats>,
+    /// Extra globals set directly on the session (merged over Adiak's).
+    globals: BTreeMap<String, serde_json::Value>,
+}
+
+thread_local! {
+    /// Per-thread open-region stack: (session id, name, start time).
+    static STACK: std::cell::RefCell<Vec<(u64, String, Instant)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+static NEXT_SESSION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// A measurement channel: annotation state plus aggregated statistics.
+///
+/// Cloning a `Session` yields another handle to the same channel.
+#[derive(Clone)]
+pub struct Session {
+    id: u64,
+    inner: Arc<Mutex<SessionInner>>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Create a fresh, empty measurement channel.
+    pub fn new() -> Session {
+        Session {
+            id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            inner: Arc::new(Mutex::new(SessionInner::default())),
+        }
+    }
+
+    /// Open a region named `name` nested under the calling thread's current
+    /// path. Prefer [`Session::region`] which closes automatically.
+    pub fn begin(&self, name: &str) {
+        STACK.with(|s| {
+            s.borrow_mut()
+                .push((self.id, name.to_string(), Instant::now()));
+        });
+    }
+
+    /// Close the innermost open region. The region's inclusive wall time is
+    /// aggregated into the call-path tree.
+    ///
+    /// # Panics
+    /// Panics if no region opened through this session is on the calling
+    /// thread's stack (mismatched begin/end is an annotation bug, as in
+    /// Caliper, which aborts with an error in that case).
+    pub fn end(&self, name: &str) {
+        let (path, elapsed) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let top = stack.pop().expect("caliper: end() with no open region");
+            assert_eq!(
+                top.0, self.id,
+                "caliper: end() crosses session boundary (open region from another session)"
+            );
+            assert_eq!(
+                top.1, name,
+                "caliper: mismatched region nesting: ended '{name}', expected '{}'",
+                top.1
+            );
+            let mut path: Vec<String> = stack
+                .iter()
+                .filter(|f| f.0 == self.id)
+                .map(|f| f.1.clone())
+                .collect();
+            path.push(top.1);
+            (path, top.2.elapsed().as_secs_f64())
+        });
+        let mut inner = self.inner.lock();
+        let node = inner.nodes.entry(path).or_default();
+        node.visits += 1;
+        match &mut node.time {
+            Some(agg) => agg.record(elapsed),
+            t @ None => *t = Some(MetricAgg::new(elapsed)),
+        }
+    }
+
+    /// Open a region and return an RAII guard that closes it on drop.
+    pub fn region(&self, name: &str) -> Region<'_> {
+        self.begin(name);
+        Region {
+            session: self,
+            name: name.to_string(),
+            done: false,
+        }
+    }
+
+    /// Current open call path on this thread for this session.
+    fn current_path(&self) -> Vec<String> {
+        STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .filter(|f| f.0 == self.id)
+                .map(|f| f.1.clone())
+                .collect()
+        })
+    }
+
+    /// Attach a metric value to the current region, replacing any previous
+    /// value recorded at this node (set semantics — used for per-run
+    /// analytic metrics like `Bytes/Rep` that do not vary between visits).
+    pub fn set_metric(&self, name: &str, value: f64) {
+        let path = self.current_path();
+        let mut inner = self.inner.lock();
+        let node = inner.nodes.entry(path).or_default();
+        node.metrics.insert(name.to_string(), MetricAgg::new(value));
+    }
+
+    /// Attach a metric observation to the current region, aggregating
+    /// (sum/min/max/avg) with previous observations.
+    pub fn add_metric(&self, name: &str, value: f64) {
+        let path = self.current_path();
+        let mut inner = self.inner.lock();
+        let node = inner.nodes.entry(path).or_default();
+        match node.metrics.get_mut(name) {
+            Some(agg) => agg.record(value),
+            None => {
+                node.metrics.insert(name.to_string(), MetricAgg::new(value));
+            }
+        }
+    }
+
+    /// Set a profile-level global directly (overrides Adiak metadata of the
+    /// same name at flush time).
+    pub fn set_global(&self, name: &str, value: impl Into<serde_json::Value>) {
+        self.inner
+            .lock()
+            .globals
+            .insert(name.to_string(), value.into());
+    }
+
+    /// Build the current [`Profile`]: Adiak snapshot + session globals +
+    /// aggregated records.
+    pub fn profile(&self) -> Profile {
+        let inner = self.inner.lock();
+        let mut globals: BTreeMap<String, serde_json::Value> = adiak::snapshot()
+            .0
+            .into_iter()
+            .map(|(k, e)| {
+                (
+                    k,
+                    serde_json::to_value(e.value).expect("adiak value serializes"),
+                )
+            })
+            .collect();
+        globals.extend(inner.globals.clone());
+        // Exclusive time: each node's inclusive sum minus its direct
+        // children's inclusive sums (Caliper's `exclusive#time.duration`).
+        let mut child_sums: BTreeMap<&Vec<String>, f64> = BTreeMap::new();
+        for (path, stats) in &inner.nodes {
+            if path.len() < 2 {
+                continue;
+            }
+            if let Some(t) = &stats.time {
+                let parent = inner
+                    .nodes
+                    .keys()
+                    .find(|p| p.len() == path.len() - 1 && path.starts_with(p.as_slice()));
+                if let Some(parent) = parent {
+                    *child_sums.entry(parent).or_default() += t.sum;
+                }
+            }
+        }
+        let records = inner
+            .nodes
+            .iter()
+            .map(|(path, stats)| {
+                let mut metrics = BTreeMap::new();
+                metrics.insert("count".to_string(), stats.visits as f64);
+                if let Some(t) = &stats.time {
+                    metrics.insert("sum#time.duration".to_string(), t.sum);
+                    metrics.insert("avg#time.duration".to_string(), t.avg());
+                    metrics.insert("min#time.duration".to_string(), t.min);
+                    metrics.insert("max#time.duration".to_string(), t.max);
+                    let excl = (t.sum - child_sums.get(path).copied().unwrap_or(0.0)).max(0.0);
+                    metrics.insert("exclusive#time.duration".to_string(), excl);
+                }
+                for (name, agg) in &stats.metrics {
+                    metrics.insert(name.clone(), agg.avg());
+                    metrics.insert(format!("sum#{name}"), agg.sum);
+                    metrics.insert(format!("min#{name}"), agg.min);
+                    metrics.insert(format!("max#{name}"), agg.max);
+                }
+                Record {
+                    path: path.clone(),
+                    metrics,
+                }
+            })
+            .collect();
+        Profile {
+            globals,
+            records,
+        }
+    }
+
+    /// Discard all aggregated data (globals and nodes).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.nodes.clear();
+        inner.globals.clear();
+    }
+
+    /// Render a `runtime-report`-style aligned text table of the call tree.
+    pub fn runtime_report(&self) -> String {
+        let profile = self.profile();
+        let mut out = String::new();
+        let name_w = profile
+            .records
+            .iter()
+            .map(|r| r.name().len() + 2 * (r.path.len() - 1))
+            .max()
+            .unwrap_or(4)
+            .max("Path".len());
+        out.push_str(&format!(
+            "{:<name_w$} {:>10} {:>12} {:>12} {:>12}\n",
+            "Path", "Count", "Time (sum)", "Time (avg)", "Time (max)"
+        ));
+        for r in &profile.records {
+            let indent = "  ".repeat(r.path.len() - 1);
+            let label = format!("{indent}{}", r.name());
+            out.push_str(&format!(
+                "{:<name_w$} {:>10} {:>12.6} {:>12.6} {:>12.6}\n",
+                label,
+                r.metric("count").unwrap_or(0.0) as u64,
+                r.metric("sum#time.duration").unwrap_or(0.0),
+                r.metric("avg#time.duration").unwrap_or(0.0),
+                r.metric("max#time.duration").unwrap_or(0.0),
+            ));
+        }
+        out
+    }
+}
+
+/// RAII region guard returned by [`Session::region`].
+pub struct Region<'a> {
+    session: &'a Session,
+    name: String,
+    done: bool,
+}
+
+impl Region<'_> {
+    /// Close the region explicitly before the end of scope.
+    pub fn end(mut self) {
+        self.session.end(&self.name);
+        self.done = true;
+    }
+}
+
+impl Drop for Region<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.session.end(&self.name);
+        }
+    }
+}
+
+fn default_session() -> &'static Session {
+    static DEFAULT: OnceLock<Session> = OnceLock::new();
+    DEFAULT.get_or_init(Session::new)
+}
+
+/// The process-wide default session backing the free annotation functions.
+pub fn global() -> &'static Session {
+    default_session()
+}
+
+/// Open a region on the default session (see [`Session::begin`]).
+pub fn begin(name: &str) {
+    global().begin(name);
+}
+
+/// Close a region on the default session (see [`Session::end`]).
+pub fn end(name: &str) {
+    global().end(name);
+}
+
+/// Scoped region on the default session.
+pub fn region(name: &str) -> Region<'static> {
+    global().region(name)
+}
+
+/// Set a metric on the default session's current region.
+pub fn set_metric(name: &str, value: f64) {
+    global().set_metric(name, value);
+}
+
+/// One parsed output target from a [`ConfigManager`] spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputSpec {
+    /// `runtime-report` service: human-readable table.
+    RuntimeReport {
+        /// `stdout`, `stderr`, or a file path.
+        output: String,
+    },
+    /// `spot` / `hatchet-region-profile` service: machine-readable profile.
+    SpotProfile {
+        /// File path for the JSON profile.
+        output: String,
+    },
+}
+
+/// Parses Caliper-style configuration strings and drives profile output.
+///
+/// Supported grammar (a faithful subset of Caliper's ConfigManager):
+/// comma-separated services, each optionally parameterized either inline
+/// (`spot(output=run.cali)`) or with trailing `key=value` arguments that bind
+/// to the most recent service (`runtime-report,output=stdout`).
+///
+/// Recognized services: `runtime-report`, `spot`, `hatchet-region-profile`.
+#[derive(Debug, Default)]
+pub struct ConfigManager {
+    outputs: Vec<OutputSpec>,
+    error: Option<String>,
+}
+
+impl ConfigManager {
+    /// Create an empty manager.
+    pub fn new() -> ConfigManager {
+        ConfigManager::default()
+    }
+
+    /// Add a config string. Unknown services record an error retrievable via
+    /// [`ConfigManager::error`], matching Caliper's behaviour of reporting
+    /// rather than panicking.
+    pub fn add(&mut self, spec: &str) -> &mut Self {
+        for part in split_top_level(spec) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let is_kv = match (part.find('='), part.find('(')) {
+                (Some(eq), Some(paren)) => eq < paren,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if is_kv {
+                let (key, value) = part.split_once('=').expect("checked above");
+                // Trailing key=value binds to the most recent service.
+                match self.outputs.last_mut() {
+                    Some(OutputSpec::RuntimeReport { output })
+                    | Some(OutputSpec::SpotProfile { output })
+                        if key.trim() == "output" =>
+                    {
+                        *output = value.trim().to_string();
+                    }
+                    _ => {
+                        self.error =
+                            Some(format!("caliper config: dangling argument '{key}={value}'"));
+                    }
+                }
+                continue;
+            }
+            let (service, args) = match part.split_once('(') {
+                Some((s, rest)) => (
+                    s.trim(),
+                    rest.trim_end_matches(')')
+                        .split(',')
+                        .filter_map(|kv| kv.split_once('='))
+                        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                        .collect::<BTreeMap<_, _>>(),
+                ),
+                None => (part, BTreeMap::new()),
+            };
+            match service {
+                "runtime-report" => self.outputs.push(OutputSpec::RuntimeReport {
+                    output: args
+                        .get("output")
+                        .cloned()
+                        .unwrap_or_else(|| "stderr".to_string()),
+                }),
+                "spot" | "hatchet-region-profile" => self.outputs.push(OutputSpec::SpotProfile {
+                    output: args
+                        .get("output")
+                        .cloned()
+                        .unwrap_or_else(|| "profile.cali.json".to_string()),
+                }),
+                other => {
+                    self.error = Some(format!("caliper config: unknown service '{other}'"));
+                }
+            }
+        }
+        self
+    }
+
+    /// The first configuration error encountered, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// The parsed output specifications.
+    pub fn outputs(&self) -> &[OutputSpec] {
+        &self.outputs
+    }
+
+    /// Produce every configured output from `session`'s current data.
+    /// Returns the paths of profile files written.
+    pub fn flush(&self, session: &Session) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut written = Vec::new();
+        for out in &self.outputs {
+            match out {
+                OutputSpec::RuntimeReport { output } => {
+                    let report = session.runtime_report();
+                    match output.as_str() {
+                        "stdout" => print!("{report}"),
+                        "stderr" => eprint!("{report}"),
+                        path => {
+                            let p = std::path::Path::new(path);
+                            if let Some(dir) = p.parent() {
+                                std::fs::create_dir_all(dir)?;
+                            }
+                            let mut f = std::fs::File::create(p)?;
+                            f.write_all(report.as_bytes())?;
+                            written.push(p.to_path_buf());
+                        }
+                    }
+                }
+                OutputSpec::SpotProfile { output } => {
+                    let p = std::path::Path::new(output);
+                    session.profile().write_file(p)?;
+                    written.push(p.to_path_buf());
+                }
+            }
+        }
+        Ok(written)
+    }
+}
+
+/// Annotate the enclosing scope as a Caliper region on the default
+/// session (the `CALI_CXX_MARK_SCOPE` equivalent):
+///
+/// ```
+/// fn kernel_step() {
+///     caliper::cali_scope!("kernel_step");
+///     // ... work measured until the end of the scope ...
+/// }
+/// kernel_step();
+/// ```
+#[macro_export]
+macro_rules! cali_scope {
+    ($name:expr) => {
+        let _cali_region_guard = $crate::region($name);
+    };
+}
+
+/// Split on commas that are not inside parentheses.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_records_time_and_count() {
+        let s = Session::new();
+        for _ in 0..3 {
+            let _r = s.region("k");
+        }
+        let p = s.profile();
+        let r = p.find("k").unwrap();
+        assert_eq!(r.metric("count"), Some(3.0));
+        assert!(r.metric("sum#time.duration").unwrap() >= 0.0);
+        assert!(r.metric("avg#time.duration").unwrap() <= r.metric("max#time.duration").unwrap());
+    }
+
+    #[test]
+    fn nesting_builds_call_paths() {
+        let s = Session::new();
+        {
+            let _a = s.region("outer");
+            let _b = s.region("inner");
+        }
+        let p = s.profile();
+        assert!(p.records.iter().any(|r| r.path == vec!["outer"]));
+        assert!(p
+            .records
+            .iter()
+            .any(|r| r.path == vec!["outer".to_string(), "inner".to_string()]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched region nesting")]
+    fn mismatched_end_panics() {
+        let s = Session::new();
+        s.begin("a");
+        s.end("b");
+    }
+
+    #[test]
+    fn set_metric_has_set_semantics() {
+        let s = Session::new();
+        let _r = s.region("k");
+        s.set_metric("Bytes/Rep", 10.0);
+        s.set_metric("Bytes/Rep", 20.0);
+        drop(_r);
+        let p = s.profile();
+        assert_eq!(p.find("k").unwrap().metric("Bytes/Rep"), Some(20.0));
+        assert_eq!(p.find("k").unwrap().metric("sum#Bytes/Rep"), Some(20.0));
+    }
+
+    #[test]
+    fn add_metric_aggregates() {
+        let s = Session::new();
+        let _r = s.region("k");
+        s.add_metric("m", 1.0);
+        s.add_metric("m", 3.0);
+        drop(_r);
+        let p = s.profile();
+        let rec = p.find("k").unwrap();
+        assert_eq!(rec.metric("sum#m"), Some(4.0));
+        assert_eq!(rec.metric("m"), Some(2.0));
+        assert_eq!(rec.metric("min#m"), Some(1.0));
+        assert_eq!(rec.metric("max#m"), Some(3.0));
+    }
+
+    #[test]
+    fn profile_json_roundtrip() {
+        let s = Session::new();
+        s.set_global("variant", "RAJA_Seq");
+        {
+            let _r = s.region("k");
+            s.set_metric("Flops/Rep", 5.0);
+        }
+        let p = s.profile();
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.global_str("variant"), Some("RAJA_Seq"));
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let a = Session::new();
+        let b = Session::new();
+        {
+            let _r = a.region("only_in_a");
+        }
+        assert!(a.profile().find("only_in_a").is_some());
+        assert!(b.profile().find("only_in_a").is_none());
+    }
+
+    #[test]
+    fn config_manager_parses_specs() {
+        let mut cm = ConfigManager::new();
+        cm.add("runtime-report,output=stdout");
+        cm.add("spot(output=run.cali.json)");
+        assert!(cm.error().is_none());
+        assert_eq!(
+            cm.outputs(),
+            &[
+                OutputSpec::RuntimeReport {
+                    output: "stdout".into()
+                },
+                OutputSpec::SpotProfile {
+                    output: "run.cali.json".into()
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn config_manager_reports_unknown_service() {
+        let mut cm = ConfigManager::new();
+        cm.add("no-such-service");
+        assert!(cm.error().unwrap().contains("no-such-service"));
+    }
+
+    #[test]
+    fn flush_writes_spot_profile() {
+        let dir = std::env::temp_dir().join("caliper_test_flush");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("out.cali.json");
+        let s = Session::new();
+        {
+            let _r = s.region("k");
+        }
+        let mut cm = ConfigManager::new();
+        cm.add(&format!("spot(output={})", path.display()));
+        let written = cm.flush(&s).unwrap();
+        assert_eq!(written.len(), 1);
+        let p = Profile::read_file(&path).unwrap();
+        assert!(p.find("k").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runtime_report_contains_regions() {
+        let s = Session::new();
+        {
+            let _r = s.region("alpha");
+        }
+        let report = s.runtime_report();
+        assert!(report.contains("alpha"));
+        assert!(report.contains("Path"));
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let s = Session::new();
+        {
+            let _outer = s.region("outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            let _inner = s.region("inner");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+        }
+        let p = s.profile();
+        let outer = p.records.iter().find(|r| r.path == vec!["outer"]).unwrap();
+        let incl = outer.metric("sum#time.duration").unwrap();
+        let excl = outer.metric("exclusive#time.duration").unwrap();
+        assert!(excl < incl, "exclusive {excl} < inclusive {incl}");
+        assert!(excl >= 0.0);
+        // The inner leaf has no children: exclusive == inclusive.
+        let inner = p
+            .records
+            .iter()
+            .find(|r| r.path == vec!["outer".to_string(), "inner".to_string()])
+            .unwrap();
+        assert_eq!(
+            inner.metric("exclusive#time.duration"),
+            inner.metric("sum#time.duration")
+        );
+    }
+
+    #[test]
+    fn cali_scope_macro_records_a_region() {
+        // The macro writes to the default session.
+        {
+            crate::cali_scope!("macro_region_test");
+        }
+        let p = crate::global().profile();
+        assert!(p
+            .records
+            .iter()
+            .any(|r| r.name() == "macro_region_test"));
+    }
+
+    #[test]
+    fn threads_share_a_session_with_private_stacks() {
+        let s = Session::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let _r = s.region("worker");
+                    }
+                });
+            }
+        });
+        let p = s.profile();
+        assert_eq!(
+            p.find("worker").unwrap().metric("count"),
+            Some(20.0),
+            "all threads' visits aggregate"
+        );
+    }
+
+    #[test]
+    fn region_end_explicit() {
+        let s = Session::new();
+        let r = s.region("k");
+        r.end();
+        assert_eq!(s.profile().find("k").unwrap().metric("count"), Some(1.0));
+    }
+}

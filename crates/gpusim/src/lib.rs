@@ -1,0 +1,481 @@
+//! A simulated GPU execution substrate.
+//!
+//! The paper's RAJAPerf kernels have CUDA/HIP/SYCL variants that execute on
+//! real accelerators. This container has no GPU, so this crate provides the
+//! closest synthetic equivalent that exercises the same *code structure*: a
+//! device with a grid/block/thread launch hierarchy, per-block shared memory,
+//! block-level barriers, and a warp width — executed on the host CPU (blocks
+//! optionally in parallel via rayon, threads within a block sequentially in
+//! barrier-delimited *phases*).
+//!
+//! What this preserves from the real thing:
+//!
+//! * Tiled/blocked kernel algorithms (e.g. `MAT_MAT_SHARED`'s shared-memory
+//!   tile loop) run exactly as written for a GPU: load-tile phase, barrier,
+//!   compute phase, barrier.
+//! * Launch configuration (block size tunings — RAJAPerf's GPU `tunings`) is
+//!   a first-class parameter, so block-size sweeps remain meaningful.
+//! * The device counts launches / blocks / threads, which the performance
+//!   model uses for launch-overhead-bound kernels (the paper's Comm HALO
+//!   analysis) and which Nsight-Compute-style metrics are derived from.
+//!
+//! What it deliberately does not do: cycle-level SM simulation. Cache
+//! transaction counts for the instruction-roofline analysis are computed
+//! analytically in the `perfmodel` crate from each kernel's access
+//! descriptors, mirroring how the paper derives them from hardware counters.
+//!
+//! # Example
+//! ```
+//! use gpusim::{LaunchConfig, launch};
+//! let n = 1000usize;
+//! let mut out = vec![0.0f64; n];
+//! let cfg = LaunchConfig::linear(n, 256);
+//! let out_ptr = gpusim::DevicePtr::new(&mut out);
+//! launch(&cfg, |block| {
+//!     block.threads(|t, _shared| {
+//!         let i = t.global_id_x();
+//!         if i < n {
+//!             unsafe { out_ptr.write(i, i as f64 * 2.0) };
+//!         }
+//!     });
+//! });
+//! assert_eq!(out[10], 20.0);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod occupancy;
+pub mod txn;
+
+/// Threads per warp, matching NVIDIA/AMD-GCN warp/wavefront granularity used
+/// by the paper's instruction-roofline metrics (warp instructions = thread
+/// instructions / 32).
+pub const WARP_SIZE: usize = 32;
+
+/// Default thread-block size used by RAJAPerf GPU tunings.
+pub const DEFAULT_BLOCK_SIZE: usize = 256;
+
+/// A 3-component launch dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dim3 {
+    /// Fastest-varying dimension.
+    pub x: usize,
+    /// Middle dimension.
+    pub y: usize,
+    /// Slowest-varying dimension.
+    pub z: usize,
+}
+
+impl Dim3 {
+    /// A 1-D dimension `(x, 1, 1)`.
+    pub const fn d1(x: usize) -> Dim3 {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D dimension `(x, y, 1)`.
+    pub const fn d2(x: usize, y: usize) -> Dim3 {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// A 3-D dimension.
+    pub const fn d3(x: usize, y: usize, z: usize) -> Dim3 {
+        Dim3 { x, y, z }
+    }
+
+    /// Total element count.
+    pub const fn total(&self) -> usize {
+        self.x * self.y * self.z
+    }
+}
+
+/// A kernel launch configuration: grid of blocks, threads per block, and the
+/// per-block shared-memory allocation in `f64` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in each grid dimension.
+    pub grid: Dim3,
+    /// Number of threads in each block dimension.
+    pub block: Dim3,
+    /// Shared memory per block, in `f64` words.
+    pub shared_f64: usize,
+}
+
+impl LaunchConfig {
+    /// 1-D config covering `n` elements with `block_size` threads per block
+    /// (grid size rounded up), the standard RAJAPerf GPU mapping.
+    pub fn linear(n: usize, block_size: usize) -> LaunchConfig {
+        assert!(block_size > 0, "block size must be positive");
+        LaunchConfig {
+            grid: Dim3::d1(n.div_ceil(block_size).max(1)),
+            block: Dim3::d1(block_size),
+            shared_f64: 0,
+        }
+    }
+
+    /// Explicit grid/block config.
+    pub fn grid_block(grid: Dim3, block: Dim3) -> LaunchConfig {
+        LaunchConfig {
+            grid,
+            block,
+            shared_f64: 0,
+        }
+    }
+
+    /// Set the shared-memory allocation (in `f64` words).
+    pub fn with_shared_f64(mut self, words: usize) -> LaunchConfig {
+        self.shared_f64 = words;
+        self
+    }
+}
+
+/// Identity of one thread within an executing block.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadCtx {
+    /// Thread index within the block.
+    pub thread_idx: Dim3,
+    /// Block index within the grid.
+    pub block_idx: Dim3,
+    /// Block dimensions.
+    pub block_dim: Dim3,
+    /// Grid dimensions.
+    pub grid_dim: Dim3,
+}
+
+impl ThreadCtx {
+    /// Global 1-D thread id: `block_idx.x * block_dim.x + thread_idx.x`.
+    #[inline]
+    pub fn global_id_x(&self) -> usize {
+        self.block_idx.x * self.block_dim.x + self.thread_idx.x
+    }
+
+    /// Global thread id in y.
+    #[inline]
+    pub fn global_id_y(&self) -> usize {
+        self.block_idx.y * self.block_dim.y + self.thread_idx.y
+    }
+
+    /// Global thread id in z.
+    #[inline]
+    pub fn global_id_z(&self) -> usize {
+        self.block_idx.z * self.block_dim.z + self.thread_idx.z
+    }
+
+    /// Flat thread index within the block.
+    #[inline]
+    pub fn flat_thread(&self) -> usize {
+        (self.thread_idx.z * self.block_dim.y + self.thread_idx.y) * self.block_dim.x
+            + self.thread_idx.x
+    }
+
+    /// Warp index of this thread within its block.
+    #[inline]
+    pub fn warp(&self) -> usize {
+        self.flat_thread() / WARP_SIZE
+    }
+}
+
+/// Execution context for one thread block.
+///
+/// A block's threads run sequentially inside each [`BlockCtx::threads`] call;
+/// successive calls are separated by an implicit block-level barrier
+/// (`__syncthreads()`), which is exactly the programming discipline barriered
+/// CUDA kernels follow.
+pub struct BlockCtx {
+    /// Index of this block within the grid.
+    pub block_idx: Dim3,
+    /// Block dimensions.
+    pub block_dim: Dim3,
+    /// Grid dimensions.
+    pub grid_dim: Dim3,
+    shared: Vec<f64>,
+    barriers: Cell<u64>,
+}
+
+impl BlockCtx {
+    /// Run the body once per thread in the block (a barrier-delimited phase).
+    /// The body receives the thread identity and the block's shared memory.
+    pub fn threads(&mut self, mut body: impl FnMut(ThreadCtx, &mut [f64])) {
+        for tz in 0..self.block_dim.z {
+            for ty in 0..self.block_dim.y {
+                for tx in 0..self.block_dim.x {
+                    let t = ThreadCtx {
+                        thread_idx: Dim3::d3(tx, ty, tz),
+                        block_idx: self.block_idx,
+                        block_dim: self.block_dim,
+                        grid_dim: self.grid_dim,
+                    };
+                    body(t, &mut self.shared);
+                }
+            }
+        }
+        self.barriers.set(self.barriers.get() + 1);
+    }
+
+    /// Number of barrier-delimited phases executed so far (diagnostic).
+    pub fn barriers_executed(&self) -> u64 {
+        self.barriers.get()
+    }
+
+    /// Direct read-only access to the block's shared memory between phases.
+    pub fn shared(&self) -> &[f64] {
+        &self.shared
+    }
+
+    /// Direct mutable access to the block's shared memory between phases
+    /// (single-threaded from the block's perspective — it models the block
+    /// leader initializing shared state followed by a barrier).
+    pub fn shared_mut(&mut self) -> &mut [f64] {
+        &mut self.shared
+    }
+}
+
+/// Cumulative device statistics since the last [`reset_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Kernel launches issued.
+    pub launches: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Threads executed.
+    pub threads: u64,
+}
+
+static LAUNCHES: AtomicU64 = AtomicU64::new(0);
+static BLOCKS: AtomicU64 = AtomicU64::new(0);
+static THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the device counters.
+pub fn stats() -> DeviceStats {
+    DeviceStats {
+        launches: LAUNCHES.load(Ordering::Relaxed),
+        blocks: BLOCKS.load(Ordering::Relaxed),
+        threads: THREADS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the device counters.
+pub fn reset_stats() {
+    LAUNCHES.store(0, Ordering::Relaxed);
+    BLOCKS.store(0, Ordering::Relaxed);
+    THREADS.store(0, Ordering::Relaxed);
+}
+
+/// Launch a kernel on the simulated device.
+///
+/// Blocks execute independently (sequentially on a 1-core host; the
+/// scheduling order is unspecified, as on a real device, so block bodies must
+/// not assume inter-block ordering). The body runs once per block with that
+/// block's [`BlockCtx`].
+pub fn launch<F>(cfg: &LaunchConfig, body: F)
+where
+    F: Fn(&mut BlockCtx) + Sync,
+{
+    LAUNCHES.fetch_add(1, Ordering::Relaxed);
+    let nblocks = cfg.grid.total() as u64;
+    BLOCKS.fetch_add(nblocks, Ordering::Relaxed);
+    THREADS.fetch_add(nblocks * cfg.block.total() as u64, Ordering::Relaxed);
+    for bz in 0..cfg.grid.z {
+        for by in 0..cfg.grid.y {
+            for bx in 0..cfg.grid.x {
+                let mut ctx = BlockCtx {
+                    block_idx: Dim3::d3(bx, by, bz),
+                    block_dim: cfg.block,
+                    grid_dim: cfg.grid,
+                    shared: vec![0.0; cfg.shared_f64],
+                    barriers: Cell::new(0),
+                };
+                body(&mut ctx);
+            }
+        }
+    }
+}
+
+/// Convenience: launch a 1-D grid-mapped kernel where each thread handles at
+/// most one index `i < n` (RAJAPerf's standard `blockIdx.x * blockDim.x +
+/// threadIdx.x` mapping). The body must tolerate concurrent disjoint writes.
+pub fn launch_1d<F>(n: usize, block_size: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let cfg = LaunchConfig::linear(n, block_size);
+    launch(&cfg, |block| {
+        block.threads(|t, _| {
+            let i = t.global_id_x();
+            if i < n {
+                body(i);
+            }
+        });
+    });
+}
+
+/// A `Send + Sync` raw-pointer wrapper granting GPU-kernel-style unchecked
+/// access to a host buffer from device code.
+///
+/// This is the moral equivalent of the raw device pointers CUDA kernels
+/// receive: aliasing discipline is the kernel author's responsibility.
+#[derive(Clone, Copy)]
+pub struct DevicePtr<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: DevicePtr is a capability to perform raw indexed access; the
+// `read`/`write` methods carry the actual safety obligations (in-bounds,
+// data-race-free access), exactly like a device pointer in CUDA C++.
+unsafe impl<T: Send> Send for DevicePtr<T> {}
+unsafe impl<T: Sync> Sync for DevicePtr<T> {}
+
+impl<T> DevicePtr<T> {
+    /// Wrap a host slice for device access. The borrow is logically exclusive
+    /// for the duration of the launch.
+    pub fn new(slice: &mut [T]) -> DevicePtr<T> {
+        DevicePtr {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Length of the underlying buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no thread may be concurrently writing element `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len, "DevicePtr read out of bounds: {i} >= {}", self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread may concurrently access element `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len, "DevicePtr write out of bounds: {i} >= {}", self.len);
+        unsafe { *self.ptr.add(i) = v };
+    }
+
+    /// Get a mutable reference to element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, exclusive access to element `i` for the reference lifetime.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn at_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_config_rounds_up() {
+        let cfg = LaunchConfig::linear(1000, 256);
+        assert_eq!(cfg.grid.x, 4);
+        assert_eq!(cfg.block.x, 256);
+        let cfg = LaunchConfig::linear(1024, 256);
+        assert_eq!(cfg.grid.x, 4);
+        let cfg = LaunchConfig::linear(0, 256);
+        assert_eq!(cfg.grid.x, 1);
+    }
+
+    #[test]
+    fn launch_1d_covers_exactly_n_indices() {
+        let n = 1003;
+        let mut hits = vec![0u8; n];
+        let p = DevicePtr::new(&mut hits);
+        launch_1d(n, 128, |i| unsafe { p.write(i, p.read(i) + 1) });
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn stats_count_launches_blocks_threads() {
+        reset_stats();
+        launch_1d(512, 256, |_| {});
+        let s = stats();
+        assert_eq!(s.launches, 1);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.threads, 512);
+    }
+
+    #[test]
+    fn shared_memory_persists_across_phases() {
+        // Per-block reduction into shared[0] in phase 1; read it in phase 2.
+        let n = 256;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut out = vec![0.0f64; 1];
+        let out_ptr = DevicePtr::new(&mut out);
+        let cfg = LaunchConfig::linear(n, 256).with_shared_f64(1);
+        launch(&cfg, |block| {
+            block.threads(|t, shared| {
+                shared[0] += data[t.global_id_x()];
+            });
+            block.threads(|t, shared| {
+                if t.flat_thread() == 0 {
+                    unsafe { out_ptr.write(0, shared[0]) };
+                }
+            });
+            assert_eq!(block.barriers_executed(), 2);
+        });
+        assert_eq!(out[0], (0..n).map(|i| i as f64).sum::<f64>());
+    }
+
+    #[test]
+    fn two_d_thread_identities() {
+        let cfg = LaunchConfig::grid_block(Dim3::d2(2, 2), Dim3::d2(4, 4));
+        let mut seen = vec![0u8; 8 * 8];
+        let p = DevicePtr::new(&mut seen);
+        launch(&cfg, |block| {
+            block.threads(|t, _| {
+                let (gx, gy) = (t.global_id_x(), t.global_id_y());
+                unsafe { p.write(gy * 8 + gx, 1) };
+            });
+        });
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn warp_index_matches_flat_id() {
+        let cfg = LaunchConfig::linear(64, 64);
+        launch(&cfg, |block| {
+            block.threads(|t, _| {
+                assert_eq!(t.warp(), t.flat_thread() / WARP_SIZE);
+            });
+        });
+    }
+
+    #[test]
+    fn blocks_have_private_shared_memory() {
+        let nblocks = 4;
+        let mut firsts = vec![-1.0f64; nblocks];
+        let p = DevicePtr::new(&mut firsts);
+        let cfg = LaunchConfig::grid_block(Dim3::d1(nblocks), Dim3::d1(8)).with_shared_f64(1);
+        launch(&cfg, |block| {
+            let bx = block.block_idx.x;
+            block.threads(|_, shared| {
+                shared[0] += 1.0;
+            });
+            // 8 threads incremented a zero-initialized private slot.
+            assert_eq!(block.shared()[0], 8.0);
+            unsafe { p.write(bx, block.shared()[0]) };
+        });
+        assert!(firsts.iter().all(|&f| f == 8.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Occupancy calculation: how many thread blocks fit on one multiprocessor
+//! given its thread, warp-slot, and shared-memory limits.
+//!
+//! RAJAPerf's block-size *tunings* trade off occupancy against per-block
+//! resources; this is the calculator behind that trade-off (the CUDA
+//! occupancy API's core arithmetic), parameterized for a V100-class SM by
+//! default.
+
+/// A multiprocessor's scheduling limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmLimits {
+    /// Maximum resident threads.
+    pub max_threads: usize,
+    /// Maximum resident blocks.
+    pub max_blocks: usize,
+    /// Shared memory capacity, bytes.
+    pub shared_bytes: usize,
+    /// Maximum threads per block the hardware accepts.
+    pub max_threads_per_block: usize,
+}
+
+impl SmLimits {
+    /// V100-class streaming multiprocessor (2048 threads, 32 blocks,
+    /// 96 KiB shared).
+    pub const fn v100() -> SmLimits {
+        SmLimits {
+            max_threads: 2048,
+            max_blocks: 32,
+            shared_bytes: 96 * 1024,
+            max_threads_per_block: 1024,
+        }
+    }
+
+    /// MI250X-class compute unit (2048 threads, 64 KiB LDS).
+    pub const fn mi250x() -> SmLimits {
+        SmLimits {
+            max_threads: 2048,
+            max_blocks: 32,
+            shared_bytes: 64 * 1024,
+            max_threads_per_block: 1024,
+        }
+    }
+}
+
+/// The occupancy outcome for one launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per multiprocessor.
+    pub blocks_per_sm: usize,
+    /// Resident threads per multiprocessor.
+    pub threads_per_sm: usize,
+    /// Fraction of the thread capacity occupied (0..=1).
+    pub fraction: f64,
+    /// Which limit bound the result.
+    pub limited_by: OccupancyLimit,
+}
+
+/// The resource that capped the resident block count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    /// The per-SM thread capacity.
+    Threads,
+    /// The per-SM block-slot count.
+    Blocks,
+    /// The shared-memory capacity.
+    SharedMemory,
+    /// The block is not launchable at all (exceeds a hard limit).
+    NotLaunchable,
+}
+
+/// Compute occupancy for `threads_per_block` threads and
+/// `shared_bytes_per_block` bytes of shared memory per block.
+pub fn occupancy(limits: &SmLimits, threads_per_block: usize, shared_bytes_per_block: usize) -> Occupancy {
+    if threads_per_block == 0
+        || threads_per_block > limits.max_threads_per_block
+        || shared_bytes_per_block > limits.shared_bytes
+    {
+        return Occupancy {
+            blocks_per_sm: 0,
+            threads_per_sm: 0,
+            fraction: 0.0,
+            limited_by: OccupancyLimit::NotLaunchable,
+        };
+    }
+    let by_threads = limits.max_threads / threads_per_block;
+    let by_blocks = limits.max_blocks;
+    let by_shared = limits
+        .shared_bytes
+        .checked_div(shared_bytes_per_block)
+        .unwrap_or(usize::MAX);
+    let blocks = by_threads.min(by_blocks).min(by_shared);
+    let limited_by = if blocks == by_threads && by_threads <= by_blocks && by_threads <= by_shared {
+        OccupancyLimit::Threads
+    } else if blocks == by_shared && by_shared < by_blocks {
+        OccupancyLimit::SharedMemory
+    } else {
+        OccupancyLimit::Blocks
+    };
+    let threads = blocks * threads_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        threads_per_sm: threads,
+        fraction: threads as f64 / limits.max_threads as f64,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_256_fills_a_v100_sm() {
+        let o = occupancy(&SmLimits::v100(), 256, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.threads_per_sm, 2048);
+        assert_eq!(o.fraction, 1.0);
+        assert_eq!(o.limited_by, OccupancyLimit::Threads);
+    }
+
+    #[test]
+    fn tiny_blocks_are_block_slot_limited() {
+        // 32-thread blocks: 2048/32 = 64 would fit by threads, but only 32
+        // block slots exist — half occupancy, the classic tuning pitfall.
+        let o = occupancy(&SmLimits::v100(), 32, 0);
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.threads_per_sm, 1024);
+        assert!((o.fraction - 0.5).abs() < 1e-12);
+        assert_eq!(o.limited_by, OccupancyLimit::Blocks);
+    }
+
+    #[test]
+    fn shared_memory_limits_tiled_kernels() {
+        // MAT_MAT_SHARED-style tiles: 3 × 16×16 f64 tiles = 6144 B/block,
+        // 256 threads. V100: by shared 96K/6144 = 16, by threads 8 →
+        // thread-limited. Crank shared usage to dominate:
+        let o = occupancy(&SmLimits::v100(), 128, 48 * 1024);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limited_by, OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_launchable() {
+        let o = occupancy(&SmLimits::v100(), 2048, 0);
+        assert_eq!(o.limited_by, OccupancyLimit::NotLaunchable);
+        assert_eq!(o.fraction, 0.0);
+        let o = occupancy(&SmLimits::mi250x(), 256, 128 * 1024);
+        assert_eq!(o.limited_by, OccupancyLimit::NotLaunchable);
+    }
+
+    #[test]
+    fn block_size_sweep_shape() {
+        // Across RAJAPerf's tunings, occupancy peaks at mid block sizes for
+        // shared-memory-free kernels.
+        let occ: Vec<f64> = [64, 128, 256, 512, 1024]
+            .iter()
+            .map(|&b| occupancy(&SmLimits::v100(), b, 0).fraction)
+            .collect();
+        assert_eq!(occ, vec![1.0, 1.0, 1.0, 1.0, 1.0]);
+        let occ32 = occupancy(&SmLimits::v100(), 32, 0).fraction;
+        assert!(occ32 < 1.0, "only the tiny block loses occupancy");
+    }
+}

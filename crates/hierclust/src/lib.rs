@@ -1,0 +1,410 @@
+//! Agglomerative hierarchical clustering with Ward linkage.
+//!
+//! The paper clusters RAJAPerf kernels by their five-component top-down
+//! (TMA) metric tuples using "agglomerative, bottom-up, hierarchical
+//! clustering ... Euclidean distance ... the Ward merge strategy (Ward 1963) ...
+//! distance threshold 1.4, identifying four distinct clusters" (§IV). Its
+//! analysis pipeline calls scipy; this crate reimplements that algorithm —
+//! the Lance–Williams recurrence over a distance matrix — with
+//! scipy-compatible conventions:
+//!
+//! * observations are points in R^d, initial inter-cluster distances are
+//!   Euclidean;
+//! * the linkage matrix rows are `(cluster_a, cluster_b, distance, size)`
+//!   with new clusters numbered `n, n+1, ...` in merge order, `a`/`b`
+//!   sorted ascending;
+//! * [`LinkageResult::fcluster`] cuts the tree at a distance threshold
+//!   (scipy's `criterion='distance'`), relabelling clusters `0..k` in order
+//!   of first appearance;
+//! * [`LinkageResult::dendrogram_text`] renders the merge tree for Fig. 6.
+//!
+//! Complexity is the textbook O(n³)/O(n²) — ample for a 60–80 kernel suite.
+
+pub mod quality;
+
+pub use quality::silhouette_score;
+
+/// Linkage update strategies (a subset of scipy's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Ward's minimum-variance criterion (the paper's choice).
+    Ward,
+    /// Nearest-neighbour (minimum) linkage.
+    Single,
+    /// Furthest-neighbour (maximum) linkage.
+    Complete,
+    /// Unweighted average (UPGMA) linkage.
+    Average,
+}
+
+/// One merge step of the agglomeration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id (smaller id).
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Inter-cluster distance at which the merge happened.
+    pub distance: f64,
+    /// Number of original observations in the new cluster.
+    pub size: usize,
+}
+
+/// The result of [`linkage`]: `n - 1` merges over `n` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkageResult {
+    /// Number of original observations.
+    pub n: usize,
+    /// Merge steps in the order performed. Step `i` creates cluster `n + i`.
+    pub merges: Vec<Merge>,
+}
+
+/// Euclidean distance between two equal-length points.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Compute the hierarchical clustering of `points` under `method`.
+///
+/// # Panics
+/// Panics on an empty input or ragged point dimensions.
+pub fn linkage(points: &[Vec<f64>], method: Linkage) -> LinkageResult {
+    let n = points.len();
+    assert!(n > 0, "linkage needs at least one observation");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all observations must share a dimension"
+    );
+    // Active cluster bookkeeping. Cluster ids: 0..n are singletons; merges
+    // create n+step. `dist` stores *squared* distances for Ward (the
+    // Lance–Williams recurrence for Ward is exact on squared distances),
+    // plain distances otherwise.
+    let squared = method == Linkage::Ward;
+    let mut active: Vec<usize> = (0..n).collect(); // current cluster ids
+    let mut sizes: Vec<usize> = vec![1; n];
+    // dist[i][j] between active slots i, j (slot order matches `active`).
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    let d = euclidean(&points[i], &points[j]);
+                    if squared {
+                        d * d
+                    } else {
+                        d
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair.
+        let m = active.len();
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        #[allow(clippy::needless_range_loop)] // triangular index scan
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if dist[i][j] < best {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let (ci, cj) = (active[bi], active[bj]);
+        let (ni, nj) = (sizes[ci], sizes[cj]);
+        let new_size = ni + nj;
+        let reported = if squared { best.sqrt() } else { best };
+        merges.push(Merge {
+            a: ci.min(cj),
+            b: ci.max(cj),
+            distance: reported,
+            size: new_size,
+        });
+
+        // Lance–Williams update of distances from every other cluster k to
+        // the new cluster, written into slot bi; slot bj is retired.
+        for k in 0..m {
+            if k == bi || k == bj {
+                continue;
+            }
+            let (dki, dkj, dij) = (dist[k][bi], dist[k][bj], best);
+            let nk = sizes[active[k]];
+            let updated = match method {
+                Linkage::Ward => {
+                    let t = (ni + nk + nj) as f64;
+                    ((ni + nk) as f64 * dki + (nj + nk) as f64 * dkj - nk as f64 * dij) / t
+                }
+                Linkage::Single => dki.min(dkj),
+                Linkage::Complete => dki.max(dkj),
+                Linkage::Average => (ni as f64 * dki + nj as f64 * dkj) / (ni + nj) as f64,
+            };
+            dist[k][bi] = updated;
+            dist[bi][k] = updated;
+        }
+        // Retire slot bj: swap-remove from active set and distance matrix.
+        let new_id = n + step;
+        active[bi] = new_id;
+        sizes.push(new_size);
+        active.swap_remove(bj);
+        dist.swap_remove(bj);
+        for row in &mut dist {
+            row.swap_remove(bj);
+        }
+    }
+    LinkageResult { n, merges }
+}
+
+impl LinkageResult {
+    /// Cut the tree at `threshold`: merges with `distance <= threshold` are
+    /// applied; the resulting flat clusters are labelled `0..k` by order of
+    /// first member appearance (observation index order).
+    pub fn fcluster(&self, threshold: f64) -> Vec<usize> {
+        // Union-find over cluster ids 0 .. n + merges.
+        let total = self.n + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, m) in self.merges.iter().enumerate() {
+            let new_id = self.n + step;
+            if m.distance <= threshold {
+                let ra = find(&mut parent, m.a);
+                let rb = find(&mut parent, m.b);
+                parent[ra] = new_id;
+                parent[rb] = new_id;
+            }
+        }
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let root = find(&mut parent, i);
+            let next = label_of_root.len();
+            labels.push(*label_of_root.entry(root).or_insert(next));
+        }
+        labels
+    }
+
+    /// Number of flat clusters produced at `threshold`.
+    pub fn num_clusters(&self, threshold: f64) -> usize {
+        self.fcluster(threshold)
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Find the smallest merge height that yields at most `k` clusters,
+    /// mimicking choosing scipy's `distance_threshold` from the dendrogram.
+    pub fn threshold_for_clusters(&self, k: usize) -> f64 {
+        let mut heights: Vec<f64> = self.merges.iter().map(|m| m.distance).collect();
+        heights.sort_by(f64::total_cmp);
+        for &h in &heights {
+            if self.num_clusters(h) <= k {
+                return h;
+            }
+        }
+        heights.last().copied().unwrap_or(0.0)
+    }
+
+    /// Render the merge tree as an indented text dendrogram with heights —
+    /// the textual equivalent of the paper's Fig. 6.
+    pub fn dendrogram_text(&self, labels: &[String]) -> String {
+        assert_eq!(labels.len(), self.n, "one label per observation");
+        let mut out = String::new();
+        if self.merges.is_empty() {
+            if let Some(l) = labels.first() {
+                out.push_str(l);
+                out.push('\n');
+            }
+            return out;
+        }
+        let root = self.n + self.merges.len() - 1;
+        self.render(root, 0, labels, &mut out);
+        out
+    }
+
+    fn render(&self, id: usize, depth: usize, labels: &[String], out: &mut String) {
+        let pad = "  ".repeat(depth);
+        if id < self.n {
+            out.push_str(&format!("{pad}{}\n", labels[id]));
+        } else {
+            let m = &self.merges[id - self.n];
+            out.push_str(&format!("{pad}+-- h={:.4} (n={})\n", m.distance, m.size));
+            self.render(m.a, depth + 1, labels, out);
+            self.render(m.b, depth + 1, labels, out);
+        }
+    }
+}
+
+/// Standardize columns to zero mean / unit variance (a common preprocessing
+/// step before clustering heterogeneous metrics). Constant columns are left
+/// centred at zero.
+pub fn standardize(points: &mut [Vec<f64>]) {
+    if points.is_empty() {
+        return;
+    }
+    let dim = points[0].len();
+    let n = points.len() as f64;
+    for d in 0..dim {
+        let mean = points.iter().map(|p| p[d]).sum::<f64>() / n;
+        let var = points.iter().map(|p| (p[d] - mean).powi(2)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        for p in points.iter_mut() {
+            p[d] = if sd > 0.0 { (p[d] - mean) / sd } else { 0.0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ]
+    }
+
+    #[test]
+    fn ward_separates_two_blobs() {
+        let l = linkage(&two_blobs(), Linkage::Ward);
+        assert_eq!(l.merges.len(), 5);
+        // Cutting below the final (large) merge yields exactly 2 clusters.
+        let final_h = l.merges.last().unwrap().distance;
+        let labels = l.fcluster(final_h * 0.5);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn ward_matches_scipy_on_simple_example() {
+        // scipy.cluster.hierarchy.linkage([[0],[2],[6]], 'ward') merges at
+        // distance 2.0, then sqrt((2*16 + 2*36 - 1*4)/3) = sqrt(100/3).
+        let pts = vec![vec![0.0], vec![2.0], vec![6.0]];
+        let l = linkage(&pts, Linkage::Ward);
+        assert!((l.merges[0].distance - 2.0).abs() < 1e-12);
+        let expect = (100.0f64 / 3.0).sqrt();
+        assert!(
+            (l.merges[1].distance - expect).abs() < 1e-12,
+            "got {}, expected {expect}",
+            l.merges[1].distance
+        );
+    }
+
+    #[test]
+    fn single_linkage_matches_hand_computation() {
+        // Points on a line at 0, 1, 3, 7: single-linkage merge heights are
+        // 1 (0,1), 2 (cluster..3), 4 (..7).
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0], vec![7.0]];
+        let l = linkage(&pts, Linkage::Single);
+        let hs: Vec<f64> = l.merges.iter().map(|m| m.distance).collect();
+        assert_eq!(hs, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn complete_linkage_matches_hand_computation() {
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0], vec![7.0]];
+        let l = linkage(&pts, Linkage::Complete);
+        let hs: Vec<f64> = l.merges.iter().map(|m| m.distance).collect();
+        assert_eq!(hs, vec![1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn average_linkage_matches_hand_computation() {
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0], vec![7.0]];
+        let l = linkage(&pts, Linkage::Average);
+        let hs: Vec<f64> = l.merges.iter().map(|m| m.distance).collect();
+        assert_eq!(hs[0], 1.0);
+        assert!((hs[1] - 2.5).abs() < 1e-12, "avg of 3 and 2");
+        assert!((hs[2] - (7.0 + 6.0 + 4.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_heights_are_monotone_for_ward() {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![((i * 37) % 11) as f64, ((i * 17) % 7) as f64])
+            .collect();
+        let l = linkage(&pts, Linkage::Ward);
+        for w in l.merges.windows(2) {
+            assert!(
+                w[1].distance >= w[0].distance - 1e-12,
+                "ward heights must be monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn fcluster_extremes() {
+        let pts = two_blobs();
+        let l = linkage(&pts, Linkage::Ward);
+        assert_eq!(l.num_clusters(-1.0), pts.len(), "no merges applied");
+        assert_eq!(l.num_clusters(f64::INFINITY), 1, "all merged");
+    }
+
+    #[test]
+    fn fcluster_labels_in_first_appearance_order() {
+        let pts = two_blobs();
+        let l = linkage(&pts, Linkage::Ward);
+        let labels = l.fcluster(1.0);
+        assert_eq!(labels[0], 0, "first observation defines cluster 0");
+    }
+
+    #[test]
+    fn threshold_for_clusters_finds_cut() {
+        let l = linkage(&two_blobs(), Linkage::Ward);
+        let t = l.threshold_for_clusters(2);
+        assert_eq!(l.num_clusters(t), 2);
+    }
+
+    #[test]
+    fn dendrogram_text_contains_all_labels() {
+        let pts = two_blobs();
+        let l = linkage(&pts, Linkage::Ward);
+        let labels: Vec<String> = (0..pts.len()).map(|i| format!("K{i}")).collect();
+        let text = l.dendrogram_text(&labels);
+        for lab in &labels {
+            assert!(text.contains(lab.as_str()));
+        }
+        assert!(text.contains("h="));
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let mut pts = vec![vec![1.0, 5.0], vec![3.0, 5.0], vec![5.0, 5.0]];
+        standardize(&mut pts);
+        let mean0: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        // Constant column becomes all zeros instead of NaN.
+        assert!(pts.iter().all(|p| p[1] == 0.0));
+    }
+
+    #[test]
+    fn singleton_input() {
+        let l = linkage(&[vec![1.0, 2.0]], Linkage::Ward);
+        assert!(l.merges.is_empty());
+        assert_eq!(l.fcluster(10.0), vec![0]);
+        let text = l.dendrogram_text(&["only".to_string()]);
+        assert!(text.contains("only"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Clustering-quality diagnostics: cophenetic correlation and silhouette
+//! scores.
+//!
+//! The paper picks the Ward threshold (1.4 → 4 clusters) by inspection;
+//! these diagnostics let the reproduction *quantify* that choice — the
+//! ablation binary sweeps cluster counts and reports silhouettes, and the
+//! cophenetic correlation validates that the linkage preserves the
+//! original distances.
+
+use crate::{euclidean, LinkageResult};
+
+impl LinkageResult {
+    /// Cophenetic distance between observations `a` and `b`: the merge
+    /// height at which they first share a cluster.
+    pub fn cophenetic_distance(&self, a: usize, b: usize) -> f64 {
+        assert!(a < self.n && b < self.n, "observation indices in range");
+        if a == b {
+            return 0.0;
+        }
+        // Track each observation's current cluster id while replaying the
+        // merges; the first merge joining both ids is the answer.
+        let mut cluster_a = a;
+        let mut cluster_b = b;
+        for (step, m) in self.merges.iter().enumerate() {
+            let new_id = self.n + step;
+            if m.a == cluster_a || m.b == cluster_a {
+                cluster_a = new_id;
+            }
+            if m.a == cluster_b || m.b == cluster_b {
+                cluster_b = new_id;
+            }
+            if cluster_a == cluster_b {
+                return m.distance;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Pearson correlation between the original pairwise distances and the
+    /// cophenetic distances (scipy's `cophenet`). Values near 1 indicate
+    /// the dendrogram faithfully represents the data.
+    pub fn cophenetic_correlation(&self, points: &[Vec<f64>]) -> f64 {
+        assert_eq!(points.len(), self.n, "one point per observation");
+        if self.n < 3 {
+            return 1.0;
+        }
+        let mut orig = Vec::new();
+        let mut coph = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                orig.push(euclidean(&points[i], &points[j]));
+                coph.push(self.cophenetic_distance(i, j));
+            }
+        }
+        pearson(&orig, &coph)
+    }
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Mean silhouette coefficient of a flat clustering over `points`
+/// (labels as produced by [`LinkageResult::fcluster`]). Ranges in
+/// [-1, 1]; higher means tighter, better-separated clusters. Singleton
+/// clusters contribute 0, per the standard definition.
+pub fn silhouette_score(points: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(points.len(), labels.len());
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut total = 0.0;
+    for i in 0..n {
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += euclidean(&points[i], &points[j]);
+                counts[labels[j]] += 1;
+            }
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            continue; // singleton: s = 0
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{linkage, Linkage};
+
+    fn blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+            vec![5.0, 5.0],
+            vec![5.2, 5.1],
+            vec![5.1, 5.2],
+        ]
+    }
+
+    #[test]
+    fn cophenetic_distance_is_merge_height() {
+        let pts = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let l = linkage(&pts, Linkage::Single);
+        assert_eq!(l.cophenetic_distance(0, 1), 1.0);
+        assert_eq!(l.cophenetic_distance(0, 2), 9.0);
+        assert_eq!(l.cophenetic_distance(1, 2), 9.0, "joined at the top merge");
+        assert_eq!(l.cophenetic_distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn cophenetic_correlation_high_for_well_separated_data() {
+        let pts = blobs();
+        let l = linkage(&pts, Linkage::Ward);
+        let c = l.cophenetic_correlation(&pts);
+        assert!(c > 0.9, "cophenetic correlation {c}");
+    }
+
+    #[test]
+    fn silhouette_high_for_true_clusters_low_for_random_labels() {
+        let pts = blobs();
+        let good = vec![0, 0, 0, 1, 1, 1];
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let sg = silhouette_score(&pts, &good);
+        let sb = silhouette_score(&pts, &bad);
+        assert!(sg > 0.8, "good labels {sg}");
+        assert!(sb < 0.2, "bad labels {sb}");
+        assert!(sg > sb);
+    }
+
+    #[test]
+    fn silhouette_handles_singletons_and_one_cluster() {
+        let pts = blobs();
+        let one = vec![0; 6];
+        assert_eq!(silhouette_score(&pts, &one), 0.0, "no second cluster");
+        let with_singleton = vec![0, 0, 0, 1, 1, 2];
+        let s = silhouette_score(&pts, &with_singleton);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn symmetric_cophenetic() {
+        let pts = blobs();
+        let l = linkage(&pts, Linkage::Average);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                assert_eq!(
+                    l.cophenetic_distance(i, j),
+                    l.cophenetic_distance(j, i)
+                );
+            }
+        }
+    }
+}

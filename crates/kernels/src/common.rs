@@ -1,0 +1,139 @@
+//! Shared helpers: deterministic data initialization and checksums.
+//!
+//! RAJAPerf initializes kernel arrays with reproducible pseudo-random data
+//! and validates variants by comparing weighted checksums of their outputs.
+//! We do the same: initialization is a pure hash of `(index, seed)` so every
+//! variant (and every run) sees identical inputs, and the checksum weights
+//! elements by position so permutation errors are caught.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic value in `[0, 1)` for `(index, seed)`.
+#[inline]
+pub fn hash_unit(i: usize, seed: u64) -> f64 {
+    (mix64(i as u64 ^ seed.rotate_left(17)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Allocate and fill a vector with deterministic values in `[lo, hi)`.
+pub fn init_data(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|i| lo + (hi - lo) * hash_unit(i, seed)).collect()
+}
+
+/// Unit-range data (the common case).
+pub fn init_unit(n: usize, seed: u64) -> Vec<f64> {
+    init_data(n, seed, 0.0, 1.0)
+}
+
+/// Signed data in `[-1, 1)`.
+pub fn init_signed(n: usize, seed: u64) -> Vec<f64> {
+    init_data(n, seed, -1.0, 1.0)
+}
+
+/// Deterministic integer data in `[0, m)`.
+pub fn init_ints(n: usize, seed: u64, m: usize) -> Vec<i32> {
+    (0..n)
+        .map(|i| (mix64(i as u64 ^ seed.rotate_left(29)) % m as u64) as i32)
+        .collect()
+}
+
+/// Position-weighted checksum: catches both value and placement errors
+/// while staying order-tolerant in its computation (pure function of the
+/// final array contents).
+pub fn checksum(data: &[f64]) -> f64 {
+    data.iter()
+        .enumerate()
+        .map(|(i, &v)| v * (1.0 + (i % 31) as f64 / 31.0))
+        .sum()
+}
+
+/// Unweighted checksum for outputs whose element placement is the result
+/// itself (sorted arrays).
+pub fn checksum_unweighted(data: &[f64]) -> f64 {
+    data.iter().sum()
+}
+
+/// Relative closeness check for cross-variant checksum comparison (parallel
+/// reductions reassociate FP addition).
+pub fn close(a: f64, b: f64, rel: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    (a - b).abs() / scale < rel
+}
+
+/// Side length of the cube with at most `n` cells (RAJAPerf sizes 3-D
+/// kernels as `cbrt(problem_size)` per dimension).
+pub fn cube_edge(n: usize) -> usize {
+    (n as f64).cbrt().floor() as usize
+}
+
+/// Side length of the square with at most `n` cells.
+pub fn square_edge(n: usize) -> usize {
+    (n as f64).sqrt().floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic() {
+        assert_eq!(init_unit(100, 7), init_unit(100, 7));
+        assert_ne!(init_unit(100, 7), init_unit(100, 8));
+    }
+
+    #[test]
+    fn init_respects_bounds() {
+        for &v in &init_data(1000, 3, -2.0, 5.0) {
+            assert!((-2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn init_ints_in_range() {
+        for &v in &init_ints(1000, 1, 17) {
+            assert!((0..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn checksum_detects_swaps() {
+        let mut a = init_unit(64, 1);
+        let c1 = checksum(&a);
+        a.swap(0, 40);
+        let c2 = checksum(&a);
+        assert_ne!(c1, c2, "position weighting catches permutations");
+    }
+
+    #[test]
+    fn close_tolerates_reassociation_noise() {
+        assert!(close(1.0, 1.0 + 1e-12, 1e-10));
+        assert!(!close(1.0, 1.01, 1e-10));
+        assert!(close(0.0, 0.0, 1e-15));
+    }
+
+    #[test]
+    fn edges() {
+        assert_eq!(cube_edge(1000), 10);
+        assert_eq!(cube_edge(999), 9);
+        assert_eq!(square_edge(100), 10);
+    }
+
+    #[test]
+    fn hash_unit_spread() {
+        // The generator should cover the unit interval reasonably.
+        let vals = init_unit(10_000, 42);
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(vals.iter().cloned().fold(f64::MAX, f64::min) < 0.01);
+        assert!(vals.iter().cloned().fold(f64::MIN, f64::max) > 0.99);
+    }
+}

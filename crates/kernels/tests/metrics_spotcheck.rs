@@ -1,0 +1,200 @@
+//! Hand-computed spot checks of the analytic metrics (Fig. 1's inputs):
+//! for representative kernels of every group, the per-rep byte and FLOP
+//! counts are re-derived here independently from the loop definitions and
+//! compared against `KernelBase::metrics`.
+
+use kernels::AnalyticMetrics;
+
+fn expect(name: &str, n: usize, want: AnalyticMetrics) {
+    let k = kernels::find(name).unwrap_or_else(|| panic!("kernel {name}"));
+    let got = k.metrics(n);
+    assert_eq!(got.bytes_read, want.bytes_read, "{name} bytes_read");
+    assert_eq!(got.bytes_written, want.bytes_written, "{name} bytes_written");
+    assert_eq!(got.flops, want.flops, "{name} flops");
+}
+
+#[test]
+fn stream_metrics() {
+    let n = 1000usize;
+    // TRIAD: a[i] = b[i] + alpha*c[i] — 2 reads, 1 write, 2 flops.
+    expect(
+        "Stream_TRIAD",
+        n,
+        AnalyticMetrics {
+            bytes_read: 16_000.0,
+            bytes_written: 8_000.0,
+            flops: 2_000.0,
+        },
+    );
+    // DOT: 2 reads, scalar out, 2 flops (mul + add).
+    expect(
+        "Stream_DOT",
+        n,
+        AnalyticMetrics {
+            bytes_read: 16_000.0,
+            bytes_written: 0.0,
+            flops: 2_000.0,
+        },
+    );
+}
+
+#[test]
+fn basic_metrics() {
+    let n = 1000usize;
+    // DAXPY: y += a*x — reads x and y, writes y, fma = 2 flops.
+    expect(
+        "Basic_DAXPY",
+        n,
+        AnalyticMetrics {
+            bytes_read: 16_000.0,
+            bytes_written: 8_000.0,
+            flops: 2_000.0,
+        },
+    );
+    // MULADDSUB: 2 reads, 3 writes, 3 flops.
+    expect(
+        "Basic_MULADDSUB",
+        n,
+        AnalyticMetrics {
+            bytes_read: 16_000.0,
+            bytes_written: 24_000.0,
+            flops: 3_000.0,
+        },
+    );
+    // PI_REDUCE: no array traffic, 6 flops per sample, scalar out.
+    expect(
+        "Basic_PI_REDUCE",
+        n,
+        AnalyticMetrics {
+            bytes_read: 0.0,
+            bytes_written: 8.0,
+            flops: 6_000.0,
+        },
+    );
+}
+
+#[test]
+fn algorithm_metrics() {
+    let n = 1000usize;
+    // MEMCPY: one read, one write, no flops.
+    expect(
+        "Algorithm_MEMCPY",
+        n,
+        AnalyticMetrics {
+            bytes_read: 8_000.0,
+            bytes_written: 8_000.0,
+            flops: 0.0,
+        },
+    );
+    // SCAN: read input, write prefix array, one add per element.
+    expect(
+        "Algorithm_SCAN",
+        n,
+        AnalyticMetrics {
+            bytes_read: 8_000.0,
+            bytes_written: 8_000.0,
+            flops: 1_000.0,
+        },
+    );
+}
+
+#[test]
+fn lcals_metrics() {
+    let n = 1000usize;
+    // HYDRO_1D: x[i] = q + y[i]*(r*z[i+10] + t*z[i+11]) — 3 stream reads
+    // (y + two shifted z windows), 1 write, 5 flops.
+    expect(
+        "Lcals_HYDRO_1D",
+        n,
+        AnalyticMetrics {
+            bytes_read: 24_000.0,
+            bytes_written: 8_000.0,
+            flops: 5_000.0,
+        },
+    );
+    // FIRST_DIFF: y[i+1]-y[i]: 2 reads, 1 write, 1 flop.
+    expect(
+        "Lcals_FIRST_DIFF",
+        n,
+        AnalyticMetrics {
+            bytes_read: 16_000.0,
+            bytes_written: 8_000.0,
+            flops: 1_000.0,
+        },
+    );
+}
+
+#[test]
+fn polybench_metrics() {
+    // GEMM with 3 N×N matrices in n slots: N = sqrt(n/3).
+    let ne = 64usize;
+    let n = 3 * ne * ne;
+    expect(
+        "Polybench_GEMM",
+        n,
+        AnalyticMetrics {
+            bytes_read: 8.0 * 3.0 * (ne * ne) as f64,
+            bytes_written: 8.0 * (ne * ne) as f64,
+            flops: 2.0 * (ne * ne * ne) as f64 + 3.0 * (ne * ne) as f64,
+        },
+    );
+    // ATAX: N = sqrt(n); A streamed twice, two vectors out, 4N² flops.
+    let ne = 100usize;
+    expect(
+        "Polybench_ATAX",
+        ne * ne,
+        AnalyticMetrics {
+            bytes_read: 8.0 * 2.0 * (ne * ne) as f64,
+            bytes_written: 8.0 * 2.0 * ne as f64,
+            flops: 4.0 * (ne * ne) as f64,
+        },
+    );
+}
+
+#[test]
+fn apps_metrics() {
+    let n = 1000usize;
+    // FIR: unique traffic — input read once (+ window tail), output once;
+    // 2 flops per tap.
+    expect(
+        "Apps_FIR",
+        n,
+        AnalyticMetrics {
+            bytes_read: 8.0 * (n + kernels::apps::FIR_COEFFLEN) as f64,
+            bytes_written: 8_000.0,
+            flops: 2.0 * kernels::apps::FIR_COEFFLEN as f64 * n as f64,
+        },
+    );
+}
+
+#[test]
+fn comm_metrics_scale_with_surface() {
+    // HALO_PACKING traffic = 2×(pack read+write) over the 26-direction
+    // surface; it must scale ~n^{2/3}, not n.
+    let k = kernels::find("Comm_HALO_PACKING").unwrap();
+    let m1 = k.metrics(3 * 8 * 8 * 8);
+    let m2 = k.metrics(3 * 16 * 16 * 16);
+    let ratio = (m2.bytes_read + m2.bytes_written) / (m1.bytes_read + m1.bytes_written);
+    assert!(
+        ratio > 3.0 && ratio < 5.0,
+        "surface scaling expected (~4x for 8x volume), got {ratio}"
+    );
+}
+
+#[test]
+fn flops_per_byte_orders_the_kernel_spectrum() {
+    // The derived metric of §II-B sorts the kernels the way Fig. 1 shows:
+    // matmul ≫ FE apps ≫ streaming.
+    let fpb = |name: &str| {
+        let k = kernels::find(name).unwrap();
+        k.metrics(k.info().default_size).flops_per_byte()
+    };
+    let gemm = fpb("Polybench_GEMM");
+    let diffusion = fpb("Apps_DIFFUSION3DPA");
+    let triad = fpb("Stream_TRIAD");
+    let copy = fpb("Stream_COPY");
+    assert!(gemm > diffusion, "gemm {gemm} vs diffusion {diffusion}");
+    assert!(diffusion > triad, "diffusion {diffusion} vs triad {triad}");
+    assert!(triad > copy, "triad {triad} vs copy {copy}");
+    assert_eq!(copy, 0.0);
+}

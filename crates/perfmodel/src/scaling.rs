@@ -1,0 +1,188 @@
+//! Scalability prediction (§II-C item 1: "kernel scalability with the
+//! increase in computational resources, such as more CPU cores or GPU
+//! threads").
+//!
+//! Strong scaling holds the node problem fixed and varies the resource
+//! count; weak scaling grows the problem with the resources. Both reuse the
+//! execution-time model with a machine whose rank count (and its share of
+//! cores/bandwidth/compute, which already divide by `ranks`) is swept.
+
+use crate::machine::Machine;
+use crate::predict::predict_time;
+use crate::signature::ExecSignature;
+
+/// One point of a scaling study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Resource count (MPI ranks / GPUs / cores, per the machine's unit).
+    pub ranks: usize,
+    /// Predicted time per repetition, seconds.
+    pub time_s: f64,
+    /// Speedup relative to the first point.
+    pub speedup: f64,
+    /// Parallel efficiency: `speedup / (ranks / ranks₀)`.
+    pub efficiency: f64,
+}
+
+/// Scale a machine to `ranks` resources: the per-rank shares (bandwidth,
+/// FLOPS, cores, atomic throughput) follow automatically because the model
+/// divides node totals by `ranks`; the node totals themselves scale with
+/// the resource count relative to the machine's nominal configuration.
+fn scaled_machine(base: &Machine, ranks: usize) -> Machine {
+    let f = ranks as f64 / base.ranks as f64;
+    let mut m = base.clone();
+    m.ranks = ranks;
+    m.cores_per_node = ((base.cores_per_node as f64) * f).round().max(1.0) as usize;
+    m.achieved_bw_node *= f;
+    m.achieved_read_bw_node *= f;
+    m.achieved_write_bw_node *= f;
+    m.achieved_flops_node *= f;
+    m.peak_flops_node *= f;
+    m.peak_bw_node *= f;
+    m.atomic_rate *= f;
+    m
+}
+
+/// Strong scaling: fixed total problem, swept resource count.
+pub fn strong_scaling(base: &Machine, sig: &ExecSignature, ranks: &[usize]) -> Vec<ScalePoint> {
+    assert!(!ranks.is_empty(), "need at least one rank count");
+    let t0 = predict_time(&scaled_machine(base, ranks[0]), sig).total_s;
+    ranks
+        .iter()
+        .map(|&r| {
+            let t = predict_time(&scaled_machine(base, r), sig).total_s;
+            let speedup = t0 / t;
+            ScalePoint {
+                ranks: r,
+                time_s: t,
+                speedup,
+                efficiency: speedup / (r as f64 / ranks[0] as f64),
+            }
+        })
+        .collect()
+}
+
+/// Weak scaling: the problem grows proportionally with the resources, so
+/// ideal behaviour is constant time (efficiency = t₀ / t).
+pub fn weak_scaling(
+    base: &Machine,
+    sig_per_rank: &ExecSignature,
+    ranks: &[usize],
+) -> Vec<ScalePoint> {
+    assert!(!ranks.is_empty(), "need at least one rank count");
+    let per_rank_n = sig_per_rank.problem_size;
+    let mut out = Vec::with_capacity(ranks.len());
+    let mut t0 = 0.0;
+    for (i, &r) in ranks.iter().enumerate() {
+        // Total problem = per-rank size × ranks; the model re-splits it.
+        let total = sig_per_rank.scaled_to(per_rank_n * r);
+        let t = predict_time(&scaled_machine(base, r), &total).total_s;
+        if i == 0 {
+            t0 = t;
+        }
+        out.push(ScalePoint {
+            ranks: r,
+            time_s: t,
+            speedup: t0 / t,
+            efficiency: t0 / t,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineId;
+
+    fn triad(n: usize) -> ExecSignature {
+        let mut s = ExecSignature::streaming("Stream_TRIAD", n);
+        s.flops = 2.0 * n as f64;
+        s.bytes_read = 16.0 * n as f64;
+        s.bytes_written = 8.0 * n as f64;
+        s
+    }
+
+    #[test]
+    fn strong_scaling_of_a_bandwidth_kernel_is_near_linear() {
+        let m = Machine::get(MachineId::SprDdr);
+        let pts = strong_scaling(&m, &triad(32_000_000), &[14, 28, 56, 112]);
+        assert_eq!(pts[0].speedup, 1.0);
+        // Bandwidth scales with sockets/ranks in this sweep: near-ideal.
+        let last = pts.last().unwrap();
+        assert!(last.efficiency > 0.9, "{last:?}");
+        assert!(last.speedup > 7.0, "{last:?}");
+    }
+
+    #[test]
+    fn strong_scaling_saturates_for_launch_bound_kernels() {
+        // A kernel dominated by fixed launch overhead cannot strong-scale.
+        let m = Machine::get(MachineId::P9V100);
+        let mut s = triad(100_000);
+        s.kernel_launches = 52.0;
+        let pts = strong_scaling(&m, &s, &[1, 2, 4, 8]);
+        let last = pts.last().unwrap();
+        assert!(
+            last.efficiency < 0.5,
+            "launch overhead must break scaling: {last:?}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_of_a_streaming_kernel_is_flat() {
+        let m = Machine::get(MachineId::SprDdr);
+        let per_rank = triad(285_714); // 32M / 112
+        let pts = weak_scaling(&m, &per_rank, &[14, 28, 56, 112]);
+        for p in &pts {
+            assert!(
+                (p.efficiency - 1.0).abs() < 0.05,
+                "weak scaling should be flat for O(N): {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_scaling_of_superlinear_work_is_superlinear() {
+        // O(N^{3/2}) at fixed total size: quartering the per-rank data
+        // cuts per-rank work by 8x, so speedup exceeds the rank ratio —
+        // the flip side of the paper's decomposition caveat (machines
+        // with fewer ranks do more total work).
+        let m = Machine::get(MachineId::SprDdr);
+        let mut sig = ExecSignature::streaming("mm", 1_000_000);
+        sig.complexity = crate::signature::Complexity::NSqrtN;
+        sig.flops = 2.0 * (1_000_000f64).powf(1.5);
+        sig.cache_reuse = 0.9;
+        sig.flop_efficiency = 1.0;
+        let pts = strong_scaling(&m, &sig, &[14, 56]);
+        let last = pts.last().unwrap();
+        assert!(
+            last.speedup > 4.0 * 1.5,
+            "superlinear strong scaling expected: {last:?}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_is_flat_even_for_superlinear_work() {
+        // Weak scaling keeps the per-rank size constant, so each rank's
+        // O(N^{3/2}) work is also constant — communication (not modeled
+        // for this bare signature) is what degrades real weak scaling.
+        let m = Machine::get(MachineId::SprDdr);
+        let mut per_rank = ExecSignature::streaming("mm", 100_000);
+        per_rank.complexity = crate::signature::Complexity::NSqrtN;
+        per_rank.flops = 2.0 * (100_000f64).powf(1.5);
+        per_rank.cache_reuse = 0.9;
+        per_rank.flop_efficiency = 1.0;
+        let pts = weak_scaling(&m, &per_rank, &[1, 4, 16]);
+        for p in &pts {
+            assert!((p.efficiency - 1.0).abs() < 0.05, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn scaled_machine_preserves_per_rank_shares() {
+        let base = Machine::get(MachineId::SprDdr);
+        let half = scaled_machine(&base, 56);
+        assert!((half.bw_per_rank() - base.bw_per_rank()).abs() < 1.0);
+        assert_eq!(half.ranks, 56);
+    }
+}

@@ -1,0 +1,315 @@
+//! A simulated message-passing substrate (the suite's MPI stand-in).
+//!
+//! RAJAPerf's Comm group (HALO_PACKING, HALO_EXCHANGE, HALO_SENDRECV and the
+//! FUSED variants) exercises distributed-memory halo-exchange patterns:
+//! packing boundary elements into per-neighbour buffers, exchanging them
+//! with MPI point-to-point messages, and unpacking into ghost cells. The
+//! paper also runs the *whole* suite under MPI (112 ranks on the CPU
+//! systems, one rank per GPU on the others — Table III).
+//!
+//! This container has one core and no MPI, so this crate implements message
+//! passing over OS threads: [`run`] spawns one thread per rank, and each
+//! rank's [`Comm`] handle provides blocking send/recv with tag matching,
+//! non-blocking isend/irecv with [`Request`]s, barriers, and allreduce —
+//! the subset the halo kernels need. Per-rank traffic counters feed the
+//! performance model's communication-cost term (`latency + bytes/BW` per
+//! message), which is how the paper's "HALO kernels are dominated by MPI
+//! time" observation is reproduced.
+//!
+//! [`halo`] builds the 3-D domain-decomposition geometry: neighbour ranks
+//! and pack/unpack index lists for all 26 adjacencies of a box with ghost
+//! layers — the same lists RAJAPerf's halo kernels compute.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+pub mod halo;
+
+/// A tagged message in flight.
+#[derive(Debug)]
+struct Message {
+    src: usize,
+    tag: i32,
+    payload: Vec<f64>,
+}
+
+/// Per-rank traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub messages_sent: u64,
+    /// Total payload bytes sent by this rank.
+    pub bytes_sent: u64,
+}
+
+/// A rank's endpoint within a communicator.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// Sender to every rank (index = destination).
+    senders: Vec<Sender<Message>>,
+    /// This rank's inbox.
+    inbox: Receiver<Message>,
+    /// Out-of-order messages awaiting a matching recv.
+    pending: Vec<Message>,
+    barrier: Arc<Barrier>,
+    stats: CommStats,
+}
+
+/// Handle for a non-blocking operation, completed by [`Comm::wait`].
+#[derive(Debug)]
+pub enum Request {
+    /// A send; completes immediately (buffered sends, like `MPI_Ibsend`).
+    Send,
+    /// A receive of a message from `src` with matching `tag`.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: i32,
+    },
+}
+
+impl Comm {
+    /// This rank's id (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Blocking tagged send (buffered; cannot deadlock on itself).
+    pub fn send(&mut self, dest: usize, tag: i32, payload: &[f64]) {
+        assert!(dest < self.size, "send to invalid rank {dest}");
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += std::mem::size_of_val(payload) as u64;
+        self.senders[dest]
+            .send(Message {
+                src: self.rank,
+                tag,
+                payload: payload.to_vec(),
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking tagged receive from a specific source.
+    pub fn recv(&mut self, src: usize, tag: i32) -> Vec<f64> {
+        // Check messages that arrived earlier but did not match then.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            return self.pending.swap_remove(pos).payload;
+        }
+        loop {
+            let msg = self.inbox.recv().expect("peer rank hung up");
+            if msg.src == src && msg.tag == tag {
+                return msg.payload;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Non-blocking send (`MPI_Isend` with buffering).
+    pub fn isend(&mut self, dest: usize, tag: i32, payload: &[f64]) -> Request {
+        self.send(dest, tag, payload);
+        Request::Send
+    }
+
+    /// Post a non-blocking receive (`MPI_Irecv`); complete it with
+    /// [`Comm::wait`].
+    pub fn irecv(&mut self, src: usize, tag: i32) -> Request {
+        Request::Recv { src, tag }
+    }
+
+    /// Complete a request, returning the payload for receives.
+    pub fn wait(&mut self, req: Request) -> Option<Vec<f64>> {
+        match req {
+            Request::Send => None,
+            Request::Recv { src, tag } => Some(self.recv(src, tag)),
+        }
+    }
+
+    /// Complete a batch of requests, returning received payloads in request
+    /// order (`MPI_Waitall`).
+    pub fn wait_all(&mut self, reqs: Vec<Request>) -> Vec<Option<Vec<f64>>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Synchronize all ranks (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sum-allreduce a scalar across ranks (`MPI_Allreduce(..., MPI_SUM)`).
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        const REDUCE_TAG: i32 = -101;
+        if self.size == 1 {
+            return value;
+        }
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                acc += self.recv(src, REDUCE_TAG)[0];
+            }
+            for dest in 1..self.size {
+                self.send(dest, REDUCE_TAG + 1, &[acc]);
+            }
+            acc
+        } else {
+            self.send(0, REDUCE_TAG, &[value]);
+            self.recv(0, REDUCE_TAG + 1)[0]
+        }
+    }
+}
+
+/// Run `body` once per rank on `nranks` threads, collecting each rank's
+/// return value in rank order. This is the `mpirun -np N` equivalent.
+///
+/// # Panics
+/// Propagates a panic from any rank.
+pub fn run<T, F>(nranks: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    assert!(nranks > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(nranks));
+    let mut comms: Vec<Comm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Comm {
+            rank,
+            size: nranks,
+            senders: senders.clone(),
+            inbox,
+            pending: Vec::new(),
+            barrier: barrier.clone(),
+            stats: CommStats::default(),
+        })
+        .collect();
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for comm in comms.drain(..) {
+            let body = &body;
+            handles.push(scope.spawn(move || body(comm)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run(1, |comm| comm.rank() + comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_pass_delivers_in_rank_order() {
+        let n = 4;
+        let out = run(n, |mut comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, &[comm.rank() as f64]);
+            comm.recv(prev, 7)[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        let out = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0]);
+                comm.send(1, 2, &[2.0]);
+                0.0
+            } else {
+                // Receive in the opposite order they were sent.
+                let b = comm.recv(0, 2)[0];
+                let a = comm.recv(0, 1)[0];
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(out[1], 12.0);
+    }
+
+    #[test]
+    fn isend_irecv_waitall() {
+        let out = run(2, |mut comm| {
+            let peer = 1 - comm.rank();
+            let payload = vec![comm.rank() as f64; 8];
+            let s = comm.isend(peer, 0, &payload);
+            let r = comm.irecv(peer, 0);
+            let results = comm.wait_all(vec![s, r]);
+            results[1].as_ref().unwrap()[0]
+        });
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let out = run(5, |mut comm| comm.allreduce_sum(comm.rank() as f64 + 1.0));
+        assert!(out.iter().all(|&v| v == 15.0));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        run(4, |comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all arrivals.
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0.0; 10]);
+                comm.stats()
+            } else {
+                comm.recv(0, 0);
+                comm.stats()
+            }
+        });
+        assert_eq!(out[0].messages_sent, 1);
+        assert_eq!(out[0].bytes_sent, 80);
+        assert_eq!(out[1].messages_sent, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn send_to_invalid_rank_panics() {
+        // The offending rank panics with "send to invalid rank"; `run`
+        // surfaces that as a join failure.
+        run(1, |mut comm| comm.send(5, 0, &[1.0]));
+    }
+}

@@ -1,0 +1,105 @@
+//! `rajaperf-analyze`: Thicket-style analysis over a directory of
+//! `.cali.json` profiles — the command-line face of the paper's §II-D
+//! analysis workflow.
+//!
+//! ```text
+//! rajaperf-analyze <dir> [--groupby KEY] [--metric COLUMN] [--tree] [--csv]
+//! ```
+
+use thicket::{ProfileData, Stat, Thicket};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" {
+        eprintln!(
+            "usage: rajaperf-analyze <profile-dir> [--groupby KEY] [--metric COLUMN] [--tree] [--csv]"
+        );
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let dir = std::path::Path::new(&args[0]);
+    let mut groupby: Option<String> = None;
+    let mut metric = "avg#time.duration".to_string();
+    let mut show_tree = false;
+    let mut show_csv = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--groupby" => groupby = it.next().cloned(),
+            "--metric" => {
+                if let Some(m) = it.next() {
+                    metric = m.clone();
+                }
+            }
+            "--tree" => show_tree = true,
+            "--csv" => show_csv = true,
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Load every *.cali.json profile in the directory.
+    let mut profiles = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.to_string_lossy().ends_with(".cali.json") {
+            match ProfileData::read_file(&path) {
+                Ok(p) => profiles.push(p),
+                Err(e) => eprintln!("skipping {}: {e}", path.display()),
+            }
+        }
+    }
+    if profiles.is_empty() {
+        eprintln!("no .cali.json profiles found in {}", dir.display());
+        std::process::exit(1);
+    }
+    let mut tk = Thicket::from_profiles(&profiles);
+    println!(
+        "composed {} profiles, {} call-tree nodes, {} metric columns",
+        tk.profiles.len(),
+        tk.nodes.len(),
+        tk.column_names().len()
+    );
+
+    if let Some(key) = groupby {
+        println!("\ngroups by '{key}':");
+        for (value, sub) in tk.groupby(&key) {
+            println!("  {key}={value}: {} profiles", sub.profiles.len());
+        }
+    }
+
+    // Statsframe over the requested metric.
+    let mean = tk.stats(&metric, Stat::Mean);
+    let mn = tk.stats(&metric, Stat::Min);
+    let mx = tk.stats(&metric, Stat::Max);
+    println!("\n{:<40} {:>14} {:>14} {:>14}", "node", "mean", "min", "max");
+    for nid in 0..tk.nodes.len() {
+        let m = tk.stat_value(&mean, nid).unwrap_or(f64::NAN);
+        if m.is_nan() {
+            continue;
+        }
+        println!(
+            "{:<40} {:>14.6e} {:>14.6e} {:>14.6e}",
+            tk.nodes[nid].path.join("/"),
+            m,
+            tk.stat_value(&mn, nid).unwrap_or(f64::NAN),
+            tk.stat_value(&mx, nid).unwrap_or(f64::NAN),
+        );
+    }
+
+    if show_tree {
+        println!("\ncall tree ({metric}, mean over profiles):");
+        print!("{}", tk.tree(&metric));
+    }
+    if show_csv {
+        print!("{}", tk.to_csv());
+    }
+}

@@ -1,0 +1,76 @@
+//! The `rajaperf` command-line driver.
+//!
+//! Mirrors the upstream RAJAPerf executable: select kernels, a variant, a
+//! tuning, and problem sizing on the command line; run the suite; print the
+//! timing report; optionally emit Caliper profiles.
+//!
+//! ```text
+//! rajaperf --groups Stream --variant RAJA_Par --caliper runtime-report,output=stdout
+//! rajaperf --kernels Stream_TRIAD --size 8000000 --caliper 'spot(output=triad.cali.json)'
+//! rajaperf --list
+//! ```
+
+use suite::{run_suite, RunParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", RunParams::usage());
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        print_kernel_list();
+        return;
+    }
+    let checksums_mode = args.iter().any(|a| a == "--checksums");
+    let filtered: Vec<String> = args.into_iter().filter(|a| a != "--checksums").collect();
+    let params = match RunParams::parse(&filtered) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{}", RunParams::usage());
+            std::process::exit(2);
+        }
+    };
+    if checksums_mode {
+        // Validate every supported variant of the selection against the
+        // Base_Seq reference (upstream's checksum report).
+        let variants = kernels::VariantId::all();
+        let reports = suite::run_variants(&params, &variants);
+        let cr = suite::checksum_report(&reports);
+        print!("{}", cr.render());
+        if cr.all_pass() {
+            println!("ALL CHECKSUMS PASS");
+        } else {
+            println!("CHECKSUM FAILURES DETECTED");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let report = run_suite(&params);
+    print!("{}", report.render_timing());
+    for path in &report.outputs {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn print_kernel_list() {
+    println!(
+        "{:<28} {:<10} {:>12} {:>6}  {:<8} variants",
+        "Kernel", "Group", "DefaultSize", "Reps", "Complex."
+    );
+    for k in kernels::registry() {
+        let info = k.info();
+        let variants: Vec<&str> = info.variants.iter().map(|v| v.name()).collect();
+        println!(
+            "{:<28} {:<10} {:>12} {:>6}  {:<8} {}",
+            info.name,
+            info.group.name(),
+            info.default_size,
+            info.default_reps,
+            info.complexity.label(),
+            variants.join(",")
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The RAJAPerf-rs driver: run parameters, the suite executor, reports,
+//! and the Caliper/Adiak integration (paper §II-D).
+//!
+//! A single run executes a selection of kernels under one variant and one
+//! tuning (as upstream: "a single RAJAPerf run generates a Caliper profile
+//! containing one variant and one tuning"), annotates each kernel as a
+//! Caliper region with its analytic metrics attached, registers the run
+//! metadata through Adiak, and writes text/CSV reports plus the
+//! `.cali`-style JSON profile that `thicket` consumes.
+//!
+//! The [`simulate`] module produces the *hardware-metric* profiles for the
+//! four Table II machines — TMA tuples on the CPU systems, instruction
+//! roofline points on the GPU systems, and predicted execution times — the
+//! data behind Figs. 3–10.
+
+use kernels::VariantId;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+pub mod params;
+pub mod report;
+pub mod simulate;
+
+pub use params::{RunParams, Selection};
+pub use report::{ChecksumReport, SuiteReport, TimingEntry};
+
+/// Execute the suite described by `params`, producing a report and (if
+/// configured) Caliper output files.
+pub fn run_suite(params: &RunParams) -> SuiteReport {
+    let session = caliper::Session::new();
+    adiak::init();
+    adiak::value("variant", params.variant.name());
+    adiak::value("tuning", format!("block_{}", params.tuning.gpu_block_size));
+    adiak::value("size_factor", params.size_factor);
+    adiak::value_categorized("suite", "RAJAPerf-rs", adiak::Category::General);
+
+    let mut entries = Vec::new();
+    let _suite_region = session.region("RAJAPerf");
+    for kernel in params.selected_kernels() {
+        let info = kernel.info();
+        if !info.variants.contains(&params.variant) {
+            continue;
+        }
+        let n = params.problem_size(&info);
+        let reps = params.reps(&info);
+        let _group = session.region(info.group.name());
+        let region = session.region(info.name);
+        let result = kernel.execute(params.variant, n, reps, &params.tuning);
+        session.set_metric("ProblemSize", n as f64);
+        session.set_metric("Reps", reps as f64);
+        session.set_metric("Bytes/Rep", result.metrics.bytes_read + result.metrics.bytes_written);
+        session.set_metric("BytesRead/Rep", result.metrics.bytes_read);
+        session.set_metric("BytesWritten/Rep", result.metrics.bytes_written);
+        session.set_metric("Flops/Rep", result.metrics.flops);
+        session.set_metric("Checksum", result.checksum);
+        session.set_metric("Time/Rep", result.time_per_rep());
+        region.end();
+        entries.push(TimingEntry {
+            kernel: info.name.to_string(),
+            group: info.group.name().to_string(),
+            variant: params.variant,
+            problem_size: n,
+            reps,
+            result,
+        });
+    }
+    drop(_suite_region);
+
+    let mut outputs = Vec::new();
+    if let Some(spec) = &params.caliper_spec {
+        let mut cm = caliper::ConfigManager::new();
+        cm.add(spec);
+        if let Some(err) = cm.error() {
+            eprintln!("warning: {err}");
+        }
+        match cm.flush(&session) {
+            Ok(paths) => outputs.extend(paths),
+            Err(e) => eprintln!("warning: caliper flush failed: {e}"),
+        }
+    }
+
+    SuiteReport {
+        variant: params.variant,
+        entries,
+        profile: session.profile(),
+        outputs,
+    }
+}
+
+/// Run several variants (for cross-variant checksum validation and
+/// RAJA-overhead comparison), one profile per variant as upstream.
+pub fn run_variants(base: &RunParams, variants: &[VariantId]) -> Vec<SuiteReport> {
+    variants
+        .iter()
+        .map(|&v| {
+            let mut p = base.clone();
+            p.variant = v;
+            if let Some(spec) = &mut p.caliper_spec {
+                // Write one profile per variant.
+                *spec = spec.replace(".cali.json", &format!(".{}.cali.json", v.name()));
+            }
+            run_suite(&p)
+        })
+        .collect()
+}
+
+/// Compare checksums across the reports of [`run_variants`]; the first
+/// report is the reference.
+pub fn checksum_report(reports: &[SuiteReport]) -> ChecksumReport {
+    let mut rows = BTreeMap::new();
+    if reports.is_empty() {
+        return ChecksumReport { rows };
+    }
+    let reference: BTreeMap<&str, f64> = reports[0]
+        .entries
+        .iter()
+        .map(|e| (e.kernel.as_str(), e.result.checksum))
+        .collect();
+    for rep in reports {
+        for e in &rep.entries {
+            let rf = reference.get(e.kernel.as_str()).copied();
+            let row: &mut Vec<(VariantId, f64, bool)> =
+                rows.entry(e.kernel.clone()).or_default();
+            let ok = match rf {
+                Some(r) => kernels::common::close(e.result.checksum, r, 1e-8),
+                None => false,
+            };
+            row.push((e.variant, e.result.checksum, ok));
+        }
+    }
+    ChecksumReport { rows }
+}
+
+/// Run one kernel across a sweep of GPU block-size tunings under a device
+/// variant (the paper's §II-C "find optimal configurations ... by tuning
+/// various execution parameters, such as GPU thread-block sizes").
+/// Returns `(block_size, seconds-per-rep)` pairs in sweep order.
+pub fn run_tuning_sweep(
+    kernel_name: &str,
+    variant: VariantId,
+    n: usize,
+    reps: usize,
+    block_sizes: &[usize],
+) -> Vec<(usize, f64)> {
+    let kernel = kernels::find(kernel_name)
+        .unwrap_or_else(|| panic!("unknown kernel '{kernel_name}'"));
+    block_sizes
+        .iter()
+        .map(|&bs| {
+            let tuning = kernels::Tuning {
+                gpu_block_size: bs,
+            };
+            let r = kernel.execute(variant, n, reps, &tuning);
+            (bs, r.time_per_rep())
+        })
+        .collect()
+}
+
+impl SuiteReport {
+    /// Render the run as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "### RAJAPerf-rs run — variant `{}`\n\n\
+             | Kernel | Group | Size | Reps | Time/rep (s) | GB/s | GFLOP/s |\n\
+             |---|---|--:|--:|--:|--:|--:|\n",
+            self.variant.name()
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.3e} | {:.2} | {:.2} |
+",
+                e.kernel,
+                e.group,
+                e.problem_size,
+                e.reps,
+                e.result.time_per_rep(),
+                e.bandwidth() / 1e9,
+                e.flop_rate() / 1e9,
+            ));
+        }
+        out
+    }
+}
+
+/// Where experiment binaries write their outputs.
+pub fn experiment_dir() -> PathBuf {
+    let dir = std::env::var("RAJAPERF_EXPERIMENT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> RunParams {
+        RunParams {
+            selection: Selection::Kernels(vec![
+                "Stream_TRIAD".into(),
+                "Basic_DAXPY".into(),
+                "Algorithm_SCAN".into(),
+            ]),
+            explicit_size: Some(2000),
+            explicit_reps: Some(2),
+            ..RunParams::default()
+        }
+    }
+
+    #[test]
+    fn run_suite_produces_entries_and_profile() {
+        let report = run_suite(&small_params());
+        assert_eq!(report.entries.len(), 3);
+        // Profile has one record per kernel region (plus group/suite nodes).
+        let triad = report
+            .profile
+            .find("Stream_TRIAD")
+            .expect("TRIAD region recorded");
+        assert!(triad.metric("Flops/Rep").unwrap() > 0.0);
+        assert_eq!(triad.metric("Reps"), Some(2.0));
+        assert_eq!(report.profile.global_str("variant"), Some("Base_Seq"));
+    }
+
+    #[test]
+    fn variants_share_checksums() {
+        let p = small_params();
+        let reports = run_variants(
+            &p,
+            &[VariantId::BaseSeq, VariantId::RajaSeq, VariantId::RajaPar],
+        );
+        let cr = checksum_report(&reports);
+        assert_eq!(cr.rows.len(), 3);
+        assert!(cr.all_pass(), "{}", cr.render());
+    }
+
+    #[test]
+    fn timing_report_renders() {
+        let report = run_suite(&small_params());
+        let text = report.render_timing();
+        assert!(text.contains("Stream_TRIAD"));
+        assert!(text.contains("Base_Seq"));
+        let csv = report.to_csv();
+        assert!(csv.lines().count() >= 4, "header + 3 kernels");
+    }
+
+    #[test]
+    fn tuning_sweep_covers_all_block_sizes() {
+        let sweep = run_tuning_sweep(
+            "Stream_TRIAD",
+            VariantId::RajaSimGpu,
+            4096,
+            1,
+            &[64, 256, 1024],
+        );
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].0, 64);
+        assert!(sweep.iter().all(|&(_, t)| t > 0.0));
+    }
+
+    #[test]
+    fn markdown_report_renders_table() {
+        let report = run_suite(&small_params());
+        let md = report.to_markdown();
+        assert!(md.contains("| Kernel |"));
+        assert!(md.contains("| Stream_TRIAD |"));
+        // Header row + one data row per kernel.
+        assert_eq!(md.lines().filter(|l| l.starts_with("| ")).count(), 1 + 3);
+    }
+
+    #[test]
+    fn group_selection_runs_whole_group() {
+        let p = RunParams {
+            selection: Selection::Groups(vec!["Stream".into()]),
+            explicit_size: Some(1000),
+            explicit_reps: Some(1),
+            ..RunParams::default()
+        };
+        let report = run_suite(&p);
+        assert_eq!(report.entries.len(), 5, "five Stream kernels");
+    }
+}

@@ -1,0 +1,270 @@
+//! Run parameters and command-line parsing (the suite's "wide variety of
+//! command line options", §II-A).
+
+use kernels::{Feature, KernelBase, KernelInfo, Tuning, VariantId};
+
+/// Which kernels to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Every kernel in the registry.
+    All,
+    /// Kernels named explicitly (full `Group_KERNEL` names).
+    Kernels(Vec<String>),
+    /// Whole groups by name (`Stream`, `Basic`, ...).
+    Groups(Vec<String>),
+    /// Kernels exercising a RAJA feature (`sort`, `scan`, `reduction`,
+    /// `atomic`, `view`, `workgroup`, `mpi`).
+    Features(Vec<String>),
+}
+
+/// Parameters of one suite run (one variant, one tuning — one profile).
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Kernel selection.
+    pub selection: Selection,
+    /// Kernels to exclude by name.
+    pub exclude: Vec<String>,
+    /// Variant to run.
+    pub variant: VariantId,
+    /// GPU tuning.
+    pub tuning: Tuning,
+    /// Multiplier on each kernel's default problem size.
+    pub size_factor: f64,
+    /// Overrides the per-kernel default size entirely.
+    pub explicit_size: Option<usize>,
+    /// Multiplier on each kernel's default repetition count.
+    pub reps_factor: f64,
+    /// Overrides the per-kernel default reps entirely.
+    pub explicit_reps: Option<usize>,
+    /// Caliper ConfigManager spec (e.g. `spot(output=run.cali.json)`).
+    pub caliper_spec: Option<String>,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            selection: Selection::All,
+            exclude: Vec::new(),
+            variant: VariantId::BaseSeq,
+            tuning: Tuning::default(),
+            size_factor: 1.0,
+            explicit_size: None,
+            reps_factor: 1.0,
+            explicit_reps: None,
+            caliper_spec: None,
+        }
+    }
+}
+
+fn feature_matches(f: &Feature, name: &str) -> bool {
+    matches!(
+        (f, name),
+        (Feature::Sort, "sort")
+            | (Feature::Scan, "scan")
+            | (Feature::Reduction, "reduction")
+            | (Feature::Atomic, "atomic")
+            | (Feature::View, "view")
+            | (Feature::Forall, "forall")
+            | (Feature::Kernel, "kernel")
+            | (Feature::Workgroup, "workgroup")
+            | (Feature::Mpi, "mpi")
+    )
+}
+
+impl RunParams {
+    /// Kernels matched by the selection, in registry (Table I) order.
+    pub fn selected_kernels(&self) -> Vec<Box<dyn KernelBase>> {
+        kernels::registry()
+            .into_iter()
+            .filter(|k| {
+                let info = k.info();
+                let included = match &self.selection {
+                    Selection::All => true,
+                    Selection::Kernels(names) => names.iter().any(|n| n == info.name),
+                    Selection::Groups(groups) => {
+                        groups.iter().any(|g| g.eq_ignore_ascii_case(info.group.name()))
+                    }
+                    Selection::Features(feats) => feats.iter().any(|f| {
+                        info.features
+                            .iter()
+                            .any(|kf| feature_matches(kf, &f.to_ascii_lowercase()))
+                    }),
+                };
+                included && !self.exclude.iter().any(|n| n == info.name)
+            })
+            .collect()
+    }
+
+    /// Problem size for a kernel under these parameters.
+    pub fn problem_size(&self, info: &KernelInfo) -> usize {
+        match self.explicit_size {
+            Some(n) => n,
+            None => ((info.default_size as f64) * self.size_factor).max(1.0) as usize,
+        }
+    }
+
+    /// Repetition count for a kernel under these parameters.
+    pub fn reps(&self, info: &KernelInfo) -> usize {
+        match self.explicit_reps {
+            Some(r) => r.max(1),
+            None => ((info.default_reps as f64) * self.reps_factor).max(1.0) as usize,
+        }
+    }
+
+    /// Parse RAJAPerf-style command-line arguments.
+    ///
+    /// Supported options:
+    /// `--kernels k1,k2` · `--groups g1,g2` · `--features f1,f2` ·
+    /// `--exclude-kernels k1,k2` · `--variant NAME` · `--gpu-block-size N` ·
+    /// `--size N` · `--size-factor X` · `--reps N` · `--reps-factor X` ·
+    /// `--caliper SPEC`.
+    pub fn parse(args: &[String]) -> Result<RunParams, String> {
+        let mut p = RunParams::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--kernels" => {
+                    p.selection =
+                        Selection::Kernels(value("--kernels")?.split(',').map(str::to_string).collect())
+                }
+                "--groups" => {
+                    p.selection =
+                        Selection::Groups(value("--groups")?.split(',').map(str::to_string).collect())
+                }
+                "--features" => {
+                    p.selection = Selection::Features(
+                        value("--features")?.split(',').map(str::to_string).collect(),
+                    )
+                }
+                "--exclude-kernels" => {
+                    p.exclude = value("--exclude-kernels")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect()
+                }
+                "--variant" => {
+                    let v = value("--variant")?;
+                    p.variant = VariantId::parse(&v)
+                        .ok_or_else(|| format!("unknown variant '{v}'"))?;
+                }
+                "--gpu-block-size" => {
+                    p.tuning.gpu_block_size = value("--gpu-block-size")?
+                        .parse()
+                        .map_err(|e| format!("bad block size: {e}"))?;
+                }
+                "--size" => {
+                    p.explicit_size =
+                        Some(value("--size")?.parse().map_err(|e| format!("bad size: {e}"))?)
+                }
+                "--size-factor" => {
+                    p.size_factor = value("--size-factor")?
+                        .parse()
+                        .map_err(|e| format!("bad size factor: {e}"))?
+                }
+                "--reps" => {
+                    p.explicit_reps =
+                        Some(value("--reps")?.parse().map_err(|e| format!("bad reps: {e}"))?)
+                }
+                "--reps-factor" => {
+                    p.reps_factor = value("--reps-factor")?
+                        .parse()
+                        .map_err(|e| format!("bad reps factor: {e}"))?
+                }
+                "--caliper" => p.caliper_spec = Some(value("--caliper")?),
+                other => return Err(format!("unknown option '{other}' (try --help)")),
+            }
+        }
+        Ok(p)
+    }
+
+    /// Usage text for the CLI.
+    pub fn usage() -> &'static str {
+        "rajaperf [options]\n\
+         \n\
+         Kernel selection:\n\
+           --kernels NAME[,NAME...]     run specific kernels (Group_KERNEL names)\n\
+           --groups NAME[,NAME...]      run whole groups (Stream, Basic, Lcals, ...)\n\
+           --features F[,F...]          run kernels using a RAJA feature\n\
+                                        (sort scan reduction atomic view workgroup mpi)\n\
+           --exclude-kernels NAME[,..]  exclude kernels by name\n\
+         \n\
+         Execution:\n\
+           --variant NAME               Base_Seq | RAJA_Seq | Base_Par | RAJA_Par |\n\
+                                        Base_SimGpu | RAJA_SimGpu   (default Base_Seq)\n\
+           --gpu-block-size N           device block-size tuning (default 256)\n\
+           --size N                     problem size for every kernel\n\
+           --size-factor X              scale each kernel's default size\n\
+           --reps N / --reps-factor X   repetition control\n\
+         \n\
+         Output:\n\
+           --caliper SPEC               e.g. 'runtime-report,output=stdout' or\n\
+                                        'spot(output=run.cali.json)'\n\
+           --checksums                  run every variant and print the\n\
+                                        cross-variant checksum report\n\
+           --list                       list kernels and exit\n"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_selection_options() {
+        let p = RunParams::parse(&args("--kernels Stream_TRIAD,Basic_DAXPY")).unwrap();
+        assert_eq!(p.selected_kernels().len(), 2);
+        let p = RunParams::parse(&args("--groups Stream")).unwrap();
+        assert_eq!(p.selected_kernels().len(), 5);
+        let p = RunParams::parse(&args("--features sort")).unwrap();
+        assert_eq!(p.selected_kernels().len(), 2, "SORT and SORTPAIRS");
+    }
+
+    #[test]
+    fn parse_execution_options() {
+        let p = RunParams::parse(&args(
+            "--variant RAJA_SimGpu --gpu-block-size 128 --size 5000 --reps 3",
+        ))
+        .unwrap();
+        assert_eq!(p.variant, VariantId::RajaSimGpu);
+        assert_eq!(p.tuning.gpu_block_size, 128);
+        let info = kernels::find("Stream_ADD").unwrap().info();
+        assert_eq!(p.problem_size(&info), 5000);
+        assert_eq!(p.reps(&info), 3);
+    }
+
+    #[test]
+    fn size_and_reps_factors_scale_defaults() {
+        let p = RunParams::parse(&args("--size-factor 0.5 --reps-factor 2")).unwrap();
+        let info = kernels::find("Stream_ADD").unwrap().info();
+        assert_eq!(p.problem_size(&info), info.default_size / 2);
+        assert_eq!(p.reps(&info), info.default_reps * 2);
+    }
+
+    #[test]
+    fn exclusion_removes_kernels() {
+        let p = RunParams::parse(&args("--groups Stream --exclude-kernels Stream_DOT")).unwrap();
+        assert_eq!(p.selected_kernels().len(), 4);
+    }
+
+    #[test]
+    fn bad_options_are_reported() {
+        assert!(RunParams::parse(&args("--variant Nope")).is_err());
+        assert!(RunParams::parse(&args("--bogus")).is_err());
+        assert!(RunParams::parse(&args("--size")).is_err());
+    }
+
+    #[test]
+    fn all_selection_covers_registry() {
+        let p = RunParams::default();
+        assert_eq!(p.selected_kernels().len(), 76);
+    }
+}

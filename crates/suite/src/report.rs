@@ -1,0 +1,203 @@
+//! Suite run reports: timing tables, CSV, and cross-variant checksum
+//! validation — the "various text-based files" RAJAPerf generates (§II-A).
+
+use kernels::{RunResult, VariantId};
+use std::collections::BTreeMap;
+
+/// One kernel execution within a suite run.
+#[derive(Debug, Clone)]
+pub struct TimingEntry {
+    /// Full kernel name.
+    pub kernel: String,
+    /// Group name.
+    pub group: String,
+    /// Variant executed.
+    pub variant: VariantId,
+    /// Problem size used.
+    pub problem_size: usize,
+    /// Repetitions executed.
+    pub reps: usize,
+    /// Execution result.
+    pub result: RunResult,
+}
+
+impl TimingEntry {
+    /// Achieved memory bandwidth, B/s.
+    pub fn bandwidth(&self) -> f64 {
+        let t = self.result.time_per_rep();
+        if t > 0.0 {
+            (self.result.metrics.bytes_read + self.result.metrics.bytes_written) / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved FLOP rate, FLOP/s.
+    pub fn flop_rate(&self) -> f64 {
+        let t = self.result.time_per_rep();
+        if t > 0.0 {
+            self.result.metrics.flops / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The result of one suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Variant this run executed.
+    pub variant: VariantId,
+    /// Per-kernel results in execution order.
+    pub entries: Vec<TimingEntry>,
+    /// The Caliper profile of the run.
+    pub profile: caliper::Profile,
+    /// Files written by the configured Caliper outputs.
+    pub outputs: Vec<std::path::PathBuf>,
+}
+
+impl SuiteReport {
+    /// Render the RunTimes-style text table.
+    pub fn render_timing(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Variant: {}\n", self.variant.name()));
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>6} {:>14} {:>14} {:>14}\n",
+            "Kernel", "Size", "Reps", "Time/rep (s)", "GB/s", "GFLOP/s"
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>6} {:>14.6e} {:>14.3} {:>14.3}\n",
+                e.kernel,
+                e.problem_size,
+                e.reps,
+                e.result.time_per_rep(),
+                e.bandwidth() / 1e9,
+                e.flop_rate() / 1e9,
+            ));
+        }
+        out
+    }
+
+    /// Serialize the run as CSV (`kernel,group,variant,size,reps,time_s,
+    /// bytes,flops,checksum`).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("kernel,group,variant,size,reps,time_per_rep_s,bytes_per_rep,flops_per_rep,checksum\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:e},{:e},{:e},{:e}\n",
+                e.kernel,
+                e.group,
+                e.variant.name(),
+                e.problem_size,
+                e.reps,
+                e.result.time_per_rep(),
+                e.result.metrics.bytes_read + e.result.metrics.bytes_written,
+                e.result.metrics.flops,
+                e.result.checksum,
+            ));
+        }
+        out
+    }
+
+    /// Look up a kernel's entry.
+    pub fn entry(&self, kernel: &str) -> Option<&TimingEntry> {
+        self.entries.iter().find(|e| e.kernel == kernel)
+    }
+}
+
+/// Cross-variant checksum validation table.
+#[derive(Debug, Clone)]
+pub struct ChecksumReport {
+    /// kernel → per-variant (variant, checksum, agrees-with-reference).
+    pub rows: BTreeMap<String, Vec<(VariantId, f64, bool)>>,
+}
+
+impl ChecksumReport {
+    /// True when every variant of every kernel matched the reference.
+    pub fn all_pass(&self) -> bool {
+        self.rows
+            .values()
+            .all(|row| row.iter().all(|(_, _, ok)| *ok))
+    }
+
+    /// Render the checksum table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Checksum report (reference = first variant)\n");
+        for (kernel, row) in &self.rows {
+            out.push_str(&format!("{kernel}\n"));
+            for (v, cs, ok) in row {
+                out.push_str(&format!(
+                    "    {:<12} {:>24.12e}  {}\n",
+                    v.name(),
+                    cs,
+                    if *ok { "PASS" } else { "FAIL" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernels::AnalyticMetrics;
+    use std::time::Duration;
+
+    fn entry(kernel: &str, time_s: f64) -> TimingEntry {
+        TimingEntry {
+            kernel: kernel.to_string(),
+            group: "Stream".to_string(),
+            variant: VariantId::BaseSeq,
+            problem_size: 1000,
+            reps: 2,
+            result: RunResult {
+                checksum: 1.0,
+                time: Duration::from_secs_f64(time_s),
+                reps: 2,
+                metrics: AnalyticMetrics {
+                    bytes_read: 16_000.0,
+                    bytes_written: 8_000.0,
+                    flops: 2_000.0,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn bandwidth_and_flop_rate() {
+        let e = entry("Stream_TRIAD", 2.0); // 1 s/rep
+        assert!((e.bandwidth() - 24_000.0).abs() < 1e-9);
+        assert!((e.flop_rate() - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_entry() {
+        let report = SuiteReport {
+            variant: VariantId::BaseSeq,
+            entries: vec![entry("A", 1.0), entry("B", 1.0)],
+            profile: caliper::Profile::default(),
+            outputs: vec![],
+        };
+        assert_eq!(report.to_csv().lines().count(), 3);
+        assert!(report.entry("A").is_some());
+        assert!(report.entry("C").is_none());
+    }
+
+    #[test]
+    fn checksum_report_detects_failures() {
+        let mut rows = BTreeMap::new();
+        rows.insert(
+            "K".to_string(),
+            vec![
+                (VariantId::BaseSeq, 1.0, true),
+                (VariantId::RajaSeq, 2.0, false),
+            ],
+        );
+        let cr = ChecksumReport { rows };
+        assert!(!cr.all_pass());
+        assert!(cr.render().contains("FAIL"));
+    }
+}

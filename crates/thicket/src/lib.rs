@@ -1,0 +1,673 @@
+//! Thicket-style exploratory data analysis for multi-run performance data.
+//!
+//! [Thicket](https://github.com/llnl/thicket) is LLNL's Python toolkit for
+//! composing and analyzing performance profiles from many runs. Its data
+//! model has three components (paper §II-D): a *performance dataframe* of
+//! metrics indexed by (call-tree node, profile); a *metadata table* of
+//! per-run build/execution context; and a *statsframe* of aggregated
+//! statistics per node. This crate reproduces that model over the profiles
+//! our `caliper` crate writes:
+//!
+//! * [`Thicket::from_profiles`] — the `from_caliperreader` equivalent:
+//!   ingest many profiles, merging their call trees.
+//! * [`Thicket::concat`] — `concat_thickets`: compose thickets from
+//!   different runs/configurations into one.
+//! * [`Thicket::filter_metadata`] / [`Thicket::groupby`] — select or
+//!   partition profiles by metadata (e.g. by `variant` and `tuning`, as the
+//!   paper's analysis does).
+//! * [`Thicket::stats`] — aggregate a metric across profiles per node
+//!   (mean/median/std/min/max) into the statsframe.
+//! * [`Thicket::tree`] — text rendering of the call tree annotated with a
+//!   metric, Thicket/Hatchet's `tree()`.
+//!
+//! The dataframe is column-oriented over `f64` metrics, which is what every
+//! analysis in the paper consumes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node of the unified call graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Full call path from the root.
+    pub path: Vec<String>,
+}
+
+impl Node {
+    /// The node's own (leaf) name.
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Row identity in the performance dataframe: (node, profile).
+pub type RowKey = (usize, usize);
+
+/// The Thicket: call graph + performance dataframe + metadata + statsframe.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Thicket {
+    /// Unified call-graph nodes; `node id` = index.
+    pub nodes: Vec<Node>,
+    /// Profile ids, in ingestion order. Values are opaque labels.
+    pub profiles: Vec<usize>,
+    /// Metric columns: name → (row key → value). Sparse: a profile that
+    /// never visited a node simply has no entry.
+    pub columns: BTreeMap<String, BTreeMap<RowKey, f64>>,
+    /// Per-profile metadata (from profile globals): profile → key → value.
+    pub metadata: BTreeMap<usize, BTreeMap<String, serde_json::Value>>,
+    /// Aggregated statistics per node: column → node → value. Filled by
+    /// [`Thicket::stats`].
+    pub statsframe: BTreeMap<String, BTreeMap<usize, f64>>,
+}
+
+/// Statistics produced by [`Thicket::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stat {
+    /// Arithmetic mean.
+    Mean,
+    /// Median (average of middle two for even counts).
+    Median,
+    /// Population standard deviation.
+    Std,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Linear-interpolated percentile, `0.0..=1.0` (Thicket exposes
+    /// quartiles through its `calc_*_columns` helpers).
+    Percentile(f64),
+}
+
+impl Stat {
+    fn name(&self) -> String {
+        match self {
+            Stat::Mean => "mean".to_string(),
+            Stat::Median => "median".to_string(),
+            Stat::Std => "std".to_string(),
+            Stat::Min => "min".to_string(),
+            Stat::Max => "max".to_string(),
+            Stat::Percentile(q) => format!("p{:02.0}", q * 100.0),
+        }
+    }
+
+    fn apply(&self, values: &mut Vec<f64>) -> f64 {
+        if values.is_empty() {
+            return f64::NAN;
+        }
+        match self {
+            Stat::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            Stat::Median => Stat::Percentile(0.5).apply(values),
+            Stat::Std => {
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64)
+                    .sqrt()
+            }
+            Stat::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
+            Stat::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            Stat::Percentile(q) => {
+                values.sort_by(f64::total_cmp);
+                let q = q.clamp(0.0, 1.0);
+                let pos = q * (values.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                if lo == hi {
+                    values[lo]
+                } else {
+                    let frac = pos - lo as f64;
+                    values[lo] * (1.0 - frac) + values[hi] * frac
+                }
+            }
+        }
+    }
+}
+
+/// Minimal profile shape consumed by [`Thicket::from_profiles`]; matches
+/// `caliper::Profile` structurally (kept independent so `thicket` does not
+/// depend on `caliper`, mirroring Thicket reading `.cali` files on disk).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProfileData {
+    /// Run metadata.
+    pub globals: BTreeMap<String, serde_json::Value>,
+    /// (call path, metric columns) records.
+    pub records: Vec<(Vec<String>, BTreeMap<String, f64>)>,
+}
+
+impl ProfileData {
+    /// Parse a caliper-JSON profile (`{"globals": .., "records": [{"path":
+    /// .., "metrics": ..}]}`).
+    pub fn from_caliper_json(text: &str) -> Result<ProfileData, serde_json::Error> {
+        #[derive(Deserialize)]
+        struct Rec {
+            path: Vec<String>,
+            metrics: BTreeMap<String, f64>,
+        }
+        #[derive(Deserialize)]
+        struct Prof {
+            globals: BTreeMap<String, serde_json::Value>,
+            records: Vec<Rec>,
+        }
+        let p: Prof = serde_json::from_str(text)?;
+        Ok(ProfileData {
+            globals: p.globals,
+            records: p.records.into_iter().map(|r| (r.path, r.metrics)).collect(),
+        })
+    }
+
+    /// Read a caliper-JSON profile file.
+    pub fn read_file(path: &std::path::Path) -> std::io::Result<ProfileData> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_caliper_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl Thicket {
+    /// Ingest profiles, unioning their call trees. Each profile gets the
+    /// next free profile id.
+    pub fn from_profiles(profiles: &[ProfileData]) -> Thicket {
+        let mut t = Thicket::default();
+        for p in profiles {
+            t.ingest(p);
+        }
+        t
+    }
+
+    /// Add one profile to this thicket.
+    pub fn ingest(&mut self, p: &ProfileData) {
+        let pid = self.profiles.iter().copied().max().map_or(0, |m| m + 1);
+        self.profiles.push(pid);
+        self.metadata.insert(pid, p.globals.clone());
+        for (path, metrics) in &p.records {
+            let nid = self.node_id_or_insert(path);
+            for (col, &val) in metrics {
+                self.columns
+                    .entry(col.clone())
+                    .or_default()
+                    .insert((nid, pid), val);
+            }
+        }
+    }
+
+    fn node_id_or_insert(&mut self, path: &[String]) -> usize {
+        if let Some(i) = self.nodes.iter().position(|n| n.path == path) {
+            i
+        } else {
+            self.nodes.push(Node {
+                path: path.to_vec(),
+            });
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Node id of a call path, if present.
+    pub fn node_id(&self, path: &[&str]) -> Option<usize> {
+        self.nodes.iter().position(|n| {
+            n.path.len() == path.len() && n.path.iter().zip(path).all(|(a, b)| a == b)
+        })
+    }
+
+    /// Node id by leaf name (first match).
+    pub fn node_by_name(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name() == name)
+    }
+
+    /// Metric value at (node, profile).
+    pub fn value(&self, column: &str, node: usize, profile: usize) -> Option<f64> {
+        self.columns.get(column)?.get(&(node, profile)).copied()
+    }
+
+    /// All values of `column` at `node` across profiles (profile order).
+    pub fn node_values(&self, column: &str, node: usize) -> Vec<(usize, f64)> {
+        let Some(col) = self.columns.get(column) else {
+            return Vec::new();
+        };
+        self.profiles
+            .iter()
+            .filter_map(|&p| col.get(&(node, p)).map(|&v| (p, v)))
+            .collect()
+    }
+
+    /// Compose thickets into one (Thicket's `concat_thickets`): profiles are
+    /// renumbered; call trees are unioned.
+    pub fn concat(thickets: &[Thicket]) -> Thicket {
+        let mut out = Thicket::default();
+        for t in thickets {
+            for &pid in &t.profiles {
+                let new_pid = out.profiles.iter().copied().max().map_or(0, |m| m + 1);
+                out.profiles.push(new_pid);
+                if let Some(md) = t.metadata.get(&pid) {
+                    out.metadata.insert(new_pid, md.clone());
+                }
+                for node in &t.nodes {
+                    let old_nid = t.node_id(&node.path.iter().map(String::as_str).collect::<Vec<_>>()).expect("own node");
+                    let new_nid = out.node_id_or_insert(&node.path);
+                    for (col, data) in &t.columns {
+                        if let Some(&v) = data.get(&(old_nid, pid)) {
+                            out.columns
+                                .entry(col.clone())
+                                .or_default()
+                                .insert((new_nid, new_pid), v);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Keep only profiles whose metadata satisfies `pred` (Thicket's
+    /// `filter_metadata`). Node set is preserved; orphaned values dropped.
+    pub fn filter_metadata(&self, pred: impl Fn(&BTreeMap<String, serde_json::Value>) -> bool) -> Thicket {
+        let keep: Vec<usize> = self
+            .profiles
+            .iter()
+            .copied()
+            .filter(|p| self.metadata.get(p).map(&pred).unwrap_or(false))
+            .collect();
+        let mut out = Thicket {
+            nodes: self.nodes.clone(),
+            profiles: keep.clone(),
+            ..Default::default()
+        };
+        for &p in &keep {
+            if let Some(md) = self.metadata.get(&p) {
+                out.metadata.insert(p, md.clone());
+            }
+        }
+        for (col, data) in &self.columns {
+            let filtered: BTreeMap<RowKey, f64> = data
+                .iter()
+                .filter(|((_, p), _)| keep.contains(p))
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            if !filtered.is_empty() {
+                out.columns.insert(col.clone(), filtered);
+            }
+        }
+        out
+    }
+
+    /// Partition profiles by the string value of a metadata key (Thicket's
+    /// `groupby`). Profiles missing the key are dropped. Groups are returned
+    /// in sorted key order.
+    pub fn groupby(&self, key: &str) -> Vec<(String, Thicket)> {
+        let mut values: Vec<String> = self
+            .profiles
+            .iter()
+            .filter_map(|p| self.metadata.get(p))
+            .filter_map(|md| md.get(key))
+            .map(json_to_string)
+            .collect();
+        values.sort();
+        values.dedup();
+        values
+            .into_iter()
+            .map(|v| {
+                let group = self.filter_metadata(|md| {
+                    md.get(key).map(json_to_string).as_deref() == Some(v.as_str())
+                });
+                (v, group)
+            })
+            .collect()
+    }
+
+    /// Aggregate `column` across profiles for every node, storing the result
+    /// in the statsframe as `"<column>_<stat>"` and returning the column
+    /// name. NaN is stored for nodes with no observations.
+    pub fn stats(&mut self, column: &str, stat: Stat) -> String {
+        let out_name = format!("{column}_{}", stat.name());
+        let mut result = BTreeMap::new();
+        for nid in 0..self.nodes.len() {
+            let mut vals: Vec<f64> = self
+                .node_values(column, nid)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            result.insert(nid, stat.apply(&mut vals));
+        }
+        self.statsframe.insert(out_name.clone(), result);
+        out_name
+    }
+
+    /// A statsframe value.
+    pub fn stat_value(&self, stat_column: &str, node: usize) -> Option<f64> {
+        self.statsframe.get(stat_column)?.get(&node).copied()
+    }
+
+    /// Render the call tree annotated with a metric column's mean across
+    /// profiles (Hatchet/Thicket `tree()`).
+    pub fn tree(&self, column: &str) -> String {
+        // Order nodes by path for a stable depth-first-looking listing.
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by(|&a, &b| self.nodes[a].path.cmp(&self.nodes[b].path));
+        let mut out = String::new();
+        for nid in order {
+            let node = &self.nodes[nid];
+            let vals = self.node_values(column, nid);
+            let mean = if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().map(|(_, v)| v).sum::<f64>() / vals.len() as f64
+            };
+            let indent = "  ".repeat(node.path.len().saturating_sub(1));
+            out.push_str(&format!("{mean:12.6} {indent}{}\n", node.name()));
+        }
+        out
+    }
+
+    /// Nodes whose leaf name contains `pattern` (a simple Hatchet-style
+    /// query on the call graph).
+    pub fn query_nodes(&self, pattern: &str) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].name().contains(pattern))
+            .collect()
+    }
+
+    /// Keep only the sub-thicket of nodes matching `pattern` (the query
+    /// counterpart of [`Thicket::filter_metadata`]).
+    pub fn filter_nodes(&self, pattern: &str) -> Thicket {
+        let keep = self.query_nodes(pattern);
+        let mut out = Thicket {
+            profiles: self.profiles.clone(),
+            metadata: self.metadata.clone(),
+            ..Default::default()
+        };
+        let mut remap = std::collections::BTreeMap::new();
+        for &nid in &keep {
+            remap.insert(nid, out.nodes.len());
+            out.nodes.push(self.nodes[nid].clone());
+        }
+        for (col, data) in &self.columns {
+            let filtered: BTreeMap<RowKey, f64> = data
+                .iter()
+                .filter_map(|(&(n, p), &v)| remap.get(&n).map(|&nn| ((nn, p), v)))
+                .collect();
+            if !filtered.is_empty() {
+                out.columns.insert(col.clone(), filtered);
+            }
+        }
+        out
+    }
+
+    /// Names of every metric column.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.keys().map(String::as_str).collect()
+    }
+
+    /// Serialize the performance dataframe as CSV: one row per
+    /// (node, profile) with every metric column.
+    pub fn to_csv(&self) -> String {
+        let cols: Vec<&String> = self.columns.keys().collect();
+        let mut out = String::from("node,profile");
+        for c in &cols {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (nid, node) in self.nodes.iter().enumerate() {
+            for &pid in &self.profiles {
+                let has_data = cols
+                    .iter()
+                    .any(|c| self.columns[*c].contains_key(&(nid, pid)));
+                if !has_data {
+                    continue;
+                }
+                out.push_str(&format!("{},{}", node.path.join("/"), pid));
+                for c in &cols {
+                    out.push(',');
+                    if let Some(v) = self.columns[*c].get(&(nid, pid)) {
+                        out.push_str(&format!("{v:e}"));
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Render a text heatmap of `column` over nodes × profiles (Thicket's
+    /// `display_heatmap`): each cell is a shade from '.' (minimum) to '#'
+    /// (maximum), normalized per node so cross-profile differences stand
+    /// out. Nodes without data are skipped.
+    pub fn heatmap(&self, column: &str) -> String {
+        const SHADES: &[u8] = b".:-=+*%#";
+        let mut out = format!("heatmap of {column} (columns = profiles {:?})\n", self.profiles);
+        for nid in 0..self.nodes.len() {
+            let vals = self.node_values(column, nid);
+            if vals.is_empty() {
+                continue;
+            }
+            let lo = vals.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+            let mut cells = String::new();
+            for &p in &self.profiles {
+                match self.value(column, nid, p) {
+                    Some(v) => {
+                        let frac = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+                        let idx = (frac * (SHADES.len() - 1) as f64).round() as usize;
+                        cells.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+                    }
+                    None => cells.push(' '),
+                }
+            }
+            out.push_str(&format!("{cells}  {}\n", self.nodes[nid].path.join("/")));
+        }
+        out
+    }
+
+    /// Number of (node, profile) rows carrying at least one metric.
+    pub fn row_count(&self) -> usize {
+        let mut rows: std::collections::HashSet<RowKey> = std::collections::HashSet::new();
+        for data in self.columns.values() {
+            rows.extend(data.keys().copied());
+        }
+        rows.len()
+    }
+}
+
+fn json_to_string(v: &serde_json::Value) -> String {
+    match v {
+        serde_json::Value::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(variant: &str, kernel_time: f64) -> ProfileData {
+        let mut globals = BTreeMap::new();
+        globals.insert("variant".to_string(), serde_json::json!(variant));
+        let mut metrics = BTreeMap::new();
+        metrics.insert("avg#time.duration".to_string(), kernel_time);
+        metrics.insert("Bytes/Rep".to_string(), 100.0);
+        ProfileData {
+            globals,
+            records: vec![
+                (vec!["RAJAPerf".into()], BTreeMap::new()),
+                (vec!["RAJAPerf".into(), "TRIAD".into()], metrics),
+            ],
+        }
+    }
+
+    #[test]
+    fn ingest_builds_nodes_and_columns() {
+        let t = Thicket::from_profiles(&[profile("RAJA_Seq", 1.0), profile("Base_Seq", 2.0)]);
+        assert_eq!(t.profiles.len(), 2);
+        assert_eq!(t.nodes.len(), 2, "shared call tree is unioned");
+        let nid = t.node_by_name("TRIAD").unwrap();
+        assert_eq!(t.value("avg#time.duration", nid, 0), Some(1.0));
+        assert_eq!(t.value("avg#time.duration", nid, 1), Some(2.0));
+    }
+
+    #[test]
+    fn node_lookup_by_path() {
+        let t = Thicket::from_profiles(&[profile("v", 1.0)]);
+        assert!(t.node_id(&["RAJAPerf", "TRIAD"]).is_some());
+        assert!(t.node_id(&["TRIAD"]).is_none(), "path must match fully");
+    }
+
+    #[test]
+    fn concat_renumbers_profiles() {
+        let a = Thicket::from_profiles(&[profile("A", 1.0)]);
+        let b = Thicket::from_profiles(&[profile("B", 2.0)]);
+        let c = Thicket::concat(&[a, b]);
+        assert_eq!(c.profiles, vec![0, 1]);
+        let nid = c.node_by_name("TRIAD").unwrap();
+        assert_eq!(c.value("avg#time.duration", nid, 0), Some(1.0));
+        assert_eq!(c.value("avg#time.duration", nid, 1), Some(2.0));
+        assert_eq!(
+            c.metadata[&1]["variant"],
+            serde_json::json!("B"),
+            "metadata follows renumbered profile"
+        );
+    }
+
+    #[test]
+    fn filter_metadata_selects_profiles() {
+        let t = Thicket::from_profiles(&[
+            profile("RAJA_Seq", 1.0),
+            profile("Base_Seq", 2.0),
+            profile("RAJA_Seq", 3.0),
+        ]);
+        let f = t.filter_metadata(|md| md["variant"] == serde_json::json!("RAJA_Seq"));
+        assert_eq!(f.profiles.len(), 2);
+        let nid = f.node_by_name("TRIAD").unwrap();
+        assert_eq!(f.value("avg#time.duration", nid, 1), None, "dropped");
+        assert_eq!(f.value("avg#time.duration", nid, 2), Some(3.0));
+    }
+
+    #[test]
+    fn groupby_partitions_by_variant() {
+        let t = Thicket::from_profiles(&[
+            profile("RAJA_Seq", 1.0),
+            profile("Base_Seq", 2.0),
+            profile("RAJA_Seq", 3.0),
+        ]);
+        let groups = t.groupby("variant");
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "Base_Seq");
+        assert_eq!(groups[0].1.profiles.len(), 1);
+        assert_eq!(groups[1].0, "RAJA_Seq");
+        assert_eq!(groups[1].1.profiles.len(), 2);
+    }
+
+    #[test]
+    fn stats_aggregate_across_profiles() {
+        let mut t = Thicket::from_profiles(&[
+            profile("a", 1.0),
+            profile("b", 2.0),
+            profile("c", 6.0),
+        ]);
+        let nid = t.node_by_name("TRIAD").unwrap();
+        let mean_col = t.stats("avg#time.duration", Stat::Mean);
+        assert_eq!(t.stat_value(&mean_col, nid), Some(3.0));
+        let med_col = t.stats("avg#time.duration", Stat::Median);
+        assert_eq!(t.stat_value(&med_col, nid), Some(2.0));
+        let min_col = t.stats("avg#time.duration", Stat::Min);
+        assert_eq!(t.stat_value(&min_col, nid), Some(1.0));
+        let max_col = t.stats("avg#time.duration", Stat::Max);
+        assert_eq!(t.stat_value(&max_col, nid), Some(6.0));
+        let std_col = t.stats("avg#time.duration", Stat::Std);
+        let expected_std = ((4.0 + 1.0 + 9.0) / 3.0f64).sqrt();
+        assert!((t.stat_value(&std_col, nid).unwrap() - expected_std).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_missing_data_is_nan() {
+        let mut t = Thicket::from_profiles(&[profile("a", 1.0)]);
+        let root = t.node_by_name("RAJAPerf").unwrap();
+        let col = t.stats("avg#time.duration", Stat::Mean);
+        assert!(t.stat_value(&col, root).unwrap().is_nan());
+    }
+
+    #[test]
+    fn caliper_json_parses() {
+        let text = r#"{
+            "globals": {"variant": "RAJA_Seq"},
+            "records": [
+                {"path": ["RAJAPerf", "ADD"], "metrics": {"count": 3.0}}
+            ]
+        }"#;
+        let p = ProfileData::from_caliper_json(text).unwrap();
+        assert_eq!(p.globals["variant"], serde_json::json!("RAJA_Seq"));
+        assert_eq!(p.records.len(), 1);
+        let t = Thicket::from_profiles(&[p]);
+        let nid = t.node_by_name("ADD").unwrap();
+        assert_eq!(t.value("count", nid, 0), Some(3.0));
+    }
+
+    #[test]
+    fn tree_renders_hierarchy() {
+        let t = Thicket::from_profiles(&[profile("v", 1.5)]);
+        let text = t.tree("avg#time.duration");
+        assert!(text.contains("RAJAPerf"));
+        assert!(text.contains("TRIAD"));
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn percentile_stat_interpolates() {
+        let mut t = Thicket::from_profiles(&[
+            profile("a", 1.0),
+            profile("b", 2.0),
+            profile("c", 3.0),
+            profile("d", 4.0),
+        ]);
+        let nid = t.node_by_name("TRIAD").unwrap();
+        let p25 = t.stats("avg#time.duration", Stat::Percentile(0.25));
+        assert!((t.stat_value(&p25, nid).unwrap() - 1.75).abs() < 1e-12);
+        let p100 = t.stats("avg#time.duration", Stat::Percentile(1.0));
+        assert_eq!(t.stat_value(&p100, nid), Some(4.0));
+    }
+
+    #[test]
+    fn query_and_filter_nodes() {
+        let t = Thicket::from_profiles(&[profile("v", 1.0)]);
+        assert_eq!(t.query_nodes("TRIAD").len(), 1);
+        assert_eq!(t.query_nodes("RAJA").len(), 1, "matches the root node");
+        let f = t.filter_nodes("TRIAD");
+        assert_eq!(f.nodes.len(), 1);
+        assert_eq!(f.value("avg#time.duration", 0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn csv_export_has_rows_and_columns() {
+        let t = Thicket::from_profiles(&[profile("a", 1.0), profile("b", 2.0)]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("node,profile"));
+        assert!(header.contains("avg#time.duration"));
+        // Only the TRIAD node carries metrics: 2 data rows.
+        assert_eq!(lines.count(), 2);
+        assert!(!t.column_names().is_empty());
+    }
+
+    #[test]
+    fn corrupt_profile_json_is_an_error_not_a_panic() {
+        assert!(ProfileData::from_caliper_json("{not json").is_err());
+        assert!(ProfileData::from_caliper_json(r#"{"globals": {}}"#).is_err());
+        let missing = std::path::Path::new("/nonexistent/profile.cali.json");
+        assert!(ProfileData::read_file(missing).is_err());
+    }
+
+    #[test]
+    fn heatmap_shades_extremes() {
+        let t = Thicket::from_profiles(&[profile("a", 1.0), profile("b", 9.0)]);
+        let hm = t.heatmap("avg#time.duration");
+        // The TRIAD row has a min cell '.' and a max cell '#'.
+        let row = hm.lines().find(|l| l.contains("TRIAD")).unwrap();
+        assert!(row.starts_with(".#"), "{row}");
+        // Root node has no data for the column: skipped entirely.
+        assert!(!hm.contains("RAJAPerf\n") || hm.lines().count() >= 2);
+    }
+
+    #[test]
+    fn row_count_counts_touched_rows() {
+        let t = Thicket::from_profiles(&[profile("a", 1.0), profile("b", 2.0)]);
+        // Root has no metrics; TRIAD × 2 profiles = 2 rows.
+        assert_eq!(t.row_count(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Halo exchange: drive the Comm substrate directly — build a 3-D ghosted
+//! grid, run a full pack/exchange/unpack cycle over simulated MPI ranks,
+//! and verify every ghost cell received its neighbour's data.
+//!
+//! ```text
+//! cargo run --release --example halo_exchange
+//! ```
+
+use simcomm::halo::{HaloGeometry, RankDecomp};
+
+fn main() {
+    let decomp = RankDecomp::new([2, 1, 1]);
+    let extent = [8, 8, 8];
+    println!(
+        "running a 26-direction halo exchange on {} ranks, {}^3 owned cells each",
+        decomp.size(),
+        extent[0]
+    );
+
+    let filled = simcomm::run(decomp.size(), |mut comm| {
+        let g = HaloGeometry::new(extent, 1);
+        let mut grid = vec![f64::NAN; g.total_cells()];
+        for z in 0..extent[2] {
+            for y in 0..extent[1] {
+                for x in 0..extent[0] {
+                    grid[g.owned_index(x, y, z)] = comm.rank() as f64 + 1.0;
+                }
+            }
+        }
+        // Post receives, send the opposite-direction packs, unpack.
+        let reqs: Vec<_> = (0..g.exchanges.len())
+            .map(|tag| {
+                let nbr = decomp.neighbor(comm.rank(), g.exchanges[tag].offset);
+                comm.irecv(nbr, tag as i32)
+            })
+            .collect();
+        for (tag, e) in g.exchanges.iter().enumerate() {
+            let nbr = decomp.neighbor(comm.rank(), e.offset);
+            let opp = [-e.offset[0], -e.offset[1], -e.offset[2]];
+            let src = g.exchanges.iter().find(|x| x.offset == opp).unwrap();
+            let buf: Vec<f64> = src.pack_list.iter().map(|&i| grid[i]).collect();
+            comm.isend(nbr, tag as i32, &buf);
+        }
+        for (e, req) in g.exchanges.iter().zip(reqs) {
+            let buf = comm.wait(req).unwrap();
+            for (&idx, &v) in e.unpack_list.iter().zip(&buf) {
+                grid[idx] = v;
+            }
+        }
+        let ghosts = grid.iter().filter(|v| !v.is_nan()).count();
+        println!(
+            "  rank {}: {} of {} cells populated after exchange ({} messages sent, {} bytes)",
+            comm.rank(),
+            ghosts,
+            g.total_cells(),
+            comm.stats().messages_sent,
+            comm.stats().bytes_sent
+        );
+        ghosts == g.total_cells()
+    });
+    assert!(filled.iter().all(|&ok| ok), "every ghost cell filled");
+    println!("all ghost layers filled correctly");
+}

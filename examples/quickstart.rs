@@ -1,0 +1,47 @@
+//! Quickstart: run a handful of kernels in several variants, validate the
+//! checksums, and print a timing table.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rajaperf::prelude::*;
+
+fn main() {
+    let names = ["Stream_TRIAD", "Basic_DAXPY", "Algorithm_SCAN", "Lcals_HYDRO_1D"];
+    let variants = [
+        VariantId::BaseSeq,
+        VariantId::RajaSeq,
+        VariantId::BasePar,
+        VariantId::RajaPar,
+        VariantId::RajaSimGpu,
+    ];
+    let tuning = Tuning::default();
+    let (n, reps) = (200_000, 5);
+
+    println!(
+        "{:<20} {:<12} {:>12} {:>14} {:>10}",
+        "Kernel", "Variant", "Time/rep (s)", "GB/s", "Checksum ok"
+    );
+    for name in names {
+        let kernel = kernels::find(name).expect("kernel exists");
+        // Same rep count as the measured runs: kernels like DAXPY
+        // accumulate across repetitions.
+        let reference = kernel.execute(VariantId::BaseSeq, n, reps, &tuning).checksum;
+        for v in variants {
+            let r = kernel.execute(v, n, reps, &tuning);
+            let gbs = (r.metrics.bytes_read + r.metrics.bytes_written) / r.time_per_rep() / 1e9;
+            let ok = kernels::common::close(r.checksum, reference, 1e-8);
+            println!(
+                "{:<20} {:<12} {:>12.3e} {:>14.2} {:>10}",
+                name,
+                v.name(),
+                r.time_per_rep(),
+                gbs,
+                if ok { "yes" } else { "NO" }
+            );
+            assert!(ok, "variant {v:?} diverged from the reference");
+        }
+    }
+    println!("\nAll variants agree with the Base_Seq reference.");
+}

@@ -1,0 +1,68 @@
+//! # RAJAPerf-rs
+//!
+//! A Rust reproduction of the **RAJA Performance Suite** and the
+//! Caliper/Thicket performance-portability analysis toolchain described in
+//! *"RAJA Performance Suite: Performance Portability Analysis with Caliper
+//! and Thicket"* (Pearce et al., SC 2024).
+//!
+//! The workspace re-exported here contains:
+//!
+//! * [`kernels`] — all 76 Table I kernels in seven groups, each with Base
+//!   and RAJA variants over sequential, host-parallel, and simulated-device
+//!   back-ends, plus exact analytic metrics and model signatures.
+//! * [`raja`] — the performance-portability layer (`forall`, policies,
+//!   reducers, scans, sorts, atomics, views).
+//! * [`gpusim`] — the simulated GPU device (grid/block/thread hierarchy,
+//!   shared memory, barriers).
+//! * [`caliper`] / [`adiak`] — region-based instrumentation and run
+//!   metadata, writing `.cali`-style JSON profiles.
+//! * [`thicket`] — exploratory data analysis over many profiles
+//!   (dataframe / metadata / statsframe).
+//! * [`hierclust`] — agglomerative (Ward) clustering for the kernel
+//!   similarity analysis.
+//! * [`simcomm`] — the message-passing substrate behind the Comm kernels.
+//! * [`perfmodel`] — analytic models of the paper's four machines: TMA
+//!   breakdowns, instruction rooflines, and execution-time prediction.
+//! * [`suite`] — the driver: run parameters, executor, reports, and the
+//!   simulation pipeline behind every figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rajaperf::prelude::*;
+//!
+//! // Run one kernel in two variants and compare.
+//! let kernel = kernels::find("Stream_TRIAD").unwrap();
+//! let tuning = Tuning::default();
+//! let base = kernel.execute(VariantId::BaseSeq, 100_000, 3, &tuning);
+//! let raja = kernel.execute(VariantId::RajaSeq, 100_000, 3, &tuning);
+//! assert!(kernels::common::close(base.checksum, raja.checksum, 1e-10));
+//!
+//! // Predict its speedup moving from the DDR node to the MI250X node.
+//! let sig = kernel.signature(32_000_000);
+//! let ddr = Machine::get(MachineId::SprDdr);
+//! let mi = Machine::get(MachineId::EpycMi250x);
+//! assert!(perfmodel::speedup(&ddr, &mi, &sig) > 10.0);
+//! ```
+
+pub use adiak;
+pub use caliper;
+pub use gpusim;
+pub use hierclust;
+pub use kernels;
+pub use perfmodel;
+pub use raja;
+pub use simcomm;
+pub use suite;
+pub use thicket;
+
+/// The most common imports for suite users.
+pub mod prelude {
+    pub use crate::{adiak, caliper, gpusim, hierclust, kernels, perfmodel, raja, simcomm,
+                    suite, thicket};
+    pub use kernels::{
+        AnalyticMetrics, Feature, Group, KernelBase, KernelInfo, RunResult, Tuning, VariantId,
+    };
+    pub use perfmodel::{Machine, MachineId, MachineKind};
+    pub use suite::{RunParams, Selection};
+}

@@ -1,0 +1,167 @@
+//! End-to-end integration: the full paper pipeline across crates —
+//! run kernels → Caliper profiles → Thicket composition → clustering →
+//! the headline conclusions.
+
+use rajaperf::prelude::*;
+use suite::simulate::{self, ClusterAnalysis};
+
+#[test]
+fn suite_run_to_thicket_pipeline() {
+    let dir = std::env::temp_dir().join("rajaperf_e2e_pipeline");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Run a slice of the suite under three variants, one profile each.
+    let base = RunParams {
+        selection: Selection::Kernels(vec![
+            "Stream_TRIAD".into(),
+            "Basic_DAXPY".into(),
+            "Lcals_HYDRO_1D".into(),
+            "Apps_PRESSURE".into(),
+        ]),
+        explicit_size: Some(5_000),
+        explicit_reps: Some(2),
+        caliper_spec: Some(format!("spot(output={}/run.cali.json)", dir.display())),
+        ..RunParams::default()
+    };
+    let variants = [VariantId::BaseSeq, VariantId::RajaSeq, VariantId::RajaPar];
+    let reports = suite::run_variants(&base, &variants);
+    assert_eq!(reports.len(), 3);
+    assert!(suite::checksum_report(&reports).all_pass());
+
+    // Every run produced a profile file; Thicket composes them.
+    let paths: Vec<_> = reports.iter().flat_map(|r| r.outputs.clone()).collect();
+    assert_eq!(paths.len(), 3);
+    let profiles: Vec<thicket::ProfileData> = paths
+        .iter()
+        .map(|p| thicket::ProfileData::read_file(p).unwrap())
+        .collect();
+    let tk = thicket::Thicket::from_profiles(&profiles);
+    assert_eq!(tk.profiles.len(), 3);
+
+    // Group by variant metadata — one group per variant, as in the paper's
+    // composition workflow.
+    let groups = tk.groupby("variant");
+    assert_eq!(groups.len(), 3);
+    for (name, sub) in &groups {
+        assert_eq!(sub.profiles.len(), 1, "variant {name}");
+        let nid = sub.node_by_name("Stream_TRIAD").expect("TRIAD node");
+        let vals = sub.node_values("Time/Rep", nid);
+        assert_eq!(vals.len(), 1);
+        assert!(vals[0].1 > 0.0);
+    }
+
+    // Statsframe aggregation across the three runs.
+    let mut tk = tk;
+    let col = tk.stats("Time/Rep", thicket::Stat::Mean);
+    let nid = tk.node_by_name("Stream_TRIAD").unwrap();
+    assert!(tk.stat_value(&col, nid).unwrap() > 0.0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clustering_reproduces_the_papers_structure() {
+    let ca = ClusterAnalysis::run(4);
+    assert_eq!(ca.num_clusters(), 4, "the paper identifies four clusters");
+
+    // One cluster is strongly memory bound (paper: 0.8812), one moderately
+    // (0.5279), one retiring/frontend (0.7169 retiring), one core bound
+    // (0.5358 core).
+    let means = ca.cluster_tma_means();
+    let max_mem = means.iter().map(|m| m[4]).fold(f64::MIN, f64::max);
+    assert!(max_mem > 0.8, "most memory-bound cluster mean {max_mem}");
+    let max_core = means.iter().map(|m| m[3]).fold(f64::MIN, f64::max);
+    assert!(max_core > 0.35, "core-bound cluster mean {max_core}");
+    let max_ret = means.iter().map(|m| m[2]).fold(f64::MIN, f64::max);
+    assert!(max_ret > 0.7, "retiring cluster mean {max_ret}");
+
+    // Speedup ordering between the memory clusters follows memory
+    // boundness on every bandwidth-upgraded machine.
+    let mem_order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..4).collect();
+        idx.sort_by(|&a, &b| means[b][4].total_cmp(&means[a][4]));
+        idx
+    };
+    for machine in [MachineId::SprHbm, MachineId::EpycMi250x] {
+        let sp = ca.cluster_speedup_means(machine);
+        assert!(
+            sp[mem_order[0]] > sp[mem_order[3]],
+            "{machine:?}: most memory bound ({}) must beat least memory bound ({})",
+            sp[mem_order[0]],
+            sp[mem_order[3]]
+        );
+    }
+}
+
+#[test]
+fn simulated_profiles_feed_thicket_per_machine() {
+    let dir = std::env::temp_dir().join("rajaperf_e2e_sim");
+    let _ = std::fs::remove_dir_all(&dir);
+    let paths = simulate::write_simulated_profiles(&dir).unwrap();
+    assert_eq!(paths.len(), 4, "one profile per machine");
+    let profiles: Vec<thicket::ProfileData> = paths
+        .iter()
+        .map(|p| thicket::ProfileData::read_file(p).unwrap())
+        .collect();
+    let tk = thicket::Thicket::from_profiles(&profiles);
+    let by_machine = tk.groupby("machine");
+    assert_eq!(by_machine.len(), 4);
+    // The CPU machines carry TMA columns, the GPU machines roofline ones.
+    for (name, sub) in by_machine {
+        let nid = sub.node_by_name("Stream_TRIAD").unwrap();
+        let pid = sub.profiles[0];
+        match name.as_str() {
+            "SPR-DDR" | "SPR-HBM" => {
+                assert!(sub.value("tma.memory_bound", nid, pid).unwrap() > 0.5);
+                assert!(sub.value("roofline.L1.gips", nid, pid).is_none());
+            }
+            _ => {
+                assert!(sub.value("roofline.HBM.gips", nid, pid).unwrap() > 0.0);
+                assert!(sub.value("tma.memory_bound", nid, pid).is_none());
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn headline_result_memory_bound_kernels_gain_most_from_hbm() {
+    // The paper's abstract: "the most memory bound kernels show the most
+    // performance gains on architectures with high-bandwidth memory".
+    // Verify at kernel granularity: rank-correlate memory-boundness with
+    // HBM speedup across the comparison kernels.
+    let sims = simulate::simulate_comparison();
+    let mut pairs: Vec<(f64, f64)> = sims
+        .iter()
+        .map(|s| (s.memory_bound_ddr(), s.speedup[&MachineId::SprHbm]))
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let third = pairs.len() / 3;
+    let low_mean: f64 = pairs[..third].iter().map(|p| p.1).sum::<f64>() / third as f64;
+    let high_mean: f64 =
+        pairs[pairs.len() - third..].iter().map(|p| p.1).sum::<f64>() / third as f64;
+    assert!(
+        high_mean > 1.4 * low_mean,
+        "top-third memory-bound kernels gain {high_mean:.2}x vs bottom third {low_mean:.2}x"
+    );
+}
+
+#[test]
+fn raja_variants_match_base_variants_across_the_whole_suite() {
+    // Cross-crate correctness sweep: every kernel, RAJA_Seq vs Base_Seq at
+    // a reduced size.
+    let tuning = Tuning::default();
+    for kernel in kernels::registry() {
+        let info = kernel.info();
+        let n = (info.default_size / 50).max(1500);
+        let base = kernel.execute(VariantId::BaseSeq, n, 1, &tuning);
+        let raja = kernel.execute(VariantId::RajaSeq, n, 1, &tuning);
+        assert!(
+            kernels::common::close(base.checksum, raja.checksum, 1e-8),
+            "{}: base {} vs raja {}",
+            info.name,
+            base.checksum,
+            raja.checksum
+        );
+    }
+}
