@@ -304,6 +304,30 @@ impl Session {
             .insert(name.to_string(), value.into());
     }
 
+    /// Record the cost of an instrumentation layer (e.g. the simulated-device
+    /// sanitizer) as profile metadata: stores `<name>_overhead_pct` — the
+    /// percentage slowdown of `instrumented` over `baseline` — together with
+    /// both raw times, so downstream Thicket analysis can separate tool
+    /// overhead from kernel time, the way Caliper annotates its own
+    /// measurement overhead.
+    pub fn annotate_overhead(
+        &self,
+        name: &str,
+        baseline: std::time::Duration,
+        instrumented: std::time::Duration,
+    ) {
+        let base = baseline.as_secs_f64();
+        let inst = instrumented.as_secs_f64();
+        let pct = if base > 0.0 {
+            ((inst / base) - 1.0).max(0.0) * 100.0
+        } else {
+            0.0
+        };
+        self.set_global(&format!("{name}_baseline_s"), base);
+        self.set_global(&format!("{name}_time_s"), inst);
+        self.set_global(&format!("{name}_overhead_pct"), pct);
+    }
+
     /// Build the current [`Profile`]: Adiak snapshot + session globals +
     /// aggregated records.
     pub fn profile(&self) -> Profile {
@@ -640,6 +664,36 @@ fn split_top_level(s: &str) -> Vec<&str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn annotate_overhead_stores_percentage_and_raw_times() {
+        let s = Session::new();
+        s.annotate_overhead(
+            "sanitizer",
+            std::time::Duration::from_secs(1),
+            std::time::Duration::from_secs(3),
+        );
+        let p = s.profile();
+        assert_eq!(
+            p.globals.get("sanitizer_overhead_pct").and_then(|v| v.as_f64()),
+            Some(200.0)
+        );
+        assert_eq!(
+            p.globals.get("sanitizer_baseline_s").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(
+            p.globals.get("sanitizer_time_s").and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        // A zero baseline cannot divide; the annotation degrades to 0%.
+        s.annotate_overhead("degenerate", std::time::Duration::ZERO, std::time::Duration::ZERO);
+        let p = s.profile();
+        assert_eq!(
+            p.globals.get("degenerate_overhead_pct").and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+    }
 
     #[test]
     fn region_records_time_and_count() {

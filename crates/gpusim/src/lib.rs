@@ -43,9 +43,12 @@
 //! ```
 
 use std::cell::Cell;
+use std::ops::{Deref, DerefMut, Index, IndexMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub mod occupancy;
+pub mod sanitizer;
+pub(crate) mod shadow;
 pub mod txn;
 
 /// Threads per warp, matching NVIDIA/AMD-GCN warp/wavefront granularity used
@@ -175,6 +178,70 @@ impl ThreadCtx {
     }
 }
 
+/// The block's shared-memory allocation, handed to every thread of a phase.
+///
+/// Element access with `shared[i]` goes through [`Index`]/[`IndexMut`] and
+/// is observed by the sanitizer (see [`sanitizer`]) for barrier-hazard
+/// detection; slice-wide operations are available through `Deref<[f64]>`
+/// but bypass instrumentation, like casting away `volatile` in CUDA.
+pub struct SharedMem {
+    data: Vec<f64>,
+}
+
+impl SharedMem {
+    fn new(words: usize) -> SharedMem {
+        SharedMem {
+            data: vec![0.0; words],
+        }
+    }
+
+    /// Allocation size in `f64` words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the block has no shared memory.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Index<usize> for SharedMem {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        if sanitizer::active() {
+            sanitizer::on_shared_read(i);
+        }
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for SharedMem {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        if sanitizer::active() {
+            sanitizer::on_shared_write(i);
+        }
+        &mut self.data[i]
+    }
+}
+
+impl Deref for SharedMem {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl DerefMut for SharedMem {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
 /// Execution context for one thread block.
 ///
 /// A block's threads run sequentially inside each [`BlockCtx::threads`] call;
@@ -188,14 +255,16 @@ pub struct BlockCtx {
     pub block_dim: Dim3,
     /// Grid dimensions.
     pub grid_dim: Dim3,
-    shared: Vec<f64>,
+    shared: SharedMem,
     barriers: Cell<u64>,
 }
 
 impl BlockCtx {
     /// Run the body once per thread in the block (a barrier-delimited phase).
     /// The body receives the thread identity and the block's shared memory.
-    pub fn threads(&mut self, mut body: impl FnMut(ThreadCtx, &mut [f64])) {
+    pub fn threads(&mut self, mut body: impl FnMut(ThreadCtx, &mut SharedMem)) {
+        let sanitize = sanitizer::active();
+        let phase = self.barriers.get();
         for tz in 0..self.block_dim.z {
             for ty in 0..self.block_dim.y {
                 for tx in 0..self.block_dim.x {
@@ -205,11 +274,17 @@ impl BlockCtx {
                         block_dim: self.block_dim,
                         grid_dim: self.grid_dim,
                     };
+                    if sanitize {
+                        sanitizer::on_thread_begin(self.block_idx, t.thread_idx, phase);
+                    }
                     body(t, &mut self.shared);
                 }
             }
         }
-        self.barriers.set(self.barriers.get() + 1);
+        if sanitize {
+            sanitizer::on_phase_end();
+        }
+        self.barriers.set(phase + 1);
     }
 
     /// Number of barrier-delimited phases executed so far (diagnostic).
@@ -219,14 +294,14 @@ impl BlockCtx {
 
     /// Direct read-only access to the block's shared memory between phases.
     pub fn shared(&self) -> &[f64] {
-        &self.shared
+        &self.shared.data
     }
 
     /// Direct mutable access to the block's shared memory between phases
     /// (single-threaded from the block's perspective — it models the block
     /// leader initializing shared state followed by a barrier).
     pub fn shared_mut(&mut self) -> &mut [f64] {
-        &mut self.shared
+        &mut self.shared.data
     }
 }
 
@@ -275,6 +350,9 @@ where
     let nblocks = cfg.grid.total() as u64;
     BLOCKS.fetch_add(nblocks, Ordering::Relaxed);
     THREADS.fetch_add(nblocks * cfg.block.total() as u64, Ordering::Relaxed);
+    if sanitizer::active() {
+        sanitizer::on_launch(cfg);
+    }
     for bz in 0..cfg.grid.z {
         for by in 0..cfg.grid.y {
             for bx in 0..cfg.grid.x {
@@ -282,7 +360,7 @@ where
                     block_idx: Dim3::d3(bx, by, bz),
                     block_dim: cfg.block,
                     grid_dim: cfg.grid,
-                    shared: vec![0.0; cfg.shared_f64],
+                    shared: SharedMem::new(cfg.shared_f64),
                     barriers: Cell::new(0),
                 };
                 body(&mut ctx);
@@ -330,10 +408,37 @@ impl<T> DevicePtr<T> {
     /// Wrap a host slice for device access. The borrow is logically exclusive
     /// for the duration of the launch.
     pub fn new(slice: &mut [T]) -> DevicePtr<T> {
-        DevicePtr {
+        let p = DevicePtr {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+        };
+        if sanitizer::active() {
+            // The buffer arrives initialized: clear any stale uninit
+            // tracking of this memory from a previous allocation.
+            sanitizer::on_alloc_init(p.ptr as usize, p.len * std::mem::size_of::<T>());
         }
+        p
+    }
+
+    /// Wrap a host slice whose contents are *logically uninitialized*: the
+    /// kernel is expected to write every element it later reads. Under an
+    /// active [`sanitizer`] scope, reads that precede any write to the same
+    /// element are reported as [`sanitizer::HazardKind::UninitRead`]
+    /// (the memory itself is real host memory, so the access stays defined
+    /// — this models `compute-sanitizer initcheck`, not UB detection).
+    pub fn new_uninit(slice: &mut [T]) -> DevicePtr<T> {
+        let p = DevicePtr {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        };
+        if sanitizer::active() {
+            sanitizer::on_alloc_uninit(
+                p.ptr as usize,
+                p.len * std::mem::size_of::<T>(),
+                std::mem::size_of::<T>(),
+            );
+        }
+        p
     }
 
     /// Length of the underlying buffer.
@@ -348,6 +453,10 @@ impl<T> DevicePtr<T> {
 
     /// Read element `i`.
     ///
+    /// Under an active [`sanitizer`] scope the access is recorded (race,
+    /// bounds, and init checks); an out-of-bounds index is reported and
+    /// clamped in bounds so execution stays defined.
+    ///
     /// # Safety
     /// `i < len`, and no thread may be concurrently writing element `i`.
     #[inline]
@@ -355,28 +464,48 @@ impl<T> DevicePtr<T> {
     where
         T: Copy,
     {
+        let i = if sanitizer::active() {
+            sanitizer::on_global_read(self.ptr as usize, std::mem::size_of::<T>(), self.len, i)
+        } else {
+            i
+        };
         debug_assert!(i < self.len, "DevicePtr read out of bounds: {i} >= {}", self.len);
         unsafe { *self.ptr.add(i) }
     }
 
     /// Write element `i`.
     ///
+    /// Under an active [`sanitizer`] scope the access is recorded (race,
+    /// bounds, and init checks); an out-of-bounds index is reported and
+    /// clamped in bounds so execution stays defined.
+    ///
     /// # Safety
     /// `i < len`, and no other thread may concurrently access element `i`.
     #[inline]
     pub unsafe fn write(&self, i: usize, v: T) {
+        let i = if sanitizer::active() {
+            sanitizer::on_global_write(self.ptr as usize, std::mem::size_of::<T>(), self.len, i)
+        } else {
+            i
+        };
         debug_assert!(i < self.len, "DevicePtr write out of bounds: {i} >= {}", self.len);
         unsafe { *self.ptr.add(i) = v };
     }
 
-    /// Get a mutable reference to element `i`.
+    /// Get a mutable reference to element `i` (treated as a write by the
+    /// [`sanitizer`], which also reports and clamps out-of-bounds indices).
     ///
     /// # Safety
     /// `i < len`, exclusive access to element `i` for the reference lifetime.
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn at_mut(&self, i: usize) -> &mut T {
-        debug_assert!(i < self.len);
+        let i = if sanitizer::active() {
+            sanitizer::on_global_write(self.ptr as usize, std::mem::size_of::<T>(), self.len, i)
+        } else {
+            i
+        };
+        debug_assert!(i < self.len, "DevicePtr at_mut out of bounds: {i} >= {}", self.len);
         unsafe { &mut *self.ptr.add(i) }
     }
 }

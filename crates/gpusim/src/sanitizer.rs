@@ -1,0 +1,801 @@
+//! `simsan` — a compute-sanitizer for the simulated device.
+//!
+//! Real GPU work relies on tools like `compute-sanitizer` (memcheck /
+//! racecheck / initcheck) to find bugs that don't crash the program: data
+//! races between threads, shared-memory use across a missing
+//! `__syncthreads()`, out-of-bounds device-pointer accesses, and reads of
+//! never-written memory. The simulated device runs threads sequentially, so
+//! those bugs execute "correctly" here while being real hazards on actual
+//! hardware — the worst kind of portability bug for a suite whose purpose
+//! is performance *portability*. This module restores the missing tooling.
+//!
+//! # Hazard classes
+//!
+//! * [`HazardKind::WriteWriteRace`] / [`HazardKind::ReadWriteRace`] — two
+//!   distinct threads touch the same global-memory cell in the same
+//!   barrier-delimited phase, at least one writing. Threads in a phase are
+//!   unordered on real hardware, so this is a data race.
+//! * [`HazardKind::MissingBarrier`] — a thread reads a shared-memory word
+//!   another thread wrote *in the same phase*. Well-formed barriered
+//!   kernels only communicate through shared memory across a barrier.
+//! * [`HazardKind::OutOfBounds`] — a [`DevicePtr`](crate::DevicePtr) access
+//!   outside the recorded allocation length. The access is reported and the
+//!   index clamped in bounds, so the run continues defined instead of UB.
+//! * [`HazardKind::UninitRead`] — a read from a
+//!   [`DevicePtr::new_uninit`](crate::DevicePtr::new_uninit) allocation
+//!   before any write to that element.
+//! * [`HazardKind::BlockNotWarpMultiple`] / [`HazardKind::NotLaunchable`] —
+//!   launch-configuration lints: a block size that is not a multiple of
+//!   [`WARP_SIZE`](crate::WARP_SIZE) wastes lanes in the final warp, and a
+//!   configuration the occupancy model rejects outright would fail to
+//!   launch on the modeled hardware.
+//!
+//! # Usage
+//!
+//! ```
+//! use gpusim::sanitizer::SanitizerScope;
+//!
+//! let scope = SanitizerScope::begin("Basic_DAXPY/RAJA_SimGpu");
+//! let n = 64;
+//! let mut out = vec![0.0f64; n];
+//! let p = gpusim::DevicePtr::new(&mut out);
+//! gpusim::launch_1d(n, 64, |i| unsafe { p.write(i, i as f64) });
+//! let report = scope.finish();
+//! assert!(report.is_clean(), "{report}");
+//! ```
+//!
+//! The sanitizer is thread-local and scope-based: a [`SanitizerScope`]
+//! activates recording on the current host thread (the thread that drives
+//! every block of every launch, since blocks execute sequentially), and
+//! [`SanitizerScope::finish`] returns the accumulated [`SanitizerReport`].
+//! When no scope is active every hook is a single relaxed atomic load, so
+//! uninstrumented runs — all benchmarking — pay nothing measurable.
+
+use crate::shadow::{PhaseAccessMap, UninitTable};
+use crate::{occupancy, Dim3, LaunchConfig, WARP_SIZE};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hard cap on stored findings per scope; occurrences beyond the cap (or
+/// duplicating an already-stored site) are still counted in
+/// [`SanitizerReport::occurrences`].
+const MAX_FINDINGS: usize = 256;
+
+/// The class of a sanitizer finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HazardKind {
+    /// Two threads wrote the same cell in one phase.
+    WriteWriteRace,
+    /// One thread wrote and another read/wrote the same cell in one phase.
+    ReadWriteRace,
+    /// Shared memory written and read by different threads with no barrier
+    /// in between.
+    MissingBarrier,
+    /// Access outside the allocation bounds.
+    OutOfBounds,
+    /// Read of a never-written element of an uninitialized allocation.
+    UninitRead,
+    /// Block size is not a multiple of the warp width.
+    BlockNotWarpMultiple,
+    /// Launch configuration exceeds a hard hardware limit.
+    NotLaunchable,
+}
+
+impl HazardKind {
+    /// Short stable label (used in reports and dedup keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HazardKind::WriteWriteRace => "write-write race",
+            HazardKind::ReadWriteRace => "read-write race",
+            HazardKind::MissingBarrier => "missing barrier",
+            HazardKind::OutOfBounds => "out-of-bounds access",
+            HazardKind::UninitRead => "uninitialized read",
+            HazardKind::BlockNotWarpMultiple => "block not warp multiple",
+            HazardKind::NotLaunchable => "config not launchable",
+        }
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            HazardKind::WriteWriteRace => 0,
+            HazardKind::ReadWriteRace => 1,
+            HazardKind::MissingBarrier => 2,
+            HazardKind::OutOfBounds => 3,
+            HazardKind::UninitRead => 4,
+            HazardKind::BlockNotWarpMultiple => 5,
+            HazardKind::NotLaunchable => 6,
+        }
+    }
+}
+
+impl fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which memory space a finding refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// A `DevicePtr` (global-memory) buffer.
+    Global,
+    /// The block's shared memory.
+    Shared,
+    /// The launch configuration itself (lints).
+    Launch,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Launch => "launch",
+        })
+    }
+}
+
+/// One sanitizer finding, with enough coordinates to locate the hazard:
+/// which kernel/variant (the scope label), which launch, which phase, which
+/// block and thread(s), and which element.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Hazard class.
+    pub kind: HazardKind,
+    /// Memory space of the offending access.
+    pub space: MemSpace,
+    /// Element index within the buffer (shared word index for shared
+    /// memory; block-size for launch lints).
+    pub index: usize,
+    /// Scope label, normally `Kernel_NAME/Variant` (set by
+    /// [`SanitizerScope::begin`]).
+    pub label: String,
+    /// RAJA region active at detection (e.g. `raja::forall<SimGpu>`),
+    /// empty when the access came from a bare `gpusim::launch`.
+    pub region: &'static str,
+    /// Launch ordinal within the scope (0-based).
+    pub launch: u64,
+    /// Barrier-delimited phase index within the block (0-based).
+    pub phase: u64,
+    /// Block index within the grid.
+    pub block: Dim3,
+    /// Thread index (within the block) that triggered the finding.
+    pub thread: Dim3,
+    /// The other thread involved, for races and barrier hazards.
+    pub other_thread: Option<Dim3>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+fn dim(d: Dim3) -> String {
+    format!("({},{},{})", d.x, d.y, d.z)
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[simsan] {} on {}[{}] in {}: launch {} phase {} block {} thread {}",
+            self.kind,
+            self.space,
+            self.index,
+            if self.label.is_empty() { "<unlabeled>" } else { &self.label },
+            self.launch,
+            self.phase,
+            dim(self.block),
+            dim(self.thread),
+        )?;
+        if let Some(o) = self.other_thread {
+            write!(f, " vs thread {}", dim(o))?;
+        }
+        if !self.region.is_empty() {
+            write!(f, " [{}]", self.region)?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " — {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything one [`SanitizerScope`] observed.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizerReport {
+    /// Scope label.
+    pub label: String,
+    /// Deduplicated findings (one per hazard site), at most
+    /// `MAX_FINDINGS`.
+    pub findings: Vec<Finding>,
+    /// Total hazard occurrences, including duplicates of stored sites.
+    pub occurrences: u64,
+    /// Kernel launches observed while the scope was active.
+    pub launches: u64,
+}
+
+impl SanitizerReport {
+    /// True when no hazards were observed.
+    pub fn is_clean(&self) -> bool {
+        self.occurrences == 0
+    }
+
+    /// Findings of one class.
+    pub fn of_kind(&self, kind: HazardKind) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.kind == kind).collect()
+    }
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simsan report for {}: {} finding site(s), {} occurrence(s), {} launch(es)",
+            if self.label.is_empty() { "<unlabeled>" } else { &self.label },
+            self.findings.len(),
+            self.occurrences,
+            self.launches,
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Identity of the device thread currently executing (set by the block
+/// phase loop).
+#[derive(Debug, Clone, Copy)]
+struct CurrentThread {
+    block: Dim3,
+    thread: Dim3,
+    phase: u64,
+}
+
+#[derive(Default)]
+struct State {
+    label: String,
+    region: &'static str,
+    findings: Vec<Finding>,
+    dedup: HashSet<(u8, u8, usize)>,
+    occurrences: u64,
+    launches: u64,
+    current: Option<CurrentThread>,
+    global: PhaseAccessMap,
+    shared: PhaseAccessMap,
+    uninit: UninitTable,
+}
+
+/// Count of active scopes process-wide. A counter rather than a flag so
+/// concurrent scopes on different threads (e.g. parallel tests) cannot
+/// disable each other; threads without their own scope state simply no-op
+/// in the hooks.
+static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STATE: RefCell<Option<State>> = const { RefCell::new(None) };
+}
+
+/// Whether any sanitizer scope is active (fast path for every hook).
+#[inline]
+pub fn active() -> bool {
+    ACTIVE_SCOPES.load(Ordering::Relaxed) > 0
+}
+
+/// Active sanitizer recording on the current thread; construct with
+/// [`SanitizerScope::begin`], collect with [`SanitizerScope::finish`].
+///
+/// Scopes do not nest and the guard is deliberately `!Send` (the device
+/// runs its blocks on the thread that launched them).
+pub struct SanitizerScope {
+    // !Send + !Sync: state lives in this thread's TLS.
+    _pin: std::marker::PhantomData<*const ()>,
+}
+
+impl SanitizerScope {
+    /// Activate the sanitizer on this thread. `label` names the workload
+    /// (conventionally `Kernel_NAME/Variant`) and is stamped on findings.
+    ///
+    /// # Panics
+    /// Panics if a scope is already active.
+    pub fn begin(label: impl Into<String>) -> SanitizerScope {
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            assert!(
+                s.is_none(),
+                "simsan: sanitizer scope already active on this thread"
+            );
+            *s = Some(State {
+                label: label.into(),
+                ..State::default()
+            });
+        });
+        ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+        SanitizerScope {
+            _pin: std::marker::PhantomData,
+        }
+    }
+
+    /// Deactivate and return the report.
+    pub fn finish(self) -> SanitizerReport {
+        ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        let state = STATE.with(|s| s.borrow_mut().take());
+        // Drop runs after this, but the state is already taken.
+        std::mem::forget(self);
+        let state = state.expect("simsan: scope state missing at finish");
+        SanitizerReport {
+            label: state.label,
+            findings: state.findings,
+            occurrences: state.occurrences,
+            launches: state.launches,
+        }
+    }
+}
+
+impl Drop for SanitizerScope {
+    fn drop(&mut self) {
+        // Scope abandoned (e.g. a panic unwound past it): deactivate and
+        // discard so the next scope starts clean.
+        ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        STATE.with(|s| {
+            if let Ok(mut st) = s.try_borrow_mut() {
+                st.take();
+            }
+        });
+    }
+}
+
+/// Region guard returned by [`region`]; restores the previous region label
+/// on drop.
+pub struct RegionGuard {
+    prev: &'static str,
+    was_active: bool,
+}
+
+/// Label subsequent accesses with a RAJA-layer region name (the policy
+/// `forall` wrappers use this, so findings can say which abstraction the
+/// hazardous access ran under). No-op when the sanitizer is off.
+pub fn region(name: &'static str) -> RegionGuard {
+    if !active() {
+        return RegionGuard {
+            prev: "",
+            was_active: false,
+        };
+    }
+    let prev = with_state(|st| std::mem::replace(&mut st.region, name)).unwrap_or("");
+    RegionGuard {
+        prev,
+        was_active: true,
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        if self.was_active && active() {
+            let prev = self.prev;
+            with_state(|st| st.region = prev);
+        }
+    }
+}
+
+fn with_state<R>(f: impl FnOnce(&mut State) -> R) -> Option<R> {
+    STATE.with(|s| s.borrow_mut().as_mut().map(f))
+}
+
+fn record(st: &mut State, finding: Finding) {
+    st.occurrences += 1;
+    let key = (finding.kind.code(), space_code(finding.space), finding.index);
+    if st.findings.len() < MAX_FINDINGS && st.dedup.insert(key) {
+        st.findings.push(finding);
+    }
+}
+
+fn space_code(s: MemSpace) -> u8 {
+    match s {
+        MemSpace::Global => 0,
+        MemSpace::Shared => 1,
+        MemSpace::Launch => 2,
+    }
+}
+
+fn finding_at(st: &State, kind: HazardKind, space: MemSpace, index: usize, detail: String) -> Finding {
+    let cur = st.current;
+    Finding {
+        kind,
+        space,
+        index,
+        label: st.label.clone(),
+        region: st.region,
+        launch: st.launches.saturating_sub(1),
+        phase: cur.map_or(0, |c| c.phase),
+        block: cur.map_or(Dim3::d3(0, 0, 0), |c| c.block),
+        thread: cur.map_or(Dim3::d3(0, 0, 0), |c| c.thread),
+        other_thread: None,
+        detail,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hooks called by the gpusim core. All are no-ops unless a scope is active
+// on the calling thread.
+// ---------------------------------------------------------------------------
+
+/// A kernel launch is starting: count it and lint its configuration.
+pub(crate) fn on_launch(cfg: &LaunchConfig) {
+    with_state(|st| {
+        st.launches += 1;
+        let tpb = cfg.block.total();
+        if !tpb.is_multiple_of(WARP_SIZE) {
+            let f = finding_at(
+                st,
+                HazardKind::BlockNotWarpMultiple,
+                MemSpace::Launch,
+                tpb,
+                format!(
+                    "block {} = {tpb} threads is not a multiple of the warp width {WARP_SIZE}; \
+                     the trailing warp runs partially masked",
+                    dim(cfg.block)
+                ),
+            );
+            record(st, f);
+        }
+        let occ = occupancy::occupancy(&occupancy::SmLimits::v100(), tpb, cfg.shared_f64 * 8);
+        if occ.limited_by == occupancy::OccupancyLimit::NotLaunchable {
+            let f = finding_at(
+                st,
+                HazardKind::NotLaunchable,
+                MemSpace::Launch,
+                tpb,
+                format!(
+                    "{tpb} threads/block with {} B shared exceeds the modeled SM limits \
+                     (max {} threads/block, {} B shared)",
+                    cfg.shared_f64 * 8,
+                    occupancy::SmLimits::v100().max_threads_per_block,
+                    occupancy::SmLimits::v100().shared_bytes,
+                ),
+            );
+            record(st, f);
+        }
+    });
+}
+
+/// A device thread is about to run its slice of the current phase.
+pub(crate) fn on_thread_begin(block: Dim3, thread: Dim3, phase: u64) {
+    with_state(|st| {
+        st.current = Some(CurrentThread {
+            block,
+            thread,
+            phase,
+        });
+    });
+}
+
+/// The current phase hit its barrier: close the race windows.
+pub(crate) fn on_phase_end() {
+    with_state(|st| {
+        st.current = None;
+        st.global.clear();
+        st.shared.clear();
+    });
+}
+
+/// A `DevicePtr` wrapped an initialized buffer: clear any stale uninit
+/// tracking of that memory.
+pub(crate) fn on_alloc_init(base: usize, bytes: usize) {
+    with_state(|st| st.uninit.remove_overlapping(base, bytes));
+}
+
+/// A `DevicePtr` wrapped a logically-uninitialized buffer.
+pub(crate) fn on_alloc_uninit(base: usize, bytes: usize, elem: usize) {
+    with_state(|st| st.uninit.register(base, bytes, elem));
+}
+
+/// Bounds-check helper: records an out-of-bounds finding and returns an
+/// in-bounds replacement index, panicking only for zero-length buffers
+/// (nothing to clamp to).
+fn checked_index(
+    st: &mut State,
+    i: usize,
+    len: usize,
+    is_write: bool,
+) -> usize {
+    if i < len {
+        return i;
+    }
+    let f = finding_at(
+        st,
+        HazardKind::OutOfBounds,
+        MemSpace::Global,
+        i,
+        format!(
+            "{} index {i} >= allocation length {len}; index clamped",
+            if is_write { "write" } else { "read" },
+        ),
+    );
+    let msg = f.to_string();
+    record(st, f);
+    match len.checked_sub(1) {
+        Some(last) => last,
+        None => panic!("{msg} (zero-length allocation, cannot clamp)"),
+    }
+}
+
+/// Instrumented global read through a `DevicePtr`. Returns the (possibly
+/// clamped) index to actually read.
+pub(crate) fn on_global_read(base: usize, elem: usize, len: usize, i: usize) -> usize {
+    with_state(|st| {
+        let i = checked_index(st, i, len, false);
+        let addr = base + i * elem;
+        if elem > 0 && st.uninit.is_uninit(addr) {
+            let f = finding_at(
+                st,
+                HazardKind::UninitRead,
+                MemSpace::Global,
+                i,
+                "element read before any write to an uninitialized allocation".to_string(),
+            );
+            record(st, f);
+        }
+        if let Some(cur) = st.current {
+            if let Some(writer) = st.global.note_read(addr, cur.thread) {
+                let mut f = finding_at(
+                    st,
+                    HazardKind::ReadWriteRace,
+                    MemSpace::Global,
+                    i,
+                    "read races with a same-phase write by another thread".to_string(),
+                );
+                f.other_thread = Some(writer);
+                record(st, f);
+            }
+        }
+        i
+    })
+    .unwrap_or(i)
+}
+
+/// Instrumented global write through a `DevicePtr`. Returns the (possibly
+/// clamped) index to actually write.
+pub(crate) fn on_global_write(base: usize, elem: usize, len: usize, i: usize) -> usize {
+    with_state(|st| {
+        let i = checked_index(st, i, len, true);
+        let addr = base + i * elem;
+        if elem > 0 {
+            st.uninit.mark_init(addr);
+        }
+        if let Some(cur) = st.current {
+            let conflict = st.global.note_write(addr, cur.thread);
+            if let Some(writer) = conflict.prior_writer {
+                let mut f = finding_at(
+                    st,
+                    HazardKind::WriteWriteRace,
+                    MemSpace::Global,
+                    i,
+                    "two threads wrote this cell in the same phase".to_string(),
+                );
+                f.other_thread = Some(writer);
+                record(st, f);
+            } else if let Some(reader) = conflict.prior_reader {
+                let mut f = finding_at(
+                    st,
+                    HazardKind::ReadWriteRace,
+                    MemSpace::Global,
+                    i,
+                    "write races with a same-phase read by another thread".to_string(),
+                );
+                f.other_thread = Some(reader);
+                record(st, f);
+            }
+        }
+        i
+    })
+    .unwrap_or(i)
+}
+
+/// Instrumented shared-memory read (word index `i`).
+pub(crate) fn on_shared_read(i: usize) {
+    with_state(|st| {
+        if let Some(cur) = st.current {
+            if let Some(writer) = st.shared.note_read(i, cur.thread) {
+                let mut f = finding_at(
+                    st,
+                    HazardKind::MissingBarrier,
+                    MemSpace::Shared,
+                    i,
+                    "shared word read in the same phase another thread wrote it; \
+                     a barrier must separate the write from the read"
+                        .to_string(),
+                );
+                f.other_thread = Some(writer);
+                record(st, f);
+            }
+        }
+    });
+}
+
+/// Instrumented shared-memory write (word index `i`).
+pub(crate) fn on_shared_write(i: usize) {
+    with_state(|st| {
+        if let Some(cur) = st.current {
+            let conflict = st.shared.note_write(i, cur.thread);
+            if let Some(writer) = conflict.prior_writer {
+                let mut f = finding_at(
+                    st,
+                    HazardKind::WriteWriteRace,
+                    MemSpace::Shared,
+                    i,
+                    "two threads wrote this shared word in the same phase".to_string(),
+                );
+                f.other_thread = Some(writer);
+                record(st, f);
+            } else if let Some(reader) = conflict.prior_reader {
+                let mut f = finding_at(
+                    st,
+                    HazardKind::MissingBarrier,
+                    MemSpace::Shared,
+                    i,
+                    "shared word written in the same phase another thread read it".to_string(),
+                );
+                f.other_thread = Some(reader);
+                record(st, f);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{launch, launch_1d, DevicePtr, LaunchConfig};
+
+    #[test]
+    fn clean_kernel_reports_clean() {
+        let scope = SanitizerScope::begin("test/clean");
+        let n = 300;
+        let mut out = vec![0.0f64; n];
+        let p = DevicePtr::new(&mut out);
+        launch_1d(n, 64, |i| unsafe { p.write(i, 1.0) });
+        let report = scope.finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.launches, 1);
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn write_write_race_is_flagged_with_coordinates() {
+        let scope = SanitizerScope::begin("test/ww-race");
+        let mut out = vec![0.0f64; 4];
+        let p = DevicePtr::new(&mut out);
+        // Every thread of the (single) block writes cell 0 in one phase.
+        launch_1d(64, 64, |_| unsafe { p.write(0, 1.0) });
+        let report = scope.finish();
+        let races = report.of_kind(HazardKind::WriteWriteRace);
+        assert_eq!(races.len(), 1, "one deduplicated site: {report}");
+        let f = races[0];
+        assert_eq!(f.index, 0);
+        assert_eq!(f.space, MemSpace::Global);
+        assert_eq!(f.phase, 0);
+        assert!(f.other_thread.is_some());
+        // 64 threads wrote; 63 raced with a predecessor.
+        assert_eq!(report.occurrences, 63);
+    }
+
+    #[test]
+    fn barrier_separation_suppresses_shared_hazard() {
+        // Write in phase 1, read in phase 2 — legal; same-phase — flagged.
+        let cfg = LaunchConfig::linear(32, 32).with_shared_f64(1);
+        let scope = SanitizerScope::begin("test/barriered");
+        launch(&cfg, |block| {
+            block.threads(|t, shared| {
+                if t.flat_thread() == 0 {
+                    shared[0] = 42.0;
+                }
+            });
+            block.threads(|_, shared| {
+                assert_eq!(shared[0], 42.0);
+            });
+        });
+        assert!(scope.finish().is_clean());
+
+        let scope = SanitizerScope::begin("test/unbarriered");
+        launch(&cfg, |block| {
+            block.threads(|t, shared| {
+                if t.flat_thread() == 0 {
+                    shared[0] = 42.0;
+                } else {
+                    let _v = shared[0];
+                }
+            });
+        });
+        let report = scope.finish();
+        let hits = report.of_kind(HazardKind::MissingBarrier);
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].space, MemSpace::Shared);
+        assert_eq!(hits[0].other_thread, Some(Dim3::d3(0, 0, 0)));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_and_clamped() {
+        let scope = SanitizerScope::begin("test/oob");
+        let mut buf = vec![7.0f64; 8];
+        let p = DevicePtr::new(&mut buf);
+        // Touch index 12 of an 8-element buffer from device code.
+        launch_1d(1, 32, |_| unsafe {
+            let v = p.read(12);
+            p.write(12, v + 1.0);
+        });
+        let report = scope.finish();
+        let oob = report.of_kind(HazardKind::OutOfBounds);
+        assert_eq!(oob.len(), 1, "read+write at one site dedup: {report}");
+        assert_eq!(oob[0].index, 12);
+        assert_eq!(report.occurrences, 2);
+        // The access was clamped to the last element, not UB.
+        assert_eq!(buf[7], 8.0);
+    }
+
+    #[test]
+    fn uninit_read_is_reported_until_written() {
+        let scope = SanitizerScope::begin("test/uninit");
+        let mut buf = vec![0.0f64; 4];
+        let p = DevicePtr::new_uninit(&mut buf);
+        launch_1d(1, 32, |_| unsafe {
+            let _ = p.read(1); // before any write: flagged
+            p.write(1, 5.0);
+            let _ = p.read(1); // after the write: clean
+        });
+        let report = scope.finish();
+        let ur = report.of_kind(HazardKind::UninitRead);
+        assert_eq!(ur.len(), 1, "{report}");
+        assert_eq!(ur[0].index, 1);
+        assert_eq!(report.occurrences, 1);
+    }
+
+    #[test]
+    fn launch_lints_fire_for_bad_configurations() {
+        let scope = SanitizerScope::begin("test/lints");
+        // 48 threads: not a warp multiple.
+        launch(&LaunchConfig::linear(48, 48), |_| {});
+        // 2048 threads/block: beyond the modeled 1024 hard limit.
+        launch(
+            &LaunchConfig::grid_block(Dim3::d1(1), Dim3::d1(2048)),
+            |_| {},
+        );
+        let report = scope.finish();
+        assert_eq!(report.of_kind(HazardKind::BlockNotWarpMultiple).len(), 1);
+        assert_eq!(report.of_kind(HazardKind::NotLaunchable).len(), 1);
+        assert_eq!(report.launches, 2);
+    }
+
+    #[test]
+    fn scope_label_and_region_appear_in_findings() {
+        let scope = SanitizerScope::begin("Fixture_RACY/RAJA_SimGpu");
+        let mut out = vec![0.0f64; 1];
+        let p = DevicePtr::new(&mut out);
+        {
+            let _r = region("raja::forall<SimGpu>");
+            launch_1d(32, 32, |_| unsafe { p.write(0, 2.0) });
+        }
+        let report = scope.finish();
+        assert_eq!(report.label, "Fixture_RACY/RAJA_SimGpu");
+        let f = &report.findings[0];
+        assert_eq!(f.label, "Fixture_RACY/RAJA_SimGpu");
+        assert_eq!(f.region, "raja::forall<SimGpu>");
+        let line = f.to_string();
+        assert!(line.contains("write-write race"), "{line}");
+        assert!(line.contains("block (0,0,0)"), "{line}");
+    }
+
+    #[test]
+    fn inactive_hooks_cost_nothing_and_track_nothing() {
+        // No scope on THIS thread (another test's scope may be live on its
+        // own thread; state is thread-local, so it cannot see our accesses).
+        let mut buf = vec![0.0f64; 4];
+        let p = DevicePtr::new_uninit(&mut buf);
+        // No scope: uninit reads are not tracked, nothing panics.
+        launch_1d(4, 32, |i| unsafe {
+            let v = p.read(i);
+            p.write(i, v + 1.0);
+        });
+        assert!(buf.iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Shadow state for the simulated-device sanitizer (`simsan`).
+//!
+//! Two kinds of shadow state back the checks in [`crate::sanitizer`]:
+//!
+//! * **Per-phase access maps** record, for every memory cell touched inside
+//!   the current barrier-delimited phase, which thread last wrote it and
+//!   which thread last read it. Because the simulator runs one block at a
+//!   time and clears the map at every barrier, an entry can only collide
+//!   with an access from another thread *of the same block in the same
+//!   phase* — exactly the window in which real GPU threads run unordered
+//!   and an unsynchronized conflict is a data race.
+//! * **An uninitialized-allocation table** tracks buffers registered through
+//!   [`crate::DevicePtr::new_uninit`] with a per-element init bitmap, so
+//!   reads that precede any write can be reported (the host memory is
+//!   really initialized, so the read itself is defined — the *kernel logic*
+//!   is what's wrong, which is what a `cuda-memcheck initcheck` run flags).
+
+use crate::Dim3;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-cell access record within one barrier-delimited phase.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellAccess {
+    /// Thread (by in-block index) that last wrote the cell this phase.
+    writer: Option<Dim3>,
+    /// Thread that last read the cell this phase.
+    reader: Option<Dim3>,
+}
+
+/// Conflicts found by recording a write.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteConflict {
+    /// A different thread already wrote this cell in the same phase.
+    pub prior_writer: Option<Dim3>,
+    /// A different thread already read this cell in the same phase.
+    pub prior_reader: Option<Dim3>,
+}
+
+/// Access map for one memory space, valid for the current phase only.
+///
+/// Keys are byte addresses for global memory and word indices for shared
+/// memory; the map never interprets them, it only compares thread identity.
+#[derive(Debug, Default)]
+pub struct PhaseAccessMap {
+    cells: HashMap<usize, CellAccess>,
+}
+
+impl PhaseAccessMap {
+    /// Record a read of `key` by thread `who`; returns the conflicting
+    /// writer if another thread wrote the cell earlier in this phase.
+    pub fn note_read(&mut self, key: usize, who: Dim3) -> Option<Dim3> {
+        let cell = self.cells.entry(key).or_default();
+        let conflict = cell.writer.filter(|w| *w != who);
+        cell.reader = Some(who);
+        conflict
+    }
+
+    /// Record a write of `key` by thread `who`; returns any conflicting
+    /// prior accesses by other threads in this phase.
+    pub fn note_write(&mut self, key: usize, who: Dim3) -> WriteConflict {
+        let cell = self.cells.entry(key).or_default();
+        let conflict = WriteConflict {
+            prior_writer: cell.writer.filter(|w| *w != who),
+            prior_reader: cell.reader.filter(|r| *r != who),
+        };
+        cell.writer = Some(who);
+        conflict
+    }
+
+    /// Forget every access — called at each barrier (phase end), which is
+    /// what makes a barrier *fix* the hazards this map detects.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+    }
+
+    /// Number of distinct cells touched this phase (diagnostic).
+    #[cfg(test)]
+    pub fn touched(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// One tracked uninitialized allocation.
+#[derive(Debug)]
+struct UninitAlloc {
+    /// Allocation size in bytes.
+    bytes: usize,
+    /// Element size in bytes.
+    elem: usize,
+    /// Per-element "has been written" bits.
+    init: Vec<bool>,
+}
+
+/// Registry of buffers whose contents are logically uninitialized until
+/// first write, keyed by base byte address.
+#[derive(Debug, Default)]
+pub struct UninitTable {
+    allocs: BTreeMap<usize, UninitAlloc>,
+}
+
+impl UninitTable {
+    /// Track `[base, base + bytes)` as uninitialized, `elem` bytes per
+    /// element. Replaces any previous registration at the same base.
+    pub fn register(&mut self, base: usize, bytes: usize, elem: usize) {
+        if elem == 0 || bytes == 0 {
+            return;
+        }
+        self.remove_overlapping(base, bytes);
+        self.allocs.insert(
+            base,
+            UninitAlloc {
+                bytes,
+                elem,
+                init: vec![false; bytes / elem],
+            },
+        );
+    }
+
+    /// Stop tracking anything overlapping `[base, base + bytes)` — the
+    /// memory was handed out again (e.g. through `DevicePtr::new`), so its
+    /// contents are the caller's responsibility once more.
+    pub fn remove_overlapping(&mut self, base: usize, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let end = base.saturating_add(bytes);
+        let stale: Vec<usize> = self
+            .allocs
+            .range(..end)
+            .rev()
+            .take_while(|(b, a)| b.saturating_add(a.bytes) > base)
+            .map(|(b, _)| *b)
+            .collect();
+        for b in stale {
+            self.allocs.remove(&b);
+        }
+    }
+
+    /// Mark the element at byte address `addr` as initialized.
+    pub fn mark_init(&mut self, addr: usize) {
+        if let Some((base, alloc)) = self.allocs.range_mut(..=addr).next_back() {
+            let off = addr - base;
+            if off < alloc.bytes {
+                alloc.init[off / alloc.elem] = true;
+            }
+        }
+    }
+
+    /// Whether the element at byte address `addr` is a tracked,
+    /// never-written location.
+    pub fn is_uninit(&self, addr: usize) -> bool {
+        match self.allocs.range(..=addr).next_back() {
+            Some((base, alloc)) => {
+                let off = addr - base;
+                off < alloc.bytes && !alloc.init[off / alloc.elem]
+            }
+            None => false,
+        }
+    }
+
+    /// Number of tracked allocations (diagnostic).
+    #[cfg(test)]
+    pub fn tracked(&self) -> usize {
+        self.allocs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Dim3 = Dim3 { x: 0, y: 0, z: 0 };
+    const T1: Dim3 = Dim3 { x: 1, y: 0, z: 0 };
+
+    #[test]
+    fn same_thread_accesses_never_conflict() {
+        let mut m = PhaseAccessMap::default();
+        assert!(m.note_write(100, T0).prior_writer.is_none());
+        assert!(m.note_read(100, T0).is_none());
+        let c = m.note_write(100, T0);
+        assert!(c.prior_writer.is_none() && c.prior_reader.is_none());
+    }
+
+    #[test]
+    fn cross_thread_conflicts_are_reported_until_cleared() {
+        let mut m = PhaseAccessMap::default();
+        m.note_write(8, T0);
+        assert_eq!(m.note_read(8, T1), Some(T0), "read-after-write");
+        let c = m.note_write(8, T1);
+        assert_eq!(c.prior_writer, Some(T0), "write-after-write");
+        m.clear();
+        assert!(m.note_read(8, T1).is_none(), "barrier clears the window");
+        assert_eq!(m.touched(), 1);
+    }
+
+    #[test]
+    fn uninit_table_tracks_per_element_bits() {
+        let mut t = UninitTable::default();
+        t.register(1000, 64, 8); // 8 f64 elements at bytes 1000..1064
+        assert!(t.is_uninit(1000));
+        assert!(t.is_uninit(1056));
+        assert!(!t.is_uninit(1064), "one past the end is untracked");
+        assert!(!t.is_uninit(992), "before the base is untracked");
+        t.mark_init(1008);
+        assert!(!t.is_uninit(1008));
+        assert!(t.is_uninit(1016), "neighbors stay uninit");
+    }
+
+    #[test]
+    fn reregistration_replaces_overlapping_entries() {
+        let mut t = UninitTable::default();
+        t.register(1000, 64, 8);
+        t.mark_init(1000);
+        // Reuse of the same memory: a fresh uninit registration resets bits.
+        t.register(1000, 64, 8);
+        assert!(t.is_uninit(1000));
+        // A plain (initialized) handout removes the tracking entirely.
+        t.remove_overlapping(1032, 8);
+        assert!(!t.is_uninit(1000));
+        assert_eq!(t.tracked(), 0);
+    }
+}

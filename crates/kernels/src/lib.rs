@@ -34,6 +34,7 @@ pub mod comm;
 pub mod common;
 pub mod lcals;
 pub mod polybench;
+pub mod sanitize;
 pub mod stream;
 
 /// The seven kernel groups of Table I.
@@ -395,13 +396,17 @@ pub fn verify_variants(k: &dyn KernelBase, n: usize, rel: f64) -> Vec<(VariantId
     let mut out = Vec::new();
     for &v in info.variants {
         let r = k.execute(v, n, 1, &tuning);
+        let denom = reference.abs().max(f64::MIN_POSITIVE);
+        let rel_err = (r.checksum - reference).abs() / denom;
         assert!(
             common::close(r.checksum, reference, rel),
-            "{}: variant {} checksum {} != reference {}",
+            "{}: variant {} checksum {} != reference {} (relative error {:.3e} > tolerance {:.1e})",
             info.name,
             v.name(),
             r.checksum,
-            reference
+            reference,
+            rel_err,
+            rel
         );
         out.push((v, r.checksum));
     }
@@ -497,5 +502,79 @@ mod tests {
     fn find_locates_kernels() {
         assert!(find("Stream_TRIAD").is_some());
         assert!(find("No_SUCH").is_none());
+    }
+
+    /// Test double whose RAJA_Seq variant drifts from the reference by a
+    /// controlled factor — exercises the verify_variants failure path.
+    struct DriftingKernel {
+        drift: f64,
+    }
+
+    impl KernelBase for DriftingKernel {
+        fn info(&self) -> KernelInfo {
+            KernelInfo {
+                name: "Test_DRIFT",
+                group: Group::Basic,
+                features: &[Feature::Forall],
+                complexity: Complexity::N,
+                default_size: 64,
+                default_reps: 1,
+                paper_models: &[PaperModel::Seq],
+                variants: SEQ_VARIANTS,
+            }
+        }
+
+        fn metrics(&self, n: usize) -> AnalyticMetrics {
+            AnalyticMetrics {
+                bytes_read: 8.0 * n as f64,
+                bytes_written: 8.0 * n as f64,
+                flops: n as f64,
+            }
+        }
+
+        fn execute(&self, variant: VariantId, n: usize, reps: usize, _t: &Tuning) -> RunResult {
+            check_variant(&self.info(), variant);
+            let scale = match variant {
+                VariantId::RajaSeq => self.drift,
+                _ => 1.0,
+            };
+            RunResult {
+                checksum: n as f64 * scale,
+                time: Duration::from_micros(1),
+                reps,
+                metrics: self.metrics(n),
+            }
+        }
+    }
+
+    #[test]
+    fn verify_variants_reports_nonzero_relative_error_on_mismatch() {
+        let broken = DriftingKernel { drift: 1.1 }; // 10% off the reference
+        let err = std::panic::catch_unwind(|| verify_variants(&broken, 64, 1e-8))
+            .expect_err("10% drift must fail an 1e-8 tolerance");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("assert! panics with a String");
+        assert!(msg.contains("Test_DRIFT"), "{msg}");
+        assert!(msg.contains("variant RAJA_Seq"), "{msg}");
+        assert!(
+            msg.contains("relative error 1.000e-1"),
+            "the 10% drift is quantified: {msg}"
+        );
+        assert!(msg.contains("tolerance 1.0e-8"), "{msg}");
+    }
+
+    #[test]
+    fn verify_variants_accepts_drift_within_tolerance() {
+        let nearly = DriftingKernel { drift: 1.0 + 1e-12 };
+        let checks = verify_variants(&nearly, 64, 1e-8);
+        assert_eq!(checks.len(), SEQ_VARIANTS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel Test_DRIFT does not implement variant Base_SimGpu")]
+    fn check_variant_surfaces_unsupported_variants() {
+        let k = DriftingKernel { drift: 1.0 };
+        k.execute(VariantId::BaseSimGpu, 64, 1, &Tuning::default());
     }
 }

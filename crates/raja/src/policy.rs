@@ -130,6 +130,9 @@ impl<const B: usize> ExecPolicy for SimGpuExec<B> {
         if n == 0 {
             return;
         }
+        // Label accesses for the simulated-device sanitizer, so findings
+        // report which RAJA abstraction the hazardous launch ran under.
+        let _region = gpusim::sanitizer::region("raja::forall<SimGpu>");
         gpusim::launch_1d(n, B, |i| body(start + i));
     }
 
@@ -140,6 +143,7 @@ impl<const B: usize> ExecPolicy for SimGpuExec<B> {
         if n_outer == 0 || n_inner == 0 {
             return;
         }
+        let _region = gpusim::sanitizer::region("raja::forall_2d<SimGpu>");
         // Inner dimension along thread x (coalesced on a real device),
         // outer dimension along grid y — RAJAPerf's usual 2-D GPU mapping.
         let cfg = gpusim::LaunchConfig::grid_block(
@@ -170,6 +174,7 @@ impl<const B: usize> ExecPolicy for SimGpuExec<B> {
         if n_outer == 0 || n_mid == 0 || n_inner == 0 {
             return;
         }
+        let _region = gpusim::sanitizer::region("raja::forall_3d<SimGpu>");
         let cfg = gpusim::LaunchConfig::grid_block(
             gpusim::Dim3::d3(n_inner.div_ceil(B), n_mid, n_outer),
             gpusim::Dim3::d1(B),

@@ -89,6 +89,7 @@ impl<const B: usize> ReducePolicy for SimGpuExec<B> {
         if n == 0 {
             return identity;
         }
+        let _region = gpusim::sanitizer::region("raja::reduce<SimGpu>");
         let nblocks = n.div_ceil(B);
         // Stage 1: each block folds its strip into a per-block partial
         // (shared-memory tree reduction on a real device).

@@ -50,8 +50,15 @@ fn main() {
     }
     let report = run_suite(&params);
     print!("{}", report.render_timing());
+    if let Some(section) = &report.sanitize {
+        println!();
+        print!("{}", section.render());
+    }
     for path in &report.outputs {
         println!("wrote {}", path.display());
+    }
+    if report.sanitize.as_ref().is_some_and(|s| !s.all_clean()) {
+        std::process::exit(1);
     }
 }
 

@@ -22,7 +22,7 @@ pub mod report;
 pub mod simulate;
 
 pub use params::{RunParams, Selection};
-pub use report::{ChecksumReport, SuiteReport, TimingEntry};
+pub use report::{ChecksumReport, SanitizeSection, SuiteReport, TimingEntry};
 
 /// Execute the suite described by `params`, producing a report and (if
 /// configured) Caliper output files.
@@ -66,6 +66,21 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
     }
     drop(_suite_region);
 
+    // Optional sanitizer pass over the same selection. It runs after the
+    // timing loop (never interleaved with it) so the measured kernel times
+    // above are untouched, and its cost lands in the profile as metadata
+    // through `annotate_overhead` rather than in any kernel region.
+    let sanitize = params.sanitize.then(|| {
+        let section = run_sanitize(params);
+        session.set_global("sanitizer", "simsan");
+        session.set_global(
+            "sanitizer_findings",
+            section.total_occurrences() as i64,
+        );
+        session.annotate_overhead("sanitizer", section.total_baseline(), section.total_time());
+        section
+    });
+
     let mut outputs = Vec::new();
     if let Some(spec) = &params.caliper_spec {
         let mut cm = caliper::ConfigManager::new();
@@ -84,7 +99,32 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         entries,
         profile: session.profile(),
         outputs,
+        sanitize,
     }
+}
+
+/// Run the simulated-device sanitizer (`simsan`) over the kernels selected
+/// by `params`, covering every simulated-device variant each kernel
+/// implements. The sweep uses `--size` when given and otherwise
+/// [`kernels::sanitize::DEFAULT_SANITIZE_SIZE`] — shadow tracking costs a
+/// map operation per access, and the hazard classes it detects are
+/// intra-block, so a reduced size loses no coverage.
+pub fn run_sanitize(params: &RunParams) -> SanitizeSection {
+    let n = params.explicit_size;
+    let mut section = SanitizeSection::default();
+    for kernel in params.selected_kernels() {
+        for &v in kernels::sanitize::SANITIZED_VARIANTS {
+            if let Some(outcome) = kernels::sanitize::sanitize_kernel(
+                kernel.as_ref(),
+                v,
+                n.unwrap_or(kernels::sanitize::DEFAULT_SANITIZE_SIZE),
+                &params.tuning,
+            ) {
+                section.outcomes.push(outcome);
+            }
+        }
+    }
+    section
 }
 
 /// Run several variants (for cross-variant checksum validation and
@@ -266,6 +306,33 @@ mod tests {
         assert!(md.contains("| Stream_TRIAD |"));
         // Header row + one data row per kernel.
         assert_eq!(md.lines().filter(|l| l.starts_with("| ")).count(), 1 + 3);
+    }
+
+    #[test]
+    fn sanitize_pass_reports_clean_and_annotates_profile() {
+        let p = RunParams {
+            sanitize: true,
+            ..small_params()
+        };
+        let report = run_suite(&p);
+        let section = report.sanitize.as_ref().expect("sanitize section present");
+        // All three kernels support both simulated-device variants.
+        assert_eq!(section.outcomes.len(), 6);
+        assert!(section.all_clean(), "{}", section.render());
+        assert_eq!(report.profile.global_str("sanitizer"), Some("simsan"));
+        assert!(
+            report.profile.globals.contains_key("sanitizer_overhead_pct"),
+            "overhead metadata recorded"
+        );
+        let rendered = section.render();
+        assert!(rendered.contains("Stream_TRIAD"));
+        assert!(rendered.contains("CLEAN"));
+    }
+
+    #[test]
+    fn sanitize_off_by_default() {
+        let report = run_suite(&small_params());
+        assert!(report.sanitize.is_none());
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub struct RunParams {
     pub explicit_reps: Option<usize>,
     /// Caliper ConfigManager spec (e.g. `spot(output=run.cali.json)`).
     pub caliper_spec: Option<String>,
+    /// Run the simulated-device sanitizer (`simsan`) over the selection
+    /// after the timing pass and append its findings to the report.
+    pub sanitize: bool,
 }
 
 impl Default for RunParams {
@@ -52,6 +55,7 @@ impl Default for RunParams {
             reps_factor: 1.0,
             explicit_reps: None,
             caliper_spec: None,
+            sanitize: false,
         }
     }
 }
@@ -176,6 +180,7 @@ impl RunParams {
                         .map_err(|e| format!("bad reps factor: {e}"))?
                 }
                 "--caliper" => p.caliper_spec = Some(value("--caliper")?),
+                "--sanitize" => p.sanitize = true,
                 other => return Err(format!("unknown option '{other}' (try --help)")),
             }
         }
@@ -206,6 +211,9 @@ impl RunParams {
                                         'spot(output=run.cali.json)'\n\
            --checksums                  run every variant and print the\n\
                                         cross-variant checksum report\n\
+           --sanitize                   run the simulated-device sanitizer\n\
+                                        (simsan) over the selection and print\n\
+                                        its hazard report\n\
            --list                       list kernels and exit\n"
     }
 }
@@ -253,6 +261,14 @@ mod tests {
     fn exclusion_removes_kernels() {
         let p = RunParams::parse(&args("--groups Stream --exclude-kernels Stream_DOT")).unwrap();
         assert_eq!(p.selected_kernels().len(), 4);
+    }
+
+    #[test]
+    fn sanitize_flag_parses() {
+        assert!(!RunParams::default().sanitize);
+        let p = RunParams::parse(&args("--sanitize --groups Stream")).unwrap();
+        assert!(p.sanitize);
+        assert_eq!(p.selected_kernels().len(), 5);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Suite run reports: timing tables, CSV, and cross-variant checksum
-//! validation — the "various text-based files" RAJAPerf generates (§II-A).
+//! Suite run reports: timing tables, CSV, cross-variant checksum
+//! validation — the "various text-based files" RAJAPerf generates (§II-A) —
+//! and the `--sanitize` hazard section.
 
+use kernels::sanitize::SanitizeOutcome;
 use kernels::{RunResult, VariantId};
 use std::collections::BTreeMap;
 
@@ -54,6 +56,69 @@ pub struct SuiteReport {
     pub profile: caliper::Profile,
     /// Files written by the configured Caliper outputs.
     pub outputs: Vec<std::path::PathBuf>,
+    /// Sanitizer results when the run was invoked with `--sanitize`.
+    pub sanitize: Option<SanitizeSection>,
+}
+
+/// The `--sanitize` section of a suite report: one outcome per sanitized
+/// kernel variant, plus the sweep's aggregate cost.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizeSection {
+    /// Per-kernel-variant sanitizer outcomes in execution order.
+    pub outcomes: Vec<SanitizeOutcome>,
+}
+
+impl SanitizeSection {
+    /// True when no sanitized kernel produced a finding.
+    pub fn all_clean(&self) -> bool {
+        self.outcomes.iter().all(|o| o.is_clean())
+    }
+
+    /// Total hazard occurrences across the sweep.
+    pub fn total_occurrences(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.occurrences).sum()
+    }
+
+    /// Summed sanitized wall time across the sweep.
+    pub fn total_time(&self) -> std::time::Duration {
+        self.outcomes.iter().map(|o| o.sanitized_time).sum()
+    }
+
+    /// Summed unsanitized baseline wall time across the sweep.
+    pub fn total_baseline(&self) -> std::time::Duration {
+        self.outcomes.iter().map(|o| o.baseline_time).sum()
+    }
+
+    /// Render the hazard report section.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Sanitizer (simsan) report\n");
+        out.push_str(&format!(
+            "{:<28} {:<12} {:>8} {:>12} {:>10}\n",
+            "Kernel", "Variant", "Sites", "Occurrences", "Overhead"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{:<28} {:<12} {:>8} {:>12} {:>9.1}x\n",
+                o.kernel,
+                o.variant.name(),
+                o.findings.len(),
+                o.occurrences,
+                o.overhead_ratio(),
+            ));
+        }
+        for o in &self.outcomes {
+            for f in &o.findings {
+                out.push_str(&format!("  {f}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{} kernel variant(s) sanitized, {} hazard occurrence(s): {}\n",
+            self.outcomes.len(),
+            self.total_occurrences(),
+            if self.all_clean() { "CLEAN" } else { "HAZARDS DETECTED" }
+        ));
+        out
+    }
 }
 
 impl SuiteReport {
@@ -180,6 +245,7 @@ mod tests {
             entries: vec![entry("A", 1.0), entry("B", 1.0)],
             profile: caliper::Profile::default(),
             outputs: vec![],
+            sanitize: None,
         };
         assert_eq!(report.to_csv().lines().count(), 3);
         assert!(report.entry("A").is_some());

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification gate for RAJAPerf-rs: build, lint, and test everything.
+#
+#   scripts/verify.sh           # tier-1 + clippy + workspace tests
+#   scripts/verify.sh --quick   # tier-1 only (build + root tests)
+#
+# Lint policy: `cargo clippy --all-targets -- -D warnings` must be clean
+# across the whole workspace, vendored crates included.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "verify: tier-1 OK (quick mode, clippy and workspace tests skipped)"
+    exit 0
+fi
+
+echo "== lint: cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== full: cargo test --workspace --release =="
+cargo test --workspace --release
+
+echo "verify: OK"

@@ -1,0 +1,35 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module subset the workspace uses is provided,
+//! implemented over `std::sync::mpsc` (whose `Sender` has been `Sync` since
+//! Rust 1.72, which is all the simulated-MPI substrate needs).
+
+/// Multi-producer channels (crossbeam-channel API subset).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// The receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41).unwrap());
+        tx.send(1).unwrap();
+        let sum: i32 = (0..2).map(|_| rx.recv().unwrap()).sum();
+        assert_eq!(sum, 42);
+    }
+}

@@ -1,0 +1,84 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` as a dev-dependency but only needs a small
+//! deterministic generator; this stub provides an xorshift64* PRNG behind a
+//! `rand`-flavoured API (`Rng::gen_range`, `thread_rng`, `SeedableRng`).
+
+/// Minimal random-generation trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// An xorshift64* generator: tiny, fast, deterministic.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// A process-seeded generator (deterministic per process, unlike `rand`'s,
+/// which is fine for the suite's test usage).
+pub fn thread_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0xC0FFEE ^ std::process::id() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(5..17);
+            assert!((5..17).contains(&v));
+        }
+        let f = r.gen_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

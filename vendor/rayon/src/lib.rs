@@ -1,0 +1,263 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! This build environment has no crates.io access and a single CPU core, so
+//! the workspace vendors the slice of rayon's data-parallel API it uses with
+//! a *sequential* execution engine: `par_iter`-family calls deliver the same
+//! items with the same semantics (including rayon's `fold(init, ..)` /
+//! `reduce(init, ..)` partial-combining shape) on the calling thread. On a
+//! one-core host this is also what rayon's work-stealing pool would degrade
+//! to; the portability-layer policies keep their structure and their results
+//! stay bitwise-deterministic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The adapter wrapping a sequential iterator behind rayon's parallel
+/// iterator surface.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Consume the iterator, invoking `f` per item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    /// Map items through `f`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J::IntoIter>>
+    where
+        J: IntoIterator,
+    {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Keep items satisfying `f`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Rayon-shaped fold: starts partial accumulators with `init()` and
+    /// folds items into them, yielding an iterator of partials (exactly one
+    /// here, since execution is sequential).
+    pub fn fold<T, ID, F>(self, init: ID, fold: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(init(), fold)))
+    }
+
+    /// Rayon-shaped reduce: combine items pairwise starting from `init()`.
+    pub fn reduce<ID, F>(self, init: ID, combine: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(init(), combine)
+    }
+
+    /// Collect into a container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Item count.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert self into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type SeqIter = Range<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Range<T>> {
+        ParIter(self)
+    }
+}
+
+impl<T> IntoParallelIterator for RangeInclusive<T>
+where
+    RangeInclusive<T>: Iterator<Item = T>,
+{
+    type SeqIter = RangeInclusive<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<RangeInclusive<T>> {
+        ParIter(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type SeqIter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<std::vec::IntoIter<T>> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Shared-slice parallel views (`rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// Mutable-slice parallel views (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Stable sort by comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
+    /// Unstable natural-order sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
+        self.sort_by(cmp);
+    }
+
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
+        self.sort_unstable_by(cmp);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+/// Number of worker threads the pool would use (one: sequential engine).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_for_each_and_sum() {
+        let mut hits = vec![0u32; 10];
+        (0..10usize).into_par_iter().for_each(|i| hits[i] += 1);
+        assert!(hits.iter().all(|&h| h == 1));
+        let s: usize = (1..=4usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(s, 30);
+    }
+
+    #[test]
+    fn fold_reduce_matches_rayon_shape() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, i| acc + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn map_reduce_with_identity() {
+        let (val, loc) = (0..5usize)
+            .into_par_iter()
+            .map(|i| ((10 - i) as f64, i))
+            .reduce(|| (f64::INFINITY, usize::MAX), |a, b| if b.0 < a.0 { b } else { a });
+        assert_eq!((val, loc), (6.0, 4));
+    }
+
+    #[test]
+    fn slice_adapters() {
+        let a = [1.0f64, 2.0, 3.0];
+        let s: f64 = a.par_iter().sum();
+        assert_eq!(s, 6.0);
+        let mut b = [3, 1, 2];
+        b.par_sort_unstable();
+        assert_eq!(b, [1, 2, 3]);
+        let mut c = [0.0f64; 6];
+        let off = [10.0, 20.0, 30.0];
+        c.par_chunks_mut(2)
+            .zip(off.par_iter())
+            .enumerate()
+            .for_each(|(i, (chunk, &o))| chunk.iter_mut().for_each(|v| *v = o + i as f64));
+        assert_eq!(c, [10.0, 10.0, 21.0, 21.0, 32.0, 32.0]);
+    }
+}

@@ -1,0 +1,794 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! the serde surface it actually uses. Instead of serde's zero-copy visitor
+//! architecture, both traits go through an owned JSON value tree ([`Value`]):
+//! `Serialize` maps a type *to* a `Value`, `Deserialize` maps it back *from*
+//! one. The `serde_json` facade crate re-exports `Value`/`Error` from here
+//! and adds the text layer (`from_str`, `to_string`, `json!`).
+//!
+//! The derive macros re-exported from `serde_derive` cover the shapes this
+//! workspace uses: named structs, newtype structs, unit enums, and
+//! `#[serde(untagged)]` newtype enums (tried in declaration order, so e.g.
+//! `Int` before `Double` keeps `42` an integer and `3.25` a double).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value. Integers and floats are kept distinct so untagged
+/// enums can round-trip `42` vs `3.25` faithfully.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number that parsed (or serialized) as an integer.
+    Int(i64),
+    /// JSON number with a fractional or exponent part.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, with deterministic (sorted) key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Borrow the string if this is `Value::String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric value (integral or floating), if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array if this is `Value::Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the map if this is `Value::Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Is this `Value::Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Compact JSON text (`Display` mirrors `serde_json::Value`'s).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&text::write(self, false))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+/// Object indexing; missing keys and non-objects yield `Null` (as in
+/// `serde_json`), so chained lookups never panic.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Int(v as i64) }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        if v.is_finite() {
+            Value::Float(v)
+        } else {
+            Value::Null // JSON has no non-finite numbers; mirror serde_json's null
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+/// The shared (de)serialization error: a message, optionally with the JSON
+/// text position it arose at.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization to a [`Value`] tree.
+pub trait Serialize {
+    /// Map `self` to a JSON value.
+    fn serialize(&self) -> Result<Value, Error>;
+}
+
+/// Deserialization from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a JSON value.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Required-field lookup used by derived struct `Deserialize` impls:
+/// a missing key is an error, not a default.
+pub fn de_field<T: Deserialize>(obj: &BTreeMap<String, Value>, key: &str) -> Result<T, Error> {
+    match obj.get(key) {
+        Some(v) => T::deserialize(v)
+            .map_err(|e| Error::msg(format!("field `{key}`: {e}"))),
+        None => Err(Error::msg(format!("missing field `{key}`"))),
+    }
+}
+
+/// Serialize any value to a [`Value`] tree (`serde_json::to_value`).
+pub fn to_value<T: Serialize>(v: T) -> Result<Value, Error> {
+    v.serialize()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for the std types the workspace uses.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize(&self) -> Result<Value, Error> {
+        Ok(self.clone())
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Result<Value, Error> {
+        Ok(Value::Bool(*self))
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<bool, Error> {
+        v.as_bool().ok_or_else(|| Error::msg("expected a boolean"))
+    }
+}
+
+macro_rules! impl_ints {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Result<Value, Error> { Ok(Value::Int(*self as i64)) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::msg("expected an integer"))?;
+                <$t>::try_from(i).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_ints!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Result<Value, Error> {
+        Ok(Value::from(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<f64, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected a number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Result<Value, Error> {
+        Ok(Value::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<f32, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.clone()))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected a string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.to_string()))
+    }
+}
+
+/// Deserializing into `&'static str` leaks the parsed string. It exists so
+/// deriving `Deserialize` on structs holding static-table strings (e.g. the
+/// machine catalog) compiles; such tables are written, not read back, in
+/// practice.
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<&'static str, Error> {
+        String::deserialize(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Result<Value, Error> {
+        match self {
+            Some(x) => x.serialize(),
+            None => Ok(Value::Null),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Option<T>, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Result<Value, Error> {
+        self.iter()
+            .map(Serialize::serialize)
+            .collect::<Result<_, _>>()
+            .map(Value::Array)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected an array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Result<Value, Error> {
+        self.iter()
+            .map(Serialize::serialize)
+            .collect::<Result<_, _>>()
+            .map(Value::Array)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Result<Value, Error> {
+        (**self).serialize()
+    }
+}
+
+macro_rules! impl_tuples {
+    ($(($($n:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Result<Value, Error> {
+                Ok(Value::Array(vec![$(self.$n.serialize()?),+]))
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::msg("expected a tuple array"))?;
+                const ARITY: usize = [$($n),+].len();
+                if a.len() != ARITY {
+                    return Err(Error::msg("tuple arity mismatch"));
+                }
+                Ok(($($t::deserialize(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuples! {
+    (0 A);
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+}
+
+/// Maps serialize as JSON objects. Non-string keys (e.g. the thicket's
+/// `(node, profile)` row keys) become their compact JSON text, and are parsed
+/// back from it on deserialization.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Result<Value, Error> {
+        let mut out = BTreeMap::new();
+        for (k, v) in self {
+            let key = match k.serialize()? {
+                Value::String(s) => s,
+                other => other.to_string(),
+            };
+            out.insert(key, v.serialize()?);
+        }
+        Ok(Value::Object(out))
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<BTreeMap<K, V>, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::msg("expected an object"))?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj {
+            let key_value = Value::String(k.clone());
+            let key = K::deserialize(&key_value)
+                .or_else(|_| text::parse(k).and_then(|kv| K::deserialize(&kv)))
+                .map_err(|_| Error::msg(format!("unparseable map key `{k}`")))?;
+            out.insert(key, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON text layer (used by the serde_json facade).
+// ---------------------------------------------------------------------------
+
+/// JSON text parsing and printing shared with the `serde_json` facade.
+pub mod text {
+    use super::{Error, Value};
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    /// Parse a complete JSON document.
+    pub fn parse(input: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: &str) -> Error {
+            Error::msg(format!("{msg} at byte {}", self.pos))
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, tok: &str) -> Result<(), Error> {
+            if self.bytes[self.pos..].starts_with(tok.as_bytes()) {
+                self.pos += tok.len();
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{tok}`")))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') => self.eat("null").map(|_| Value::Null),
+                Some(b't') => self.eat("true").map(|_| Value::Bool(true)),
+                Some(b'f') => self.eat("false").map(|_| Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.pos += 1; // [
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]` in array")),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.pos += 1; // {
+            let mut map = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                if self.peek() != Some(b'"') {
+                    return Err(self.err("expected a string object key"));
+                }
+                let key = self.string()?;
+                self.skip_ws();
+                if self.peek() != Some(b':') {
+                    return Err(self.err("expected `:` after object key"));
+                }
+                self.pos += 1;
+                self.skip_ws();
+                let val = self.value()?;
+                map.insert(key, val);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(self.err("expected `,` or `}` in object")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.pos += 1; // opening quote
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000C}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let cu = self.hex4()?;
+                                // Combine UTF-16 surrogate pairs when present.
+                                let ch = if (0xD800..0xDC00).contains(&cu) {
+                                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                                        self.pos += 2;
+                                        let lo = self.hex4()?;
+                                        let c = 0x10000
+                                            + ((cu - 0xD800) << 10)
+                                            + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                        char::from_u32(c)
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    char::from_u32(cu)
+                                };
+                                out.push(ch.unwrap_or('\u{FFFD}'));
+                            }
+                            _ => return Err(self.err("unknown string escape")),
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input is a &str, so
+                        // byte boundaries are valid).
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest)
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                        let ch = s.chars().next().unwrap();
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, Error> {
+            let hex = self
+                .bytes
+                .get(self.pos..self.pos + 4)
+                .and_then(|b| std::str::from_utf8(b).ok())
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+            self.pos += 4;
+            Ok(v)
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            let mut is_float = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                    b'.' | b'e' | b'E' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            if !is_float {
+                if let Ok(i) = s.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            }
+            s.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+
+    /// Print a value as JSON text, compact or pretty (2-space indent).
+    pub fn write(v: &Value, pretty: bool) -> String {
+        let mut out = String::new();
+        write_into(&mut out, v, pretty, 0);
+        out
+    }
+
+    fn write_into(out: &mut String, v: &Value, pretty: bool, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            // `{:?}` keeps float-ness in the text ("7.0", "3.25", "1e300"),
+            // so integers and doubles survive a round-trip distinct.
+            Value::Float(f) => {
+                let _ = write!(out, "{f:?}");
+            }
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, pretty, depth + 1);
+                    write_into(out, item, pretty, depth + 1);
+                }
+                newline_indent(out, pretty, depth);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, pretty, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    write_into(out, val, pretty, depth + 1);
+                }
+                newline_indent(out, pretty, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, pretty: bool, depth: usize) {
+        if pretty {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{0008}' => out.push_str("\\b"),
+                '\u{000C}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        let src = r#"{"a": [1, 2.5, true, null], "b": "x\ny é", "c": {"k": -3}}"#;
+        let v = text::parse(src).unwrap();
+        assert_eq!(v["a"], Value::Array(vec![
+            Value::Int(1),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Null
+        ]));
+        assert_eq!(v["b"].as_str(), Some("x\ny é"));
+        assert_eq!(v["c"]["k"].as_i64(), Some(-3));
+        let back = text::parse(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(text::parse("{not json").is_err());
+        assert!(text::parse("[1,]").is_err());
+        assert!(text::parse("42 tail").is_err());
+        assert!(text::parse("").is_err());
+    }
+
+    #[test]
+    fn floats_keep_their_floatness() {
+        let v = Value::Float(7.0);
+        let t = text::write(&v, false);
+        assert_eq!(t, "7.0");
+        assert_eq!(text::parse(&t).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_key_maps_roundtrip() {
+        let mut m: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        m.insert((0, 1), 2.5);
+        m.insert((3, 4), -1.0);
+        let v = m.serialize().unwrap();
+        let back: std::collections::BTreeMap<(usize, usize), f64> =
+            Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn missing_fields_are_errors() {
+        let obj = text::parse(r#"{"x": 1}"#).unwrap();
+        let o = obj.as_object().unwrap();
+        assert!(de_field::<i64>(o, "x").is_ok());
+        assert!(de_field::<i64>(o, "y").is_err());
+    }
+}

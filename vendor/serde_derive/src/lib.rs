@@ -1,0 +1,338 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (which map types to and from an owned JSON `serde::Value`) by walking the
+//! item's token stream directly — no `syn`/`quote`, since this build
+//! environment has no crates.io access. Supported item shapes are exactly the
+//! ones this workspace derives on:
+//!
+//! - structs with named fields (no generics),
+//! - newtype tuple structs,
+//! - enums with only unit variants (serialized as the variant name),
+//! - `#[serde(untagged)]` enums with only newtype variants (serialized as
+//!   the payload; deserialized by trying variants in declaration order).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    /// Named-field struct: (name, field names).
+    Struct(String, Vec<String>),
+    /// Newtype tuple struct: name.
+    Newtype(String),
+    /// Enum of unit variants: (name, variant names).
+    UnitEnum(String, Vec<String>),
+    /// `#[serde(untagged)]` enum of newtype variants: (name, variant names).
+    UntaggedEnum(String, Vec<String>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match dir {
+            Direction::Serialize => gen_serialize(&item),
+            Direction::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parse the deriving item out of its token stream.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut untagged = false;
+    let mut i = 0;
+
+    // Outer attributes and visibility come before the `struct`/`enum` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_untagged(g.stream()) {
+                        untagged = true;
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break;
+            }
+            _ => i += 1, // `pub`, `pub(crate)`-style visibility groups, etc.
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected item name".into()),
+    };
+    let body = match tokens.get(i + 2) {
+        Some(TokenTree::Group(g)) => g,
+        _ => return Err(format!(
+            "serde_derive: `{name}` has an unsupported shape (generics and unit structs are not supported)"
+        )),
+    };
+
+    if kind == "struct" {
+        match body.delimiter() {
+            Delimiter::Brace => Ok(Item::Struct(name, parse_named_fields(body.stream())?)),
+            Delimiter::Parenthesis => {
+                let arity = tuple_arity(body.stream());
+                if arity == 1 {
+                    Ok(Item::Newtype(name))
+                } else {
+                    Err(format!("serde_derive: tuple struct `{name}` must be a newtype"))
+                }
+            }
+            _ => Err(format!("serde_derive: unsupported struct body for `{name}`")),
+        }
+    } else {
+        let (variants, payloads) = parse_variants(body.stream())?;
+        if payloads.iter().all(|p| !*p) {
+            Ok(Item::UnitEnum(name, variants))
+        } else if payloads.iter().all(|p| *p) && untagged {
+            Ok(Item::UntaggedEnum(name, variants))
+        } else {
+            Err(format!(
+                "serde_derive: enum `{name}` must be all-unit, or all-newtype with #[serde(untagged)]"
+            ))
+        }
+    }
+}
+
+/// Does `#[...]` hold `serde(untagged)`?
+fn attr_is_serde_untagged(attr: TokenStream) -> bool {
+    let mut it = attr.into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "untagged"))
+        }
+        _ => false,
+    }
+}
+
+/// Field names of a `{ ... }` struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments arrive as `#[doc = "..."]`).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => {
+                return Err(format!("serde_derive: expected field name, found `{other}`"))
+            }
+            None => break,
+        }
+        i += 1;
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err("serde_derive: expected `:` after field name".into());
+        }
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a `( ... )` tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in body {
+        any = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+/// Variant names of an enum body, with a per-variant "has payload" flag.
+fn parse_variants(body: TokenStream) -> Result<(Vec<String>, Vec<bool>), String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut payloads = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(other) => {
+                return Err(format!("serde_derive: expected variant name, found `{other}`"))
+            }
+            None => break,
+        }
+        i += 1;
+        let has_payload = matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        );
+        if has_payload {
+            i += 1;
+        }
+        payloads.push(has_payload);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok((names, payloads))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct(name, fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.insert(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f})?);"
+                    )
+                })
+                .collect();
+            (name, format!(
+                "let mut __m = ::std::collections::BTreeMap::new();\
+                 {inserts}\
+                 ::std::result::Result::Ok(::serde::Value::Object(__m))"
+            ))
+        }
+        Item::Newtype(name) => (name, "::serde::Serialize::serialize(&self.0)".to_string()),
+        Item::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::std::result::Result::Ok(\
+                         ::serde::Value::String(::std::string::String::from({v:?}))),"
+                    )
+                })
+                .collect();
+            (name, format!("match self {{ {arms} }}"))
+        }
+        Item::UntaggedEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v}(__x) => ::serde::Serialize::serialize(__x),"))
+                .collect();
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\
+         impl ::serde::Serialize for {name} {{\
+             fn serialize(&self) -> ::std::result::Result<::serde::Value, ::serde::Error> {{\
+                 {body}\
+             }}\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__o, {f:?})?,"))
+                .collect();
+            (name, format!(
+                "let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(concat!(\"expected a JSON object for struct \", {name:?})))?;\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            ))
+        }
+        Item::Newtype(name) => (name, format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+        )),
+        Item::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => \
+                                  ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            (name, format!(
+                "match __v.as_str() {{ {arms} _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(concat!(\"unknown variant of enum \", {name:?}))) }}"
+            ))
+        }
+        Item::UntaggedEnum(name, variants) => {
+            let tries: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "if let ::std::result::Result::Ok(__x) = \
+                         ::serde::Deserialize::deserialize(__v) {{\
+                             return ::std::result::Result::Ok({name}::{v}(__x));\
+                         }}"
+                    )
+                })
+                .collect();
+            (name, format!(
+                "{tries} ::std::result::Result::Err(::serde::Error::msg(concat!(\
+                 \"data did not match any variant of untagged enum \", {name:?})))"
+            ))
+        }
+    };
+    format!(
+        "#[automatically_derived]\
+         impl ::serde::Deserialize for {name} {{\
+             fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\
+                 {body}\
+             }}\
+         }}"
+    )
+}

@@ -1,0 +1,78 @@
+//! Vendored stand-in for the `serde_json` crate: the JSON text layer over
+//! the vendored `serde` value tree. `Value` and `Error` are re-exports of
+//! `serde`'s, so profiles serialized here deserialize there and vice versa.
+
+pub use serde::{to_value, Error, Value};
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = serde::text::parse(text)?;
+    T::deserialize(&v)
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::text::write(&value.serialize()?, false))
+}
+
+/// Serialize a value to pretty JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::text::write(&value.serialize()?, true))
+}
+
+/// Build a [`Value`] from a JSON-shaped literal: `json!(null)`,
+/// `json!(expr)`, `json!([a, b])`, or `json!({"key": value, ...})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        let mut __m = ::std::collections::BTreeMap::new();
+        // Values serialize by reference (as in the real macro), so field
+        // expressions like `sim.name` are not moved out of their struct.
+        $( __m.insert(
+            ::std::string::String::from($key),
+            $crate::to_value(&$val).expect("json! value serializes"),
+        ); )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!("RAJA_Seq"), Value::String("RAJA_Seq".into()));
+        assert_eq!(json!(2.5), Value::Float(2.5));
+        let obj = json!({"kernel": "Stream_TRIAD", "bytes": 24.0, "reps": 100usize});
+        assert_eq!(obj["kernel"].as_str(), Some("Stream_TRIAD"));
+        assert_eq!(obj["bytes"].as_f64(), Some(24.0));
+        assert_eq!(obj["reps"].as_i64(), Some(100));
+    }
+
+    #[test]
+    fn text_roundtrip_through_maps() {
+        let mut globals: BTreeMap<String, Value> = BTreeMap::new();
+        globals.insert("variant".into(), json!("RAJA_Seq"));
+        globals.insert("ranks".into(), json!(112i64));
+        let text = to_string_pretty(&globals).unwrap();
+        let back: BTreeMap<String, Value> = from_str(&text).unwrap();
+        assert_eq!(back, globals);
+    }
+
+    #[test]
+    fn corrupt_text_is_an_error() {
+        assert!(from_str::<Value>("{not json").is_err());
+        let err = from_str::<BTreeMap<String, f64>>("[1]").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}
