@@ -1,0 +1,43 @@
+//! Criterion bench: sequential vs. thread-pool execution of the `Par`
+//! variants — measures what the work-stealing pool in `vendor/rayon` buys
+//! (or costs) on this host for bandwidth-bound and reduction kernels.
+//!
+//! Pool width is fixed per process (`RAYON_NUM_THREADS`, else the host's
+//! available parallelism), so this bench compares Base_Seq against Base_Par
+//! and RAJA_Par at whatever width the environment dictates; run it with
+//! different `RAYON_NUM_THREADS` values to see the scaling curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernels::{Tuning, VariantId};
+use std::time::Duration;
+
+fn threading_benches(c: &mut Criterion) {
+    let n = 200_000;
+    let tuning = Tuning::default();
+    let mut group = c.benchmark_group("threading");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    // One bandwidth-bound streaming kernel, one reduction (partial-combine
+    // path), one atomic-heavy kernel (contention path).
+    for name in ["Stream_TRIAD", "Stream_DOT", "Basic_PI_ATOMIC"] {
+        let kernel = match kernels::find(name) {
+            Some(k) => k,
+            None => continue,
+        };
+        let metrics = kernel.metrics(n);
+        group.throughput(Throughput::Bytes(
+            (metrics.bytes_read + metrics.bytes_written) as u64,
+        ));
+        for v in [VariantId::BaseSeq, VariantId::BasePar, VariantId::RajaPar] {
+            group.bench_with_input(BenchmarkId::new(name, v.name()), &v, |b, &v| {
+                b.iter(|| kernel.execute(v, n, 1, &tuning));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, threading_benches);
+criterion_main!(benches);

@@ -338,10 +338,17 @@ pub fn reset_stats() {
 
 /// Launch a kernel on the simulated device.
 ///
-/// Blocks execute independently (sequentially on a 1-core host; the
-/// scheduling order is unspecified, as on a real device, so block bodies must
-/// not assume inter-block ordering). The body runs once per block with that
-/// block's [`BlockCtx`].
+/// Blocks execute independently — in parallel across the rayon pool when it
+/// has more than one thread, sequentially otherwise. The scheduling order is
+/// unspecified, as on a real device, so block bodies must not assume
+/// inter-block ordering. The body runs once per block with that block's
+/// [`BlockCtx`].
+///
+/// Sanitized launches (an active [`sanitizer`] scope) always run their
+/// blocks sequentially on the launching thread: the sanitizer's shadow state
+/// is thread-local, and serializing instrumented launches keeps every access
+/// observation in one coherent map (the hazard classes it detects are
+/// intra-block, so serializing blocks loses no coverage).
 pub fn launch<F>(cfg: &LaunchConfig, body: F)
 where
     F: Fn(&mut BlockCtx) + Sync,
@@ -350,22 +357,37 @@ where
     let nblocks = cfg.grid.total() as u64;
     BLOCKS.fetch_add(nblocks, Ordering::Relaxed);
     THREADS.fetch_add(nblocks * cfg.block.total() as u64, Ordering::Relaxed);
+    let run_block = |bx: usize, by: usize, bz: usize| {
+        let mut ctx = BlockCtx {
+            block_idx: Dim3::d3(bx, by, bz),
+            block_dim: cfg.block,
+            grid_dim: cfg.grid,
+            shared: SharedMem::new(cfg.shared_f64),
+            barriers: Cell::new(0),
+        };
+        body(&mut ctx);
+    };
     if sanitizer::active() {
         sanitizer::on_launch(cfg);
-    }
-    for bz in 0..cfg.grid.z {
-        for by in 0..cfg.grid.y {
-            for bx in 0..cfg.grid.x {
-                let mut ctx = BlockCtx {
-                    block_idx: Dim3::d3(bx, by, bz),
-                    block_dim: cfg.block,
-                    grid_dim: cfg.grid,
-                    shared: SharedMem::new(cfg.shared_f64),
-                    barriers: Cell::new(0),
-                };
-                body(&mut ctx);
+        for bz in 0..cfg.grid.z {
+            for by in 0..cfg.grid.y {
+                for bx in 0..cfg.grid.x {
+                    run_block(bx, by, bz);
+                }
             }
         }
+    } else {
+        // Flatten the grid and let the pool schedule blocks. With a
+        // one-thread pool this degrades to the same in-order bz/by/bx
+        // sweep as the sequential loop above.
+        use rayon::prelude::*;
+        let (gx, gy) = (cfg.grid.x, cfg.grid.y);
+        (0..cfg.grid.total()).into_par_iter().for_each(|flat| {
+            let bx = flat % gx;
+            let by = (flat / gx) % gy;
+            let bz = flat / (gx * gy);
+            run_block(bx, by, bz);
+        });
     }
 }
 

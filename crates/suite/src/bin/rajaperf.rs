@@ -33,6 +33,21 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if params.sweep {
+        // Batched orchestrator: the full variants x block-size cross-product,
+        // one profile per cell plus a manifest, with per-cell caching.
+        match suite::run_sweep(&params) {
+            Ok(summary) => {
+                print!("{}", summary.render());
+                println!("wrote {}", summary.manifest.display());
+            }
+            Err(e) => {
+                eprintln!("error: sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if checksums_mode {
         // Validate every supported variant of the selection against the
         // Base_Seq reference (upstream's checksum report).

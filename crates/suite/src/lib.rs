@@ -20,9 +20,11 @@ use std::path::PathBuf;
 pub mod params;
 pub mod report;
 pub mod simulate;
+pub mod sweep;
 
 pub use params::{RunParams, Selection};
-pub use report::{ChecksumReport, SanitizeSection, SuiteReport, TimingEntry};
+pub use sweep::{run_sweep, SweepCell, SweepSummary};
+pub use report::{CheckStatus, ChecksumReport, SanitizeSection, SuiteReport, TimingEntry};
 
 /// Execute the suite described by `params`, producing a report and (if
 /// configured) Caliper output files.
@@ -127,8 +129,51 @@ pub fn run_sanitize(params: &RunParams) -> SanitizeSection {
     section
 }
 
+/// Rewrite every `output=PATH` value in a Caliper ConfigManager spec so the
+/// file name carries `tag` before its extension chain — whatever the
+/// extension is. `spot(output=run.json)` with tag `Base_Seq` becomes
+/// `spot(output=run.Base_Seq.json)`, `out.cali.json` becomes
+/// `out.Base_Seq.cali.json`, and an extensionless `run` becomes
+/// `run.Base_Seq`. The `stdout`/`stderr` pseudo-paths and specs without an
+/// `output=` key are left untouched.
+pub fn spec_with_tag(spec: &str, tag: &str) -> String {
+    let mut out = String::with_capacity(spec.len() + tag.len() + 1);
+    let mut rest = spec;
+    while let Some(pos) = rest.find("output=") {
+        let vstart = pos + "output=".len();
+        out.push_str(&rest[..vstart]);
+        let value_len = rest[vstart..]
+            .find([',', ')'])
+            .unwrap_or(rest.len() - vstart);
+        let value = &rest[vstart..vstart + value_len];
+        out.push_str(&tag_path(value, tag));
+        rest = &rest[vstart + value_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Insert `tag` before the extension chain of `path`'s final component.
+fn tag_path(path: &str, tag: &str) -> String {
+    if path.is_empty() || path == "stdout" || path == "stderr" {
+        return path.to_string();
+    }
+    let file_start = path.rfind('/').map_or(0, |i| i + 1);
+    let file = &path[file_start..];
+    // Split at the *first* dot of the file name so multi-part extensions
+    // (`.cali.json`) survive intact; a leading dot (hidden file) is a name
+    // character, not an extension separator.
+    let split = match file.char_indices().skip(1).find(|&(_, c)| c == '.') {
+        Some((i, _)) => file_start + i,
+        None => path.len(),
+    };
+    format!("{}.{}{}", &path[..split], tag, &path[split..])
+}
+
 /// Run several variants (for cross-variant checksum validation and
-/// RAJA-overhead comparison), one profile per variant as upstream.
+/// RAJA-overhead comparison), one profile per variant as upstream: the
+/// variant name is inserted into every `output=` file name of the Caliper
+/// spec so variants never clobber each other's profiles.
 pub fn run_variants(base: &RunParams, variants: &[VariantId]) -> Vec<SuiteReport> {
     variants
         .iter()
@@ -136,36 +181,42 @@ pub fn run_variants(base: &RunParams, variants: &[VariantId]) -> Vec<SuiteReport
             let mut p = base.clone();
             p.variant = v;
             if let Some(spec) = &mut p.caliper_spec {
-                // Write one profile per variant.
-                *spec = spec.replace(".cali.json", &format!(".{}.cali.json", v.name()));
+                *spec = spec_with_tag(spec, v.name());
             }
             run_suite(&p)
         })
         .collect()
 }
 
-/// Compare checksums across the reports of [`run_variants`]; the first
-/// report is the reference.
+/// Compare checksums across the reports of [`run_variants`]. Each kernel's
+/// reference is the first report (in run order) that actually ran it; a
+/// kernel absent from the primary reference variant is anchored to the
+/// first variant that supports it (rendered `n/a (reference)`), not marked
+/// as a failure.
 pub fn checksum_report(reports: &[SuiteReport]) -> ChecksumReport {
     let mut rows = BTreeMap::new();
-    if reports.is_empty() {
-        return ChecksumReport { rows };
-    }
-    let reference: BTreeMap<&str, f64> = reports[0]
-        .entries
-        .iter()
-        .map(|e| (e.kernel.as_str(), e.result.checksum))
-        .collect();
-    for rep in reports {
+    // kernel → (index of the report providing its reference, checksum).
+    let mut reference: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+    for (ri, rep) in reports.iter().enumerate() {
         for e in &rep.entries {
-            let rf = reference.get(e.kernel.as_str()).copied();
-            let row: &mut Vec<(VariantId, f64, bool)> =
-                rows.entry(e.kernel.clone()).or_default();
-            let ok = match rf {
-                Some(r) => kernels::common::close(e.result.checksum, r, 1e-8),
-                None => false,
+            reference
+                .entry(e.kernel.as_str())
+                .or_insert((ri, e.result.checksum));
+        }
+    }
+    for (ri, rep) in reports.iter().enumerate() {
+        for e in &rep.entries {
+            let (ref_idx, rf) = reference[e.kernel.as_str()];
+            let status = if ri == ref_idx && ref_idx != 0 {
+                report::CheckStatus::Reference
+            } else if kernels::common::close(e.result.checksum, rf, 1e-8) {
+                report::CheckStatus::Pass
+            } else {
+                report::CheckStatus::Fail
             };
-            row.push((e.variant, e.result.checksum, ok));
+            let row: &mut Vec<(VariantId, f64, report::CheckStatus)> =
+                rows.entry(e.kernel.clone()).or_default();
+            row.push((e.variant, e.result.checksum, status));
         }
     }
     ChecksumReport { rows }
@@ -333,6 +384,123 @@ mod tests {
     fn sanitize_off_by_default() {
         let report = run_suite(&small_params());
         assert!(report.sanitize.is_none());
+    }
+
+    #[test]
+    fn spec_with_tag_inserts_variant_before_any_extension() {
+        // Regression: the old `.cali.json`-only string replace silently
+        // no-opped for every other spec, so all variants clobbered one file.
+        assert_eq!(
+            spec_with_tag("spot(output=run.json)", "Base_Seq"),
+            "spot(output=run.Base_Seq.json)"
+        );
+        assert_eq!(
+            spec_with_tag("spot(output=run.cali.json)", "RAJA_Par"),
+            "spot(output=run.RAJA_Par.cali.json)"
+        );
+        assert_eq!(
+            spec_with_tag("runtime-report,output=a.txt,profile", "V"),
+            "runtime-report,output=a.V.txt,profile"
+        );
+        assert_eq!(spec_with_tag("spot(output=dir.d/run)", "V"), "spot(output=dir.d/run.V)");
+        assert_eq!(
+            spec_with_tag("runtime-report,output=stdout", "V"),
+            "runtime-report,output=stdout"
+        );
+        assert_eq!(spec_with_tag("runtime-report", "V"), "runtime-report");
+    }
+
+    #[test]
+    fn run_variants_writes_one_profile_per_variant() {
+        let dir = std::env::temp_dir().join(format!("rajaperf_profiles_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = RunParams {
+            selection: Selection::Kernels(vec!["Stream_MUL".into()]),
+            explicit_size: Some(1000),
+            explicit_reps: Some(1),
+            // The clobbering reproducer: a spec whose output is *not*
+            // `.cali.json`-suffixed.
+            caliper_spec: Some(format!("spot(output={}/run.json)", dir.display())),
+            ..RunParams::default()
+        };
+        let reports = run_variants(&p, &VariantId::all());
+        let mut files: Vec<_> = reports.iter().flat_map(|r| r.outputs.clone()).collect();
+        assert_eq!(files.len(), 6, "one output per variant");
+        files.sort();
+        files.dedup();
+        assert_eq!(files.len(), 6, "variant profiles must not collide");
+        assert!(files.iter().all(|f| f.exists()));
+        assert!(files
+            .iter()
+            .any(|f| f.file_name().is_some_and(|n| n == "run.Base_Seq.json")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_report_falls_back_when_reference_lacks_kernel() {
+        // Regression: a kernel absent from the first report used to be a
+        // hard FAIL; it must instead anchor to the first variant that ran
+        // it and render as n/a.
+        let a = run_suite(&RunParams {
+            selection: Selection::Kernels(vec!["Stream_TRIAD".into()]),
+            explicit_size: Some(1000),
+            explicit_reps: Some(1),
+            ..RunParams::default()
+        });
+        let b = run_suite(&RunParams {
+            selection: Selection::Kernels(vec!["Stream_TRIAD".into(), "Stream_ADD".into()]),
+            variant: VariantId::RajaSeq,
+            explicit_size: Some(1000),
+            explicit_reps: Some(1),
+            ..RunParams::default()
+        });
+        let cr = checksum_report(&[a, b]);
+        assert!(cr.all_pass(), "{}", cr.render());
+        let add_row = &cr.rows["Stream_ADD"];
+        assert_eq!(add_row.len(), 1);
+        assert_eq!(add_row[0].2, CheckStatus::Reference);
+        assert!(cr.render().contains("n/a"));
+        // The kernel both reports ran still compares normally.
+        assert!(cr.rows["Stream_TRIAD"]
+            .iter()
+            .all(|(_, _, st)| *st == CheckStatus::Pass));
+    }
+
+    #[test]
+    fn sweep_emits_one_profile_per_cell_and_caches() {
+        let dir = std::env::temp_dir().join(format!("rajaperf_sweep_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let p = RunParams {
+            selection: Selection::Kernels(vec!["Stream_TRIAD".into()]),
+            explicit_size: Some(1000),
+            explicit_reps: Some(1),
+            sweep: true,
+            sweep_block_sizes: vec![128, 256],
+            sweep_dir: Some(dir.clone()),
+            ..RunParams::default()
+        };
+        let s1 = run_sweep(&p).unwrap();
+        assert_eq!(s1.cells.len(), 12, "6 variants x 2 block sizes");
+        let mut profiles: Vec<_> = s1.cells.iter().map(|c| c.profile.clone()).collect();
+        profiles.sort();
+        profiles.dedup();
+        assert_eq!(profiles.len(), 12, "one distinct profile per cell");
+        assert!(s1.cells.iter().all(|c| !c.cached && c.profile.exists()));
+        assert!(s1.manifest.exists());
+        assert!(s1.render().contains("block_128") || s1.render().contains("128"));
+
+        // An unchanged re-run reuses every finished cell.
+        let s2 = run_sweep(&p).unwrap();
+        assert!(s2.cells.iter().all(|c| c.cached), "{}", s2.render());
+
+        // Changing anything in the cell key re-executes.
+        let p3 = RunParams {
+            explicit_size: Some(2000),
+            ..p.clone()
+        };
+        let s3 = run_sweep(&p3).unwrap();
+        assert!(s3.cells.iter().all(|c| !c.cached));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub struct RunParams {
     /// Run the simulated-device sanitizer (`simsan`) over the selection
     /// after the timing pass and append its findings to the report.
     pub sanitize: bool,
+    /// Run the batched sweep orchestrator: the full cross-product of all
+    /// variants × the block-size tunings in one invocation, one profile per
+    /// cell (see [`crate::sweep`]).
+    pub sweep: bool,
+    /// Block-size tunings for `--sweep`; empty means "just the single
+    /// `--gpu-block-size` tuning".
+    pub sweep_block_sizes: Vec<usize>,
+    /// Output directory for sweep profiles, cell caches, and the manifest.
+    pub sweep_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RunParams {
@@ -56,6 +65,9 @@ impl Default for RunParams {
             explicit_reps: None,
             caliper_spec: None,
             sanitize: false,
+            sweep: false,
+            sweep_block_sizes: Vec::new(),
+            sweep_dir: None,
         }
     }
 }
@@ -181,10 +193,59 @@ impl RunParams {
                 }
                 "--caliper" => p.caliper_spec = Some(value("--caliper")?),
                 "--sanitize" => p.sanitize = true,
+                "--sweep" => p.sweep = true,
+                "--sweep-block-sizes" => {
+                    p.sweep_block_sizes = value("--sweep-block-sizes")?
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .map_err(|e| format!("bad sweep block size '{s}': {e}"))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+                "--sweep-dir" => {
+                    p.sweep_dir = Some(std::path::PathBuf::from(value("--sweep-dir")?))
+                }
                 other => return Err(format!("unknown option '{other}' (try --help)")),
             }
         }
+        p.validate()?;
         Ok(p)
+    }
+
+    /// Reject parameter combinations that would panic deeper in the stack
+    /// or produce meaningless output (a zero block size trips the launch
+    /// config assert; a zero size runs and prints an all-zero row).
+    fn validate(&self) -> Result<(), String> {
+        if self.tuning.gpu_block_size == 0 {
+            return Err("--gpu-block-size must be >= 1".to_string());
+        }
+        if self.explicit_size == Some(0) {
+            return Err("--size must be >= 1".to_string());
+        }
+        if self.explicit_reps == Some(0) {
+            return Err("--reps must be >= 1".to_string());
+        }
+        if !(self.size_factor > 0.0 && self.size_factor.is_finite()) {
+            return Err("--size-factor must be a positive number".to_string());
+        }
+        if !(self.reps_factor > 0.0 && self.reps_factor.is_finite()) {
+            return Err("--reps-factor must be a positive number".to_string());
+        }
+        if self.sweep_block_sizes.contains(&0) {
+            return Err("--sweep-block-sizes entries must be >= 1".to_string());
+        }
+        if !self.sweep_block_sizes.is_empty() && !self.sweep {
+            return Err("--sweep-block-sizes requires --sweep".to_string());
+        }
+        if self.sweep && self.caliper_spec.is_some() {
+            return Err(
+                "--sweep manages its own Caliper outputs; do not combine with --caliper"
+                    .to_string(),
+            );
+        }
+        Ok(())
     }
 
     /// Usage text for the CLI.
@@ -201,10 +262,21 @@ impl RunParams {
          Execution:\n\
            --variant NAME               Base_Seq | RAJA_Seq | Base_Par | RAJA_Par |\n\
                                         Base_SimGpu | RAJA_SimGpu   (default Base_Seq)\n\
-           --gpu-block-size N           device block-size tuning (default 256)\n\
-           --size N                     problem size for every kernel\n\
+           --gpu-block-size N           device block-size tuning, N >= 1 (default 256)\n\
+           --size N                     problem size for every kernel (N >= 1)\n\
            --size-factor X              scale each kernel's default size\n\
-           --reps N / --reps-factor X   repetition control\n\
+           --reps N / --reps-factor X   repetition control (N >= 1)\n\
+         \n\
+         Sweep:\n\
+           --sweep                      run the full cross-product of all variants\n\
+                                        x block-size tunings in one invocation: one\n\
+                                        profile per (variant, tuning) cell, a sweep\n\
+                                        manifest JSON, and per-cell caching so an\n\
+                                        interrupted sweep reuses finished cells\n\
+           --sweep-block-sizes N[,N..]  block-size tunings to sweep (default: just\n\
+                                        --gpu-block-size)\n\
+           --sweep-dir DIR              sweep output directory\n\
+                                        (default target/sweep)\n\
          \n\
          Output:\n\
            --caliper SPEC               e.g. 'runtime-report,output=stdout' or\n\
@@ -214,7 +286,13 @@ impl RunParams {
            --sanitize                   run the simulated-device sanitizer\n\
                                         (simsan) over the selection and print\n\
                                         its hazard report\n\
-           --list                       list kernels and exit\n"
+           --list                       list kernels and exit\n\
+         \n\
+         Environment:\n\
+           RAYON_NUM_THREADS            thread-pool width for Par variants and\n\
+                                        simulated-GPU block scheduling (positive\n\
+                                        integer; default: available parallelism;\n\
+                                        1 = fully sequential, bitwise-deterministic)\n"
     }
 }
 
@@ -276,6 +354,39 @@ mod tests {
         assert!(RunParams::parse(&args("--variant Nope")).is_err());
         assert!(RunParams::parse(&args("--bogus")).is_err());
         assert!(RunParams::parse(&args("--size")).is_err());
+    }
+
+    #[test]
+    fn zero_and_degenerate_values_are_rejected() {
+        // Regression: `--gpu-block-size 0` used to panic in
+        // `LaunchConfig::linear` instead of failing parse.
+        let err = RunParams::parse(&args("--gpu-block-size 0")).unwrap_err();
+        assert!(err.contains("--gpu-block-size"), "{err}");
+        // Regression: `--size 0` used to run and print a meaningless row.
+        assert!(RunParams::parse(&args("--size 0")).is_err());
+        assert!(RunParams::parse(&args("--reps 0")).is_err());
+        assert!(RunParams::parse(&args("--size-factor 0")).is_err());
+        assert!(RunParams::parse(&args("--size-factor -1.5")).is_err());
+        assert!(RunParams::parse(&args("--reps-factor 0")).is_err());
+        // The boundary values stay accepted.
+        assert!(RunParams::parse(&args("--gpu-block-size 1 --size 1 --reps 1")).is_ok());
+    }
+
+    #[test]
+    fn sweep_flags_parse_and_validate() {
+        let p = RunParams::parse(&args(
+            "--sweep --groups Stream --sweep-block-sizes 128,256 --sweep-dir target/sw",
+        ))
+        .unwrap();
+        assert!(p.sweep);
+        assert_eq!(p.sweep_block_sizes, vec![128, 256]);
+        assert_eq!(p.sweep_dir.as_deref(), Some(std::path::Path::new("target/sw")));
+        assert!(RunParams::parse(&args("--sweep --sweep-block-sizes 0")).is_err());
+        assert!(RunParams::parse(&args("--sweep-block-sizes 128")).is_err());
+        assert!(
+            RunParams::parse(&args("--sweep --caliper runtime-report")).is_err(),
+            "sweep owns its Caliper outputs"
+        );
     }
 
     #[test]

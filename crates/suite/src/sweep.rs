@@ -1,0 +1,239 @@
+//! The `--sweep` batched orchestrator: run the full cross-product of
+//! variants × block-size tunings of a selection in one invocation.
+//!
+//! The paper's methodology is *one run per (variant, tuning), composed later
+//! in Thicket* (§II-D); a sweep automates the "many runs" half. Each cell of
+//! the cross-product is an ordinary [`run_suite`] invocation with its own
+//! correctly-named Caliper profile (`<variant>.block_<size>.cali.json` under
+//! the sweep directory), so no two cells ever share an output file. A
+//! `manifest.json` at the top of the sweep directory indexes every cell.
+//!
+//! Cells are cached: each run writes a `cells/<cell>.json` record whose
+//! `key` captures exactly what was executed — (kernel, size, reps) for every
+//! selected kernel, the variant, and the block-size tuning. Re-running a
+//! sweep after an interruption (or with an unchanged configuration) reuses
+//! any cell whose key matches and whose profile file still exists, and
+//! re-executes the rest.
+
+use crate::{run_suite, RunParams};
+use kernels::VariantId;
+use serde_json::{json, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One (variant, tuning) cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Variant this cell ran.
+    pub variant: VariantId,
+    /// GPU block-size tuning this cell ran.
+    pub gpu_block_size: usize,
+    /// The cell's Caliper profile file.
+    pub profile: PathBuf,
+    /// True when the cell was reused from a previous sweep run.
+    pub cached: bool,
+    /// Kernels that executed in this cell (selection ∩ variant support).
+    pub kernels_run: usize,
+    /// Summed kernel wall time of the cell, seconds.
+    pub total_time_s: f64,
+}
+
+/// The result of [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Sweep output directory.
+    pub dir: PathBuf,
+    /// Path of the written manifest.
+    pub manifest: PathBuf,
+    /// Every cell of the cross-product, in (variant, block-size) order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepSummary {
+    /// Render the per-cell summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Sweep: {} cells ({} cached)\n{:<12} {:>10} {:>8} {:>12}  profile\n",
+            self.cells.len(),
+            self.cells.iter().filter(|c| c.cached).count(),
+            "Variant",
+            "BlockSize",
+            "Kernels",
+            "Time (s)"
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<12} {:>10} {:>8} {:>12.3}  {}{}\n",
+                c.variant.name(),
+                c.gpu_block_size,
+                c.kernels_run,
+                c.total_time_s,
+                c.profile.display(),
+                if c.cached { "  (cached)" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+/// The cache key of one cell: everything that determines its results.
+fn cell_key(base: &RunParams, variant: VariantId, block_size: usize) -> Value {
+    let mut p = base.clone();
+    p.variant = variant;
+    p.tuning.gpu_block_size = block_size;
+    let kernel_keys: Vec<Value> = p
+        .selected_kernels()
+        .iter()
+        .filter(|k| k.info().variants.contains(&variant))
+        .map(|k| {
+            let info = k.info();
+            json!({
+                "kernel": info.name,
+                "size": p.problem_size(&info),
+                "reps": p.reps(&info),
+            })
+        })
+        .collect();
+    json!({
+        "variant": variant.name(),
+        "gpu_block_size": block_size,
+        "kernels": Value::Array(kernel_keys),
+    })
+}
+
+/// Reuse a finished cell when its cache record matches `key` and its
+/// profile file is still on disk. Returns `(kernels_run, total_time_s)`.
+fn load_cached_cell(cache: &Path, key: &Value, profile: &Path) -> Option<(usize, f64)> {
+    if !profile.exists() {
+        return None;
+    }
+    let v: Value = serde_json::from_str(&std::fs::read_to_string(cache).ok()?).ok()?;
+    let obj = v.as_object()?;
+    if obj.get("key")? != key {
+        return None;
+    }
+    let kernels_run = usize::try_from(obj.get("kernels_run")?.as_i64()?).ok()?;
+    let total_time_s = obj.get("total_time_s")?.as_f64()?;
+    Some((kernels_run, total_time_s))
+}
+
+fn json_io(e: serde_json::Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Run the full (variant × block-size) cross-product of `base`'s selection.
+///
+/// `base.sweep_block_sizes` supplies the tunings (falling back to the single
+/// `base.tuning.gpu_block_size`); `base.sweep_dir` the output directory
+/// (default `target/sweep`). Every cell — even one whose selection has no
+/// kernel supporting the variant — emits a distinct profile, so downstream
+/// Thicket-style composition sees the complete grid.
+pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
+    let dir = base
+        .sweep_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target/sweep"));
+    let profiles_dir = dir.join("profiles");
+    let cells_dir = dir.join("cells");
+    std::fs::create_dir_all(&profiles_dir)?;
+    std::fs::create_dir_all(&cells_dir)?;
+    let block_sizes: Vec<usize> = if base.sweep_block_sizes.is_empty() {
+        vec![base.tuning.gpu_block_size]
+    } else {
+        base.sweep_block_sizes.clone()
+    };
+
+    let mut cells = Vec::new();
+    for &variant in &VariantId::all() {
+        for &bs in &block_sizes {
+            let cell_name = format!("{}.block_{bs}", variant.name());
+            let profile = profiles_dir.join(format!("{cell_name}.cali.json"));
+            let cache = cells_dir.join(format!("{cell_name}.json"));
+            let key = cell_key(base, variant, bs);
+
+            if let Some((kernels_run, total_time_s)) = load_cached_cell(&cache, &key, &profile) {
+                cells.push(SweepCell {
+                    variant,
+                    gpu_block_size: bs,
+                    profile,
+                    cached: true,
+                    kernels_run,
+                    total_time_s,
+                });
+                continue;
+            }
+
+            let mut p = base.clone();
+            p.variant = variant;
+            p.tuning.gpu_block_size = bs;
+            p.sweep = false;
+            p.caliper_spec = Some(format!("spot(output={})", profile.display()));
+            let report = run_suite(&p);
+            let total_time_s: f64 = report
+                .entries
+                .iter()
+                .map(|e| e.result.time.as_secs_f64())
+                .sum();
+            let entries: Vec<Value> = report
+                .entries
+                .iter()
+                .map(|e| {
+                    json!({
+                        "kernel": e.kernel,
+                        "size": e.problem_size,
+                        "reps": e.reps,
+                        "time_per_rep_s": e.result.time_per_rep(),
+                        "checksum": e.result.checksum,
+                    })
+                })
+                .collect();
+            let record = json!({
+                "key": key,
+                "profile": profile.display().to_string(),
+                "kernels_run": report.entries.len(),
+                "total_time_s": total_time_s,
+                "entries": Value::Array(entries),
+            });
+            std::fs::write(&cache, serde_json::to_string_pretty(&record).map_err(json_io)?)?;
+            cells.push(SweepCell {
+                variant,
+                gpu_block_size: bs,
+                profile,
+                cached: false,
+                kernels_run: report.entries.len(),
+                total_time_s,
+            });
+        }
+    }
+
+    let manifest = dir.join("manifest.json");
+    let manifest_value = json!({
+        "suite": "RAJAPerf-rs",
+        "block_sizes": block_sizes,
+        "cells": Value::Array(
+            cells
+                .iter()
+                .map(|c| {
+                    json!({
+                        "variant": c.variant.name(),
+                        "gpu_block_size": c.gpu_block_size,
+                        "profile": c.profile.display().to_string(),
+                        "cached": c.cached,
+                        "kernels_run": c.kernels_run,
+                        "total_time_s": c.total_time_s,
+                    })
+                })
+                .collect()
+        ),
+    });
+    std::fs::write(
+        &manifest,
+        serde_json::to_string_pretty(&manifest_value).map_err(json_io)?,
+    )?;
+
+    Ok(SweepSummary {
+        dir,
+        manifest,
+        cells,
+    })
+}

@@ -26,4 +26,25 @@ cargo clippy --all-targets -- -D warnings
 echo "== full: cargo test --workspace --release =="
 cargo test --workspace --release
 
+# The release driver binary lives in crates/suite; the root-package build
+# above does not refresh it, so build it explicitly before driving it.
+echo "== cli: full-registry --checksums =="
+cargo build --release --workspace
+RAJAPERF=target/release/rajaperf
+"$RAJAPERF" --checksums --size 20000 --reps 1 | tail -1 | grep -q "ALL CHECKSUMS PASS"
+echo "checksums: ALL CHECKSUMS PASS"
+
+echo "== cli: --sweep emits one profile per cell =="
+SWEEP_DIR=$(mktemp -d)
+trap 'rm -rf "$SWEEP_DIR"' EXIT
+"$RAJAPERF" --sweep --groups Stream --size 100000 --reps 2 \
+    --sweep-block-sizes 128,256 --sweep-dir "$SWEEP_DIR" >/dev/null
+profiles=$(ls "$SWEEP_DIR"/profiles/*.cali.json | wc -l)
+if [[ "$profiles" -ne 12 ]]; then
+    echo "verify: FAIL — expected 12 sweep profiles (6 variants x 2 block sizes), got $profiles" >&2
+    exit 1
+fi
+[[ -f "$SWEEP_DIR/manifest.json" ]] || { echo "verify: FAIL — sweep manifest missing" >&2; exit 1; }
+echo "sweep: 12 distinct profiles + manifest"
+
 echo "verify: OK"

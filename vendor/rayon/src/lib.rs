@@ -1,173 +1,621 @@
-//! Vendored stand-in for the `rayon` crate.
+//! Vendored stand-in for the `rayon` crate, backed by a real work-stealing
+//! thread pool.
 //!
-//! This build environment has no crates.io access and a single CPU core, so
-//! the workspace vendors the slice of rayon's data-parallel API it uses with
-//! a *sequential* execution engine: `par_iter`-family calls deliver the same
-//! items with the same semantics (including rayon's `fold(init, ..)` /
-//! `reduce(init, ..)` partial-combining shape) on the calling thread. On a
-//! one-core host this is also what rayon's work-stealing pool would degrade
-//! to; the portability-layer policies keep their structure and their results
-//! stay bitwise-deterministic.
+//! This build environment has no crates.io access, so the workspace vendors
+//! the slice of rayon's data-parallel API it uses. Unlike the original
+//! sequential stand-in, execution now goes through a process-wide
+//! work-stealing pool (see [`pool`]): parallel calls split their index space
+//! into a deterministic chunk grid, pool threads steal and run chunks, and
+//! per-chunk partial results are combined strictly in chunk order.
+//!
+//! Guarantees the benchmark suite relies on:
+//!
+//! * **Sizing** — `RAYON_NUM_THREADS` (a positive integer) overrides
+//!   [`std::thread::available_parallelism`]; read once at first use.
+//! * **Determinism** — for a fixed pool width, every consumption is
+//!   reproducible: the chunk grid and the combine order are pure functions
+//!   of the length and the width, never of scheduling. (This is *stronger*
+//!   than real rayon, which combines in scheduling order.)
+//! * **Single-thread degradation** — with a width of one (this container's
+//!   default), no threads are spawned and every call runs as an in-place
+//!   sequential loop on the caller, bitwise-identical to the old sequential
+//!   engine.
+//! * **Rayon shapes** — `fold(init, ..)`/`reduce(init, ..)` keep rayon's
+//!   partial-accumulator semantics: each chunk starts a fresh `init()`.
 
+#![warn(unsafe_op_in_unsafe_fn)]
+
+use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 
-/// The adapter wrapping a sequential iterator behind rayon's parallel
-/// iterator surface.
-pub struct ParIter<I>(I);
+mod pool;
 
-impl<I: Iterator> ParIter<I> {
+pub use pool::current_num_threads;
+
+// --------------------------------------------------------------- producers
+
+/// A random-access source of items for the parallel engine.
+///
+/// The engine partitions `0..len()` into contiguous spans and materializes
+/// each span's items on whichever pool thread runs it, so producers are
+/// shared across threads by reference.
+pub trait Producer: Send + Sync {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// True when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at position `i`.
+    ///
+    /// # Safety
+    /// `i < self.len()`, and each position may be produced at most once per
+    /// producer: mutable producers hand out `&mut` borrows and owning
+    /// producers move items out.
+    unsafe fn produce(&self, i: usize) -> Self::Item;
+}
+
+/// Sequential iterator over one span of a producer, driven on one thread.
+struct SpanIter<'a, P: Producer> {
+    p: &'a P,
+    cur: usize,
+    end: usize,
+}
+
+impl<P: Producer> Iterator for SpanIter<'_, P> {
+    type Item = P::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<P::Item> {
+        if self.cur < self.end {
+            let i = self.cur;
+            self.cur += 1;
+            // SAFETY: `i < end <= len`, and the engine assigns each span to
+            // exactly one `SpanIter`, which visits each position once.
+            Some(unsafe { self.p.produce(i) })
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.cur;
+        (n, Some(n))
+    }
+}
+
+/// A write-once result slot for one chunk.
+struct Slot<T>(std::cell::UnsafeCell<Option<T>>);
+
+// SAFETY: each slot is written by exactly one thread (the one running its
+// chunk) and read only after the job's completion synchronizes with the
+// reader (pool `remaining` counter + completion mutex).
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn new() -> Slot<T> {
+        Slot(std::cell::UnsafeCell::new(None))
+    }
+
+    /// # Safety
+    /// At most one writer, and no concurrent reader.
+    unsafe fn put(&self, v: T) {
+        unsafe { *self.0.get() = Some(v) };
+    }
+
+    fn into_inner(self) -> Option<T> {
+        self.0.into_inner()
+    }
+}
+
+/// Run `f` once per span, discarding results.
+fn run_spans<P, F>(p: &P, f: F)
+where
+    P: Producer,
+    F: Fn(SpanIter<'_, P>) + Sync,
+{
+    let (nchunks, chunk) = pool::plan(p.len());
+    pool::execute(p.len(), nchunks, chunk, &|lo, hi| {
+        f(SpanIter { p, cur: lo, end: hi });
+    });
+}
+
+/// Run `f` once per span and return the per-span results in chunk order.
+fn map_spans<P, T, F>(p: &P, f: F) -> Vec<T>
+where
+    P: Producer,
+    T: Send,
+    F: Fn(SpanIter<'_, P>) -> T + Sync,
+{
+    let (nchunks, chunk) = pool::plan(p.len());
+    let slots: Vec<Slot<T>> = (0..nchunks).map(|_| Slot::new()).collect();
+    pool::execute(p.len(), nchunks, chunk, &|lo, hi| {
+        let v = f(SpanIter { p, cur: lo, end: hi });
+        // SAFETY: spans start at chunk boundaries and each chunk runs once,
+        // so `lo / chunk` indexes a distinct slot per call.
+        unsafe { slots[lo / chunk].put(v) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every chunk executed"))
+        .collect()
+}
+
+// ---------------------------------------------------------------- adapters
+
+/// The parallel iterator over a [`Producer`].
+pub struct ParIter<P>(P);
+
+/// Mapping adapter (`ParIter::map`).
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, B, F> Producer for Map<P, F>
+where
+    P: Producer,
+    B: Send,
+    F: Fn(P::Item) -> B + Send + Sync,
+{
+    type Item = B;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn produce(&self, i: usize) -> B {
+        // SAFETY: same contract as ours.
+        (self.f)(unsafe { self.base.produce(i) })
+    }
+}
+
+/// Index-pairing adapter (`ParIter::enumerate`). Indices are positional, as
+/// in rayon's `IndexedParallelIterator::enumerate`.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn produce(&self, i: usize) -> (usize, P::Item) {
+        // SAFETY: same contract as ours.
+        (i, unsafe { self.base.produce(i) })
+    }
+}
+
+/// Random-access pairing adapter (`ParIter::zip`), truncating to the shorter
+/// side. Positions past the truncated length are never produced, so an
+/// owning producer's surplus items are leaked rather than dropped.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn produce(&self, i: usize) -> (A::Item, B::Item) {
+        // SAFETY: same contract as ours, and `i < min(a.len, b.len)`.
+        (unsafe { self.a.produce(i) }, unsafe { self.b.produce(i) })
+    }
+}
+
+impl<P: Producer> ParIter<P> {
     /// Consume the iterator, invoking `f` per item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f);
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        let p = self.0;
+        run_spans(&p, |span| span.for_each(&f));
     }
 
     /// Map items through `f`.
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+    pub fn map<B, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        B: Send,
+        F: Fn(P::Item) -> B + Send + Sync,
+    {
+        ParIter(Map { base: self.0, f })
     }
 
-    /// Sum the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    /// Sum the items (per-chunk partial sums, combined in chunk order).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let p = self.0;
+        let mut parts = map_spans(&p, |span| span.sum::<S>());
+        if parts.len() == 1 {
+            // Single chunk: return the partial itself so the result is
+            // bitwise-identical to a sequential sum.
+            parts.pop().unwrap()
+        } else {
+            parts.into_iter().sum()
+        }
     }
 
     /// Pair each item with its index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        ParIter(Enumerate { base: self.0 })
     }
 
-    /// Zip with another parallel iterator.
-    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J::IntoIter>>
+    /// Zip with another parallel iterator (truncates to the shorter side).
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<Zip<P, Q>> {
+        ParIter(Zip {
+            a: self.0,
+            b: other.0,
+        })
+    }
+
+    /// Keep items satisfying `pred`.
+    pub fn filter<F>(self, pred: F) -> ParFilter<P, F>
     where
-        J: IntoIterator,
+        F: Fn(&P::Item) -> bool + Send + Sync,
     {
-        ParIter(self.0.zip(other.0))
+        ParFilter { base: self.0, pred }
     }
 
-    /// Keep items satisfying `f`.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    /// Rayon-shaped fold: starts partial accumulators with `init()` and
-    /// folds items into them, yielding an iterator of partials (exactly one
-    /// here, since execution is sequential).
-    pub fn fold<T, ID, F>(self, init: ID, fold: F) -> ParIter<std::iter::Once<T>>
+    /// Rayon-shaped fold: each chunk starts a fresh accumulator from
+    /// `init()` and folds its items in, yielding the partials (in chunk
+    /// order) as a new parallel iterator.
+    pub fn fold<T, ID, F>(self, init: ID, fold: F) -> ParIter<VecProducer<T>>
     where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        T: Send,
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, P::Item) -> T + Send + Sync,
     {
-        ParIter(std::iter::once(self.0.fold(init(), fold)))
+        let p = self.0;
+        let parts = map_spans(&p, |span| span.fold(init(), &fold));
+        ParIter(VecProducer::new(parts))
     }
 
     /// Rayon-shaped reduce: combine items pairwise starting from `init()`.
-    pub fn reduce<ID, F>(self, init: ID, combine: F) -> I::Item
+    /// Per-chunk partials are combined left-to-right in chunk order; with a
+    /// single chunk this is exactly a sequential `fold(init(), combine)`.
+    pub fn reduce<ID, F>(self, init: ID, combine: F) -> P::Item
     where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> P::Item + Send + Sync,
+        F: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
     {
-        self.0.fold(init(), combine)
+        let p = self.0;
+        let parts = map_spans(&p, |span| span.fold(init(), &combine));
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap_or_else(&init);
+        it.fold(first, combine)
     }
 
-    /// Collect into a container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Collect into a container (items arrive in index order).
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let p = self.0;
+        map_spans(&p, |span| span.collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
-    /// Minimum item.
-    pub fn min(self) -> Option<I::Item>
+    /// Minimum item; the first of equals, as for [`Iterator::min`].
+    pub fn min(self) -> Option<P::Item>
     where
-        I::Item: Ord,
+        P::Item: Ord,
     {
-        self.0.min()
+        let p = self.0;
+        map_spans(&p, |span| span.min())
+            .into_iter()
+            .flatten()
+            .reduce(std::cmp::min)
     }
 
-    /// Maximum item.
-    pub fn max(self) -> Option<I::Item>
+    /// Maximum item; the last of equals, as for [`Iterator::max`].
+    pub fn max(self) -> Option<P::Item>
     where
-        I::Item: Ord,
+        P::Item: Ord,
     {
-        self.0.max()
+        let p = self.0;
+        map_spans(&p, |span| span.max())
+            .into_iter()
+            .flatten()
+            .reduce(std::cmp::max)
     }
 
-    /// Item count.
+    /// Item count (items are still produced, so mapped side effects run).
     pub fn count(self) -> usize {
-        self.0.count()
+        let p = self.0;
+        map_spans(&p, |span| span.count()).into_iter().sum()
     }
 }
 
-impl<I: Iterator> IntoIterator for ParIter<I> {
-    type Item = I::Item;
-    type IntoIter = I;
-    fn into_iter(self) -> I {
-        self.0
+/// A filtered parallel iterator (`ParIter::filter`). Filtering changes the
+/// cardinality, so this is a separate driver over the base producer rather
+/// than a [`Producer`] itself; it supports the terminal consumptions.
+pub struct ParFilter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> ParFilter<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    /// Consume the surviving items with `f`.
+    pub fn for_each<G>(self, f: G)
+    where
+        G: Fn(P::Item) + Send + Sync,
+    {
+        let (p, pred) = (self.base, self.pred);
+        run_spans(&p, |span| span.filter(|it| pred(it)).for_each(&f));
+    }
+
+    /// Count the surviving items.
+    pub fn count(self) -> usize {
+        let (p, pred) = (self.base, self.pred);
+        map_spans(&p, |span| span.filter(|it| pred(it)).count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Sum the surviving items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let (p, pred) = (self.base, self.pred);
+        let mut parts = map_spans(&p, |span| span.filter(|it| pred(it)).sum::<S>());
+        if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            parts.into_iter().sum()
+        }
+    }
+
+    /// Collect the surviving items in index order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let (p, pred) = (self.base, self.pred);
+        map_spans(&p, |span| span.filter(|it| pred(it)).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
+
+// ------------------------------------------------------------- into_par_iter
 
 /// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
 pub trait IntoParallelIterator {
-    /// The underlying sequential iterator.
-    type SeqIter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
+    /// The producer backing the parallel iterator.
+    type Producer: Producer;
+
     /// Convert self into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
 }
 
-impl<T> IntoParallelIterator for Range<T>
-where
-    Range<T>: Iterator<Item = T>,
-{
-    type SeqIter = Range<T>;
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<Range<T>> {
-        ParIter(self)
+/// Producer for `usize` ranges.
+pub struct RangeProducer {
+    start: usize,
+    len: usize,
+}
+
+impl Producer for RangeProducer {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn produce(&self, i: usize) -> usize {
+        self.start + i
     }
 }
 
-impl<T> IntoParallelIterator for RangeInclusive<T>
-where
-    RangeInclusive<T>: Iterator<Item = T>,
-{
-    type SeqIter = RangeInclusive<T>;
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<RangeInclusive<T>> {
-        ParIter(self)
+impl IntoParallelIterator for Range<usize> {
+    type Producer = RangeProducer;
+
+    fn into_par_iter(self) -> ParIter<RangeProducer> {
+        ParIter(RangeProducer {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        })
     }
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
-    type SeqIter = std::vec::IntoIter<T>;
+impl IntoParallelIterator for RangeInclusive<usize> {
+    type Producer = RangeProducer;
+
+    fn into_par_iter(self) -> ParIter<RangeProducer> {
+        let (start, end) = (*self.start(), *self.end());
+        let len = if start <= end {
+            (end - start).saturating_add(1)
+        } else {
+            0
+        };
+        ParIter(RangeProducer { start, len })
+    }
+}
+
+/// Owning producer over a `Vec`'s elements (also the carrier of `fold`
+/// partials).
+pub struct VecProducer<T: Send> {
+    /// Storage with its length forced to zero: elements are moved out via
+    /// `ptr::read` as they are produced, so dropping the producer must not
+    /// drop them again. Elements never produced (consumption panicked, or a
+    /// zip truncated them) leak — safe, just not dropped.
+    buf: Vec<T>,
+    len: usize,
+}
+
+// SAFETY: `produce` only moves elements out of distinct indices; the shared
+// reference is never used to alias the same element from two threads.
+unsafe impl<T: Send> Sync for VecProducer<T> {}
+
+impl<T: Send> VecProducer<T> {
+    fn new(mut v: Vec<T>) -> VecProducer<T> {
+        let len = v.len();
+        // SAFETY: shrinking only; the elements stay initialized in the
+        // buffer and are moved out exactly once by `produce`.
+        unsafe { v.set_len(0) };
+        VecProducer { buf: v, len }
+    }
+}
+
+impl<T: Send> Producer for VecProducer<T> {
     type Item = T;
-    fn into_par_iter(self) -> ParIter<std::vec::IntoIter<T>> {
-        ParIter(self.into_iter())
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn produce(&self, i: usize) -> T {
+        // SAFETY: `i < self.len` elements are initialized, and the engine
+        // produces each index at most once, so this read does not duplicate.
+        unsafe { std::ptr::read(self.buf.as_ptr().add(i)) }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Producer = VecProducer<T>;
+
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
+        ParIter(VecProducer::new(self))
+    }
+}
+
+// ------------------------------------------------------------------- slices
+
+/// Producer over `&T` items of a shared slice.
+pub struct SliceProducer<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    unsafe fn produce(&self, i: usize) -> &'a T {
+        // SAFETY: `i < len`.
+        unsafe { self.s.get_unchecked(i) }
+    }
+}
+
+/// Producer over non-overlapping sub-slices of a shared slice.
+pub struct ChunksProducer<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+
+    unsafe fn produce(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.s.len());
+        &self.s[lo..hi]
+    }
+}
+
+/// Producer over `&mut T` items of an exclusive slice. Positions are
+/// disjoint, so handing out `&mut` borrows from a shared producer reference
+/// is sound under the produce-once contract.
+pub struct IterMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: models the exclusive borrow it was created from; `produce` hands
+// out non-aliasing `&mut` borrows of distinct elements.
+unsafe impl<T: Send> Send for IterMutProducer<'_, T> {}
+unsafe impl<T: Send> Sync for IterMutProducer<'_, T> {}
+
+impl<'a, T: Send> Producer for IterMutProducer<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn produce(&self, i: usize) -> &'a mut T {
+        // SAFETY: `i < len`, and each index is produced at most once, so the
+        // returned borrows never alias.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Producer over non-overlapping mutable sub-slices of an exclusive slice.
+pub struct ChunksMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for `IterMutProducer`; chunks are disjoint by construction.
+unsafe impl<T: Send> Send for ChunksMutProducer<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+
+    unsafe fn produce(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.len);
+        // SAFETY: `[lo, hi)` ranges of distinct chunk indices are disjoint
+        // and in bounds; each chunk is produced at most once.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
     }
 }
 
 /// Shared-slice parallel views (`rayon::slice::ParallelSlice`).
 pub trait ParallelSlice<T> {
     /// Parallel iterator over `&T`.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
     /// Parallel iterator over non-overlapping chunks.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>>;
 }
 
 impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter(SliceProducer { s: self })
     }
 
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(size))
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter(ChunksProducer { s: self, size })
     }
 }
 
 /// Mutable-slice parallel views (`rayon::slice::ParallelSliceMut`).
 pub trait ParallelSliceMut<T> {
     /// Parallel iterator over `&mut T`.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_iter_mut(&mut self) -> ParIter<IterMutProducer<'_, T>>;
     /// Parallel iterator over non-overlapping mutable chunks.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
     /// Stable sort by comparator.
     fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
     /// Unstable sort by comparator.
@@ -179,12 +627,22 @@ pub trait ParallelSliceMut<T> {
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
+    fn par_iter_mut(&mut self) -> ParIter<IterMutProducer<'_, T>> {
+        ParIter(IterMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        })
     }
 
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(size))
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter(ChunksMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: PhantomData,
+        })
     }
 
     fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
@@ -203,11 +661,6 @@ impl<T> ParallelSliceMut<T> for [T] {
     }
 }
 
-/// Number of worker threads the pool would use (one: sequential engine).
-pub fn current_num_threads() -> usize {
-    1
-}
-
 /// The customary glob import.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
@@ -216,12 +669,15 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
     fn range_for_each_and_sum() {
-        let mut hits = vec![0u32; 10];
-        (0..10usize).into_par_iter().for_each(|i| hits[i] += 1);
-        assert!(hits.iter().all(|&h| h == 1));
+        let hits: Vec<AtomicU32> = (0..10).map(|_| AtomicU32::new(0)).collect();
+        (0..10usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         let s: usize = (1..=4usize).into_par_iter().map(|i| i * i).sum();
         assert_eq!(s, 30);
     }
@@ -259,5 +715,45 @@ mod tests {
             .enumerate()
             .for_each(|(i, (chunk, &o))| chunk.iter_mut().for_each(|v| *v = o + i as f64));
         assert_eq!(c, [10.0, 10.0, 21.0, 21.0, 32.0, 32.0]);
+    }
+
+    #[test]
+    fn vec_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_supports_terminal_consumptions() {
+        let n: usize = (0..100usize).into_par_iter().filter(|i| i % 3 == 0).count();
+        assert_eq!(n, 34);
+        let s: usize = (0..100usize).into_par_iter().filter(|i| i % 2 == 0).sum();
+        assert_eq!(s, 2450);
+        let kept: Vec<usize> = (0..10usize).into_par_iter().filter(|i| *i >= 7).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn min_max_over_mapped_items() {
+        let xs = [(3, 'a'), (1, 'b'), (1, 'c'), (3, 'd')];
+        let min = xs.par_iter().map(|&(k, t)| (k, t)).min();
+        let max = xs.par_iter().map(|&(k, t)| (k, t)).max();
+        assert_eq!(min, Some((1, 'b')));
+        assert_eq!(max, Some((3, 'd')));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s: usize = (0..0usize).into_par_iter().sum();
+        assert_eq!(s, 0);
+        let total = (0..0usize)
+            .into_par_iter()
+            .fold(|| 7usize, |a, i| a + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 7, "empty fold still yields one init() partial");
+        assert_eq!((0..0usize).into_par_iter().count(), 0);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.par_iter().min(), None);
     }
 }

@@ -1,0 +1,295 @@
+//! The work-stealing execution engine behind the parallel iterators.
+//!
+//! One process-wide pool, built lazily on first use. Width comes from
+//! `RAYON_NUM_THREADS` when set to a positive integer, otherwise from
+//! [`std::thread::available_parallelism`]. A parallel call partitions its
+//! index space into a *chunk grid* — a pure function of the length and the
+//! pool width, independent of scheduling — seeds the shared injector with one
+//! contiguous segment of chunks per thread, and then participates in the work
+//! itself. Workers (and the caller) pop segments LIFO from their own deque,
+//! steal FIFO from the injector and from each other, split off the back half
+//! of any multi-chunk segment for thieves, and run one chunk at a time.
+//!
+//! Determinism: the iterator layer combines per-chunk partial results
+//! strictly in chunk order, so for a fixed pool width every consumption is
+//! reproducible no matter how chunks were scheduled. With a width of one the
+//! engine never spawns a thread and every call degrades to an in-place
+//! sequential loop on the caller — bitwise-identical to the old sequential
+//! stand-in.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Target number of chunks per pool thread: enough slack for stealing to
+/// balance uneven chunks without drowning small loops in scheduling overhead.
+const CHUNKS_PER_THREAD: usize = 8;
+
+thread_local! {
+    /// Set on pool worker threads. A parallel call issued from a worker (a
+    /// nested parallel call) runs inline and sequentially: the worker must
+    /// not block waiting on siblings that may themselves be blocked.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// One parallel call: the span function plus completion bookkeeping.
+struct JobSet {
+    /// The span function, as a raw pointer because its true lifetime is the
+    /// duration of the submitting call. Validity: the submitter blocks in
+    /// [`execute`] until `remaining` reaches zero, and every chunk finishes
+    /// (or is skipped after a panic) before that final decrement.
+    run_span: *const (dyn Fn(usize, usize) + Sync),
+    /// Total item count.
+    len: usize,
+    /// Items per chunk (last chunk may be short).
+    chunk: usize,
+    /// Chunks not yet executed.
+    remaining: AtomicUsize,
+    /// Set once any chunk panics; later chunks of this job are skipped.
+    poisoned: AtomicBool,
+    /// First panic payload, re-thrown on the submitting thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion flag + condvar the submitter waits on.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: the raw `run_span` pointer is only dereferenced while the
+// submitting call is blocked (see `JobSet::run_span`); everything else in the
+// struct is already thread-safe.
+unsafe impl Send for JobSet {}
+unsafe impl Sync for JobSet {}
+
+impl JobSet {
+    /// Run chunk `c` (skipping the body if the job is already poisoned) and
+    /// record completion.
+    fn run_chunk(&self, c: usize) {
+        if !self.poisoned.load(Ordering::Relaxed) {
+            let lo = c * self.chunk;
+            let hi = ((c + 1) * self.chunk).min(self.len);
+            // SAFETY: the submitter is still blocked (remaining > 0), so the
+            // span function is alive.
+            let f = unsafe { &*self.run_span };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(lo, hi)));
+            if let Err(payload) = result {
+                self.poisoned.store(true, Ordering::Relaxed);
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.done.lock().unwrap() = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// A contiguous range of chunk indices `lo..hi` of one job.
+struct Segment {
+    set: Arc<JobSet>,
+    lo: usize,
+    hi: usize,
+}
+
+struct Shared {
+    /// One deque per worker: the owner pushes and pops at the back (LIFO,
+    /// for locality); thieves steal from the front (FIFO, largest segments
+    /// first since splits push progressively smaller halves).
+    queues: Vec<Mutex<VecDeque<Segment>>>,
+    /// Submission queue, also used by non-worker callers for their splits.
+    injector: Mutex<VecDeque<Segment>>,
+    /// Idle workers sleep here (paired with the injector mutex); woken on
+    /// every push, with a timeout as a missed-notification safety net.
+    wakeup: Condvar,
+}
+
+impl Shared {
+    /// Find a segment to run. `me` is this thread's own queue index, if it
+    /// is a pool worker.
+    fn find_work(&self, me: Option<usize>) -> Option<Segment> {
+        if let Some(w) = me {
+            if let Some(seg) = self.queues[w].lock().unwrap().pop_back() {
+                return Some(seg);
+            }
+        }
+        if let Some(seg) = self.injector.lock().unwrap().pop_front() {
+            return Some(seg);
+        }
+        let start = me.map_or(0, |w| w + 1);
+        for k in 0..self.queues.len() {
+            let q = (start + k) % self.queues.len();
+            if Some(q) == me {
+                continue;
+            }
+            if let Some(seg) = self.queues[q].lock().unwrap().pop_front() {
+                return Some(seg);
+            }
+        }
+        None
+    }
+
+    /// Run a segment: repeatedly give away the back half for thieves while
+    /// more than one chunk remains, then run the front chunk.
+    fn run_segment(&self, me: Option<usize>, seg: Segment) {
+        let Segment { set, lo, mut hi } = seg;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2 + (hi - lo) % 2;
+            let half = Segment {
+                set: Arc::clone(&set),
+                lo: mid,
+                hi,
+            };
+            match me {
+                Some(w) => self.queues[w].lock().unwrap().push_back(half),
+                None => self.injector.lock().unwrap().push_back(half),
+            }
+            self.wakeup.notify_one();
+            hi = mid;
+        }
+        set.run_chunk(lo);
+    }
+}
+
+struct Pool {
+    threads: usize,
+    shared: Arc<Shared>,
+}
+
+fn width_from_env() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = width_from_env();
+        // The submitting thread participates in every job, so spawn one
+        // fewer worker than the configured width.
+        let workers = threads.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            wakeup: Condvar::new(),
+        });
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{w}"))
+                .spawn(move || worker_loop(&shared, w))
+                .expect("spawn pool worker");
+        }
+        Pool { threads, shared }
+    })
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    IN_WORKER.with(|f| f.set(true));
+    loop {
+        if let Some(seg) = shared.find_work(Some(w)) {
+            shared.run_segment(Some(w), seg);
+        } else {
+            let guard = shared.injector.lock().unwrap();
+            if guard.is_empty() {
+                // Sleep until a push notifies us; the timeout re-scans the
+                // per-worker queues in case a notification raced past.
+                let _ = shared
+                    .wakeup
+                    .wait_timeout(guard, Duration::from_millis(5))
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Number of threads the pool uses (workers plus the participating caller).
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
+
+/// How a parallel call over `len` items will be partitioned: `(nchunks,
+/// chunk)` with chunk boundaries at multiples of `chunk`. The grid depends
+/// only on the length, the pool width, and whether the calling thread is a
+/// pool worker — never on scheduling — so the iterator layer can allocate
+/// one result slot per chunk and combine them in chunk order.
+pub(crate) fn plan(len: usize) -> (usize, usize) {
+    let threads = pool().threads;
+    if threads <= 1 || len <= 1 || IN_WORKER.with(std::cell::Cell::get) {
+        return (1, len.max(1));
+    }
+    let chunk = len.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    (len.div_ceil(chunk), chunk)
+}
+
+/// Execute `f` over every span of the grid `(nchunks, chunk)` previously
+/// returned by [`plan`] for the same `len`. Spans are `[lo, hi)` item
+/// ranges; each is run exactly once, possibly on different threads. Blocks
+/// until all spans completed; re-throws the first panic.
+pub(crate) fn execute(len: usize, nchunks: usize, chunk: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    if nchunks <= 1 {
+        f(0, len);
+        return;
+    }
+    let p = pool();
+    // Erase the span function's lifetime; see the field's validity argument.
+    type SpanFn<'a> = *const (dyn Fn(usize, usize) + Sync + 'a);
+    let run_span = unsafe { std::mem::transmute::<SpanFn<'_>, SpanFn<'static>>(f) };
+    let set = Arc::new(JobSet {
+        run_span,
+        len,
+        chunk,
+        remaining: AtomicUsize::new(nchunks),
+        poisoned: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        // Seed one contiguous segment per thread so every worker has a
+        // starting assignment before stealing begins.
+        let parts = p.threads.min(nchunks);
+        let per = nchunks / parts;
+        let extra = nchunks % parts;
+        let mut start = 0;
+        let mut inj = p.shared.injector.lock().unwrap();
+        for i in 0..parts {
+            let span = per + usize::from(i < extra);
+            inj.push_back(Segment {
+                set: Arc::clone(&set),
+                lo: start,
+                hi: start + span,
+            });
+            start += span;
+        }
+    }
+    p.shared.wakeup.notify_all();
+    // Participate until this job completes (running other jobs' segments
+    // too, if stealing happens to surface them — they also make progress).
+    loop {
+        if let Some(seg) = p.shared.find_work(None) {
+            p.shared.run_segment(None, seg);
+            continue;
+        }
+        let guard = set.done.lock().unwrap();
+        if *guard {
+            break;
+        }
+        let (guard, _) = set
+            .done_cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap();
+        if *guard {
+            break;
+        }
+    }
+    let payload = set.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}

@@ -1,0 +1,66 @@
+//! Single-thread determinism: with `RAYON_NUM_THREADS=1` the pool must
+//! never spawn a thread and every consumption must be bitwise-identical to
+//! the old sequential engine (plain in-order iteration on the caller).
+//!
+//! Separate test binary from `threaded.rs` because the pool width is fixed
+//! at first use per process.
+
+use rayon::prelude::*;
+
+fn force_one_thread() {
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+}
+
+#[test]
+fn one_thread_runs_in_order_on_the_caller() {
+    force_one_thread();
+    assert_eq!(rayon::current_num_threads(), 1);
+    let me = std::thread::current().id();
+    let order = std::sync::Mutex::new(Vec::new());
+    (0..1_000usize).into_par_iter().for_each(|i| {
+        assert_eq!(std::thread::current().id(), me, "must stay on the caller");
+        order.lock().unwrap().push(i);
+    });
+    assert_eq!(*order.lock().unwrap(), (0..1_000).collect::<Vec<_>>());
+}
+
+#[test]
+fn one_thread_results_are_bitwise_sequential() {
+    force_one_thread();
+    // Values with enough structure that any re-association of the f64
+    // additions would change low-order bits.
+    let x: Vec<f64> = (0..4096)
+        .map(|i: usize| ((i.wrapping_mul(2654435761) % 1000) as f64) * 1e-3 + (i as f64).sqrt())
+        .collect();
+
+    let par_sum: f64 = x.par_iter().sum();
+    let seq_sum: f64 = x.iter().sum();
+    assert_eq!(par_sum.to_bits(), seq_sum.to_bits());
+
+    let par_fold = x
+        .par_iter()
+        .fold(|| 0.0f64, |acc, &v| acc + v * v)
+        .reduce(|| 0.0, |a, b| a + b);
+    let seq_fold = x.iter().fold(0.0f64, |acc, &v| acc + v * v);
+    assert_eq!(par_fold.to_bits(), seq_fold.to_bits());
+
+    let par_red = x
+        .par_iter()
+        .map(|&v| v)
+        .reduce(|| f64::INFINITY, f64::min);
+    let seq_red = x.iter().copied().fold(f64::INFINITY, f64::min);
+    assert_eq!(par_red.to_bits(), seq_red.to_bits());
+
+    let par_minloc = x
+        .par_iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .reduce(|| (f64::INFINITY, usize::MAX), |a, b| if b.0 < a.0 { b } else { a });
+    let seq_minloc = x
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .fold((f64::INFINITY, usize::MAX), |a, b| if b.0 < a.0 { b } else { a });
+    assert_eq!(par_minloc.0.to_bits(), seq_minloc.0.to_bits());
+    assert_eq!(par_minloc.1, seq_minloc.1);
+}

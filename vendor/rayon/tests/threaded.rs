@@ -1,0 +1,105 @@
+//! Behavior under a real multi-thread pool.
+//!
+//! The pool is process-global and sized once at first use, so every test in
+//! this binary pins `RAYON_NUM_THREADS=4` before touching it; whichever test
+//! runs first sizes the pool and all of them agree.
+
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn force_threads() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+#[test]
+fn pool_reports_configured_width() {
+    force_threads();
+    assert_eq!(rayon::current_num_threads(), 4);
+}
+
+#[test]
+fn par_iter_work_runs_on_multiple_os_threads() {
+    force_threads();
+    let ids = Mutex::new(HashSet::new());
+    (0..256usize).into_par_iter().for_each(|_| {
+        ids.lock().unwrap().insert(std::thread::current().id());
+        // Give the items measurable duration so idle workers have time to
+        // steal before the caller drains everything (this host may have a
+        // single core, so workers only run while the caller sleeps).
+        std::thread::sleep(Duration::from_micros(200));
+    });
+    let distinct = ids.lock().unwrap().len();
+    assert!(
+        distinct >= 2,
+        "expected work on >=2 OS threads under RAYON_NUM_THREADS=4, saw {distinct}"
+    );
+}
+
+#[test]
+fn reductions_are_deterministic_for_fixed_width() {
+    force_threads();
+    let x: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+    let runs: Vec<f64> = (0..5).map(|_| x.par_iter().sum::<f64>()).collect();
+    assert!(
+        runs.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+        "sum must be bitwise-reproducible for a fixed pool width: {runs:?}"
+    );
+    let seq: f64 = x.iter().sum();
+    assert!((runs[0] - seq).abs() <= 1e-9 * seq.abs().max(1.0));
+}
+
+#[test]
+fn fold_reduce_and_mutation_are_correct_under_threads() {
+    force_threads();
+    let total = (0..100_000usize)
+        .into_par_iter()
+        .fold(|| 0u64, |acc, i| acc + i as u64)
+        .reduce(|| 0, |a, b| a + b);
+    assert_eq!(total, 100_000u64 * 99_999 / 2);
+    let mut v = vec![0u32; 100_000];
+    v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u32);
+    assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    let collected: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 3).collect();
+    assert_eq!(collected, (0..10_000).map(|i| i * 3).collect::<Vec<_>>());
+}
+
+#[test]
+fn atomic_updates_survive_contention() {
+    force_threads();
+    let acc = AtomicU64::new(0);
+    (0..50_000usize).into_par_iter().for_each(|_| {
+        acc.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(acc.load(Ordering::Relaxed), 50_000);
+}
+
+#[test]
+fn panics_propagate_to_the_caller() {
+    force_threads();
+    let caught = std::panic::catch_unwind(|| {
+        (0..1_000usize).into_par_iter().for_each(|i| {
+            if i == 137 {
+                panic!("boom");
+            }
+        });
+    });
+    assert!(caught.is_err(), "a panic in a parallel body must propagate");
+    // The pool must remain usable after a poisoned job.
+    let s: usize = (0..100usize).into_par_iter().sum();
+    assert_eq!(s, 4950);
+}
+
+#[test]
+fn nested_parallel_calls_run_inline() {
+    force_threads();
+    let acc = AtomicU64::new(0);
+    (0..64usize).into_par_iter().for_each(|_| {
+        // A parallel call from inside a parallel body must not deadlock.
+        let inner: u64 = (0..100usize).into_par_iter().map(|i| i as u64).sum();
+        acc.fetch_add(inner, Ordering::Relaxed);
+    });
+    assert_eq!(acc.load(Ordering::Relaxed), 64 * 4950);
+}
