@@ -1,0 +1,81 @@
+//! Criterion bench: simulated-device launch overhead in isolation.
+//!
+//! The paper treats launch overhead as a measured quantity (the Comm/HALO
+//! launch-bound analysis), so the harness itself must stay out of the way.
+//! Three groups isolate the pieces:
+//!
+//! * `launch_empty` — an empty-body `launch_1d` at several grid sizes: pure
+//!   per-launch + per-thread harness cost, zero kernel work.
+//! * `deviceptr_rw` — a read-modify-write stream through `DevicePtr`: the
+//!   per-access sanitizer-gating cost on the un-sanitized hot path.
+//! * `triad_base_simgpu` — `Stream_TRIAD` end-to-end under `Base_SimGpu`:
+//!   the acceptance yardstick for the fast-path optimization.
+//!
+//! `scripts/bench.sh` runs this bench with `CRITERION_JSON` set and folds
+//! the results into `BENCH_gpusim.json`; `scripts/verify.sh` runs it with
+//! `--test` as a smoke check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpusim::DevicePtr;
+use kernels::{Tuning, VariantId};
+use std::time::Duration;
+
+fn launch_empty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("launch_empty");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [4_096usize, 65_536, 1_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            b.iter(|| gpusim::launch_1d(n, gpusim::DEFAULT_BLOCK_SIZE, |_| {}));
+        });
+    }
+    group.finish();
+}
+
+fn deviceptr_rw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deviceptr_rw");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let n = 1_000_000usize;
+    let mut buf = vec![1.0f64; n];
+    // One read + one write per element, all through the instrumentable
+    // DevicePtr accessors.
+    group.throughput(Throughput::Bytes(16 * n as u64));
+    group.bench_with_input(BenchmarkId::new("rmw", n), &n, |b, &n| {
+        let p = DevicePtr::new(&mut buf);
+        b.iter(|| {
+            gpusim::launch_1d(n, gpusim::DEFAULT_BLOCK_SIZE, |i| unsafe {
+                p.write(i, p.read(i) * 1.000_000_1)
+            })
+        });
+    });
+    group.finish();
+}
+
+fn triad_base_simgpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triad_base_simgpu");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let n = 1_000_000usize;
+    // Enough reps that the kernel's steady-state launch loop dominates the
+    // fixed per-execute setup (two init_unit fills + checksum, ~12ms at this
+    // n) instead of being drowned by it.
+    let reps = 20usize;
+    let kernel = kernels::find("Stream_TRIAD").unwrap();
+    let tuning = Tuning::default();
+    group.throughput(Throughput::Bytes(24 * (n * reps) as u64));
+    group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+        b.iter(|| kernel.execute(VariantId::BaseSimGpu, n, reps, &tuning));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, launch_empty, deviceptr_rw, triad_base_simgpu);
+criterion_main!(benches);

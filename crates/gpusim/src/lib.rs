@@ -188,11 +188,29 @@ pub struct SharedMem {
     data: Vec<f64>,
 }
 
+thread_local! {
+    /// Per-host-thread scratch arena backing [`SharedMem`]. Each block
+    /// borrows the arena for its lifetime and returns it on completion, so
+    /// steady-state launches perform no shared-memory allocation at all —
+    /// the buffer is re-zeroed on reuse to preserve the device's zero-init
+    /// semantics. Blocks run one at a time per host thread, so a single
+    /// buffer per thread suffices; a nested launch inside a block body
+    /// simply falls back to a fresh allocation for the inner blocks.
+    static SHARED_ARENA: Cell<Vec<f64>> = const { Cell::new(Vec::new()) };
+}
+
 impl SharedMem {
-    fn new(words: usize) -> SharedMem {
-        SharedMem {
-            data: vec![0.0; words],
-        }
+    /// Take the thread's arena, zeroed to `words` elements.
+    fn acquire(words: usize) -> SharedMem {
+        let mut data = SHARED_ARENA.with(Cell::take);
+        data.clear();
+        data.resize(words, 0.0);
+        SharedMem { data }
+    }
+
+    /// Return the backing buffer to the thread's arena for the next block.
+    fn release(self) {
+        SHARED_ARENA.with(|a| a.set(self.data));
     }
 
     /// Allocation size in `f64` words.
@@ -263,25 +281,53 @@ impl BlockCtx {
     /// Run the body once per thread in the block (a barrier-delimited phase).
     /// The body receives the thread identity and the block's shared memory.
     pub fn threads(&mut self, mut body: impl FnMut(ThreadCtx, &mut SharedMem)) {
-        let sanitize = sanitizer::active();
         let phase = self.barriers.get();
-        for tz in 0..self.block_dim.z {
-            for ty in 0..self.block_dim.y {
+        if !sanitizer::active() {
+            // Raw phase loop: no instrumentation hooks anywhere in the body.
+            // 1-D blocks (the overwhelmingly common case) additionally skip
+            // the y/z loop nesting so the per-thread work is a single
+            // counter increment plus the body call.
+            if self.block_dim.y == 1 && self.block_dim.z == 1 {
                 for tx in 0..self.block_dim.x {
                     let t = ThreadCtx {
-                        thread_idx: Dim3::d3(tx, ty, tz),
+                        // NB: index, not extent — y/z are 0, unlike d1().
+                        thread_idx: Dim3::d3(tx, 0, 0),
                         block_idx: self.block_idx,
                         block_dim: self.block_dim,
                         grid_dim: self.grid_dim,
                     };
-                    if sanitize {
-                        sanitizer::on_thread_begin(self.block_idx, t.thread_idx, phase);
-                    }
                     body(t, &mut self.shared);
                 }
+            } else {
+                for tz in 0..self.block_dim.z {
+                    for ty in 0..self.block_dim.y {
+                        for tx in 0..self.block_dim.x {
+                            let t = ThreadCtx {
+                                thread_idx: Dim3::d3(tx, ty, tz),
+                                block_idx: self.block_idx,
+                                block_dim: self.block_dim,
+                                grid_dim: self.grid_dim,
+                            };
+                            body(t, &mut self.shared);
+                        }
+                    }
+                }
             }
-        }
-        if sanitize {
+        } else {
+            for tz in 0..self.block_dim.z {
+                for ty in 0..self.block_dim.y {
+                    for tx in 0..self.block_dim.x {
+                        let t = ThreadCtx {
+                            thread_idx: Dim3::d3(tx, ty, tz),
+                            block_idx: self.block_idx,
+                            block_dim: self.block_dim,
+                            grid_dim: self.grid_dim,
+                        };
+                        sanitizer::on_thread_begin(self.block_idx, t.thread_idx, phase);
+                        body(t, &mut self.shared);
+                    }
+                }
+            }
             sanitizer::on_phase_end();
         }
         self.barriers.set(phase + 1);
@@ -312,20 +358,34 @@ pub struct DeviceStats {
     pub launches: u64,
     /// Thread blocks executed.
     pub blocks: u64,
-    /// Threads executed.
-    pub threads: u64,
+    /// Threads launched, counting grid padding: `grid.total() *
+    /// block.total()` per launch, exactly what the hardware schedules.
+    pub threads_launched: u64,
+    /// Threads that had real work: for [`launch_1d`] the requested `n`
+    /// (padding threads fail the bounds guard and retire immediately); for
+    /// a bare [`launch`] every thread runs the body, so active = launched.
+    pub threads_active: u64,
+}
+
+impl DeviceStats {
+    /// Threads launched purely as grid-rounding padding (launched − active).
+    pub fn threads_padded(&self) -> u64 {
+        self.threads_launched - self.threads_active
+    }
 }
 
 static LAUNCHES: AtomicU64 = AtomicU64::new(0);
 static BLOCKS: AtomicU64 = AtomicU64::new(0);
-static THREADS: AtomicU64 = AtomicU64::new(0);
+static THREADS_LAUNCHED: AtomicU64 = AtomicU64::new(0);
+static THREADS_ACTIVE: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot the device counters.
 pub fn stats() -> DeviceStats {
     DeviceStats {
         launches: LAUNCHES.load(Ordering::Relaxed),
         blocks: BLOCKS.load(Ordering::Relaxed),
-        threads: THREADS.load(Ordering::Relaxed),
+        threads_launched: THREADS_LAUNCHED.load(Ordering::Relaxed),
+        threads_active: THREADS_ACTIVE.load(Ordering::Relaxed),
     }
 }
 
@@ -333,7 +393,18 @@ pub fn stats() -> DeviceStats {
 pub fn reset_stats() {
     LAUNCHES.store(0, Ordering::Relaxed);
     BLOCKS.store(0, Ordering::Relaxed);
-    THREADS.store(0, Ordering::Relaxed);
+    THREADS_LAUNCHED.store(0, Ordering::Relaxed);
+    THREADS_ACTIVE.store(0, Ordering::Relaxed);
+}
+
+/// Record one launch in the device counters. `active` is the number of
+/// threads with real work (≤ launched; see [`DeviceStats::threads_active`]).
+fn count_launch(cfg: &LaunchConfig, active: u64) {
+    let nblocks = cfg.grid.total() as u64;
+    LAUNCHES.fetch_add(1, Ordering::Relaxed);
+    BLOCKS.fetch_add(nblocks, Ordering::Relaxed);
+    THREADS_LAUNCHED.fetch_add(nblocks * cfg.block.total() as u64, Ordering::Relaxed);
+    THREADS_ACTIVE.fetch_add(active, Ordering::Relaxed);
 }
 
 /// Launch a kernel on the simulated device.
@@ -353,60 +424,149 @@ pub fn launch<F>(cfg: &LaunchConfig, body: F)
 where
     F: Fn(&mut BlockCtx) + Sync,
 {
-    LAUNCHES.fetch_add(1, Ordering::Relaxed);
-    let nblocks = cfg.grid.total() as u64;
-    BLOCKS.fetch_add(nblocks, Ordering::Relaxed);
-    THREADS.fetch_add(nblocks * cfg.block.total() as u64, Ordering::Relaxed);
-    let run_block = |bx: usize, by: usize, bz: usize| {
-        let mut ctx = BlockCtx {
-            block_idx: Dim3::d3(bx, by, bz),
-            block_dim: cfg.block,
-            grid_dim: cfg.grid,
-            shared: SharedMem::new(cfg.shared_f64),
-            barriers: Cell::new(0),
-        };
-        body(&mut ctx);
-    };
+    // Every thread of a bare launch runs the body: active = launched.
+    count_launch(cfg, (cfg.grid.total() * cfg.block.total()) as u64);
     if sanitizer::active() {
-        sanitizer::on_launch(cfg);
-        for bz in 0..cfg.grid.z {
-            for by in 0..cfg.grid.y {
-                for bx in 0..cfg.grid.x {
-                    run_block(bx, by, bz);
-                }
+        launch_blocks_sanitized(cfg, &body);
+    } else {
+        launch_blocks_raw(cfg, &body);
+    }
+}
+
+/// Run one block of `cfg` at grid position `(bx, by, bz)`, borrowing the
+/// host thread's pooled shared-memory arena for the block's lifetime.
+fn run_block<F>(cfg: &LaunchConfig, body: &F, bx: usize, by: usize, bz: usize)
+where
+    F: Fn(&mut BlockCtx) + Sync,
+{
+    let mut ctx = BlockCtx {
+        block_idx: Dim3::d3(bx, by, bz),
+        block_dim: cfg.block,
+        grid_dim: cfg.grid,
+        shared: SharedMem::acquire(cfg.shared_f64),
+        barriers: Cell::new(0),
+    };
+    body(&mut ctx);
+    ctx.shared.release();
+}
+
+/// The un-instrumented block scheduler: flatten the grid and let the pool
+/// schedule blocks. With a one-thread pool this degrades to the same
+/// in-order bz/by/bx sweep as the sanitized sequential loop.
+fn launch_blocks_raw<F>(cfg: &LaunchConfig, body: &F)
+where
+    F: Fn(&mut BlockCtx) + Sync,
+{
+    use rayon::prelude::*;
+    let (gx, gy) = (cfg.grid.x, cfg.grid.y);
+    (0..cfg.grid.total()).into_par_iter().for_each(|flat| {
+        let bx = flat % gx;
+        let by = (flat / gx) % gy;
+        let bz = flat / (gx * gy);
+        run_block(cfg, body, bx, by, bz);
+    });
+}
+
+/// The instrumented block scheduler, monomorphized separately from
+/// [`launch_blocks_raw`] so the raw path carries no sanitizer branches.
+/// Blocks run sequentially on the launching thread: the sanitizer's shadow
+/// state is thread-local, and the hazard classes it detects are intra-block,
+/// so serializing blocks loses no coverage.
+#[cold]
+fn launch_blocks_sanitized<F>(cfg: &LaunchConfig, body: &F)
+where
+    F: Fn(&mut BlockCtx) + Sync,
+{
+    sanitizer::on_launch(cfg);
+    for bz in 0..cfg.grid.z {
+        for by in 0..cfg.grid.y {
+            for bx in 0..cfg.grid.x {
+                run_block(cfg, body, bx, by, bz);
             }
         }
-    } else {
-        // Flatten the grid and let the pool schedule blocks. With a
-        // one-thread pool this degrades to the same in-order bz/by/bx
-        // sweep as the sequential loop above.
-        use rayon::prelude::*;
-        let (gx, gy) = (cfg.grid.x, cfg.grid.y);
-        (0..cfg.grid.total()).into_par_iter().for_each(|flat| {
-            let bx = flat % gx;
-            let by = (flat / gx) % gy;
-            let bz = flat / (gx * gy);
-            run_block(bx, by, bz);
-        });
     }
+}
+
+/// Whether [`launch_1d`] must take its generic block-structured path even
+/// when the fast-path conditions hold. Seeded from the `GPUSIM_GENERIC_LAUNCH`
+/// environment variable (any value but `0`); toggled at runtime with
+/// [`force_generic_launch`] (the fast-path equivalence tests flip it to
+/// compare both paths in one process).
+fn generic_launch_flag() -> &'static std::sync::atomic::AtomicBool {
+    static FORCE: std::sync::OnceLock<std::sync::atomic::AtomicBool> = std::sync::OnceLock::new();
+    FORCE.get_or_init(|| {
+        let from_env = std::env::var_os("GPUSIM_GENERIC_LAUNCH").is_some_and(|v| v != "0");
+        std::sync::atomic::AtomicBool::new(from_env)
+    })
+}
+
+/// True when the 1-D fast path is disabled (see [`force_generic_launch`]).
+pub fn generic_launch_forced() -> bool {
+    generic_launch_flag().load(Ordering::Relaxed)
+}
+
+/// Force (or re-allow) the generic block-structured path in [`launch_1d`].
+/// At pool width 1 the fast path and the generic path produce
+/// bitwise-identical results; this switch exists so tests can prove that.
+pub fn force_generic_launch(on: bool) {
+    generic_launch_flag().store(on, Ordering::Relaxed);
 }
 
 /// Convenience: launch a 1-D grid-mapped kernel where each thread handles at
 /// most one index `i < n` (RAJAPerf's standard `blockIdx.x * blockDim.x +
 /// threadIdx.x` mapping). The body must tolerate concurrent disjoint writes.
+///
+/// # Fast path
+///
+/// A 1-D launch with no shared memory and no active [`sanitizer`] scope has
+/// no observable block structure: no barriers, no shared state, and a body
+/// that only sees its global index. In that case the device runs each
+/// block's threads as one tight contiguous-index loop — no per-thread
+/// [`ThreadCtx`] construction, no `Dim3` index math, no bounds guard on the
+/// padding threads (they are never materialized, though the stats still
+/// count them as launched). Work is chunked deterministically across the
+/// rayon pool; with a one-thread pool both paths degrade to the same
+/// strictly in-order `0..n` sweep, so results are bitwise identical there
+/// (set `GPUSIM_GENERIC_LAUNCH=1` or call [`force_generic_launch`] to
+/// compare — the equivalence tests do exactly that).
 pub fn launch_1d<F>(n: usize, block_size: usize, body: F)
 where
     F: Fn(usize) + Sync,
 {
     let cfg = LaunchConfig::linear(n, block_size);
-    launch(&cfg, |block| {
+    count_launch(&cfg, n as u64);
+    if !sanitizer::active() && !generic_launch_forced() {
+        // `for_each_index` drives each pool chunk with a bare counted loop;
+        // the par-iter `SpanIter` equivalent costs ~2.4ns/element extra on
+        // slice-indexed bodies (measured on Stream_TRIAD), which at stream
+        // sizes erases the win from skipping the block machinery.
+        rayon::for_each_index(n, &body);
+    } else {
+        launch_1d_generic(&cfg, n, &body);
+    }
+}
+
+/// The block-structured execution of [`launch_1d`]: one guarded
+/// [`ThreadCtx`] per thread, including grid-padding threads. Used under the
+/// sanitizer (which needs the block/thread coordinates) and when
+/// [`force_generic_launch`] is set.
+fn launch_1d_generic<F>(cfg: &LaunchConfig, n: usize, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let wrapped = |block: &mut BlockCtx| {
         block.threads(|t, _| {
             let i = t.global_id_x();
             if i < n {
                 body(i);
             }
         });
-    });
+    };
+    if sanitizer::active() {
+        launch_blocks_sanitized(cfg, &wrapped);
+    } else {
+        launch_blocks_raw(cfg, &wrapped);
+    }
 }
 
 /// A `Send + Sync` raw-pointer wrapper granting GPU-kernel-style unchecked
@@ -563,7 +723,60 @@ mod tests {
         let s = stats();
         assert_eq!(s.launches, 1);
         assert_eq!(s.blocks, 2);
-        assert_eq!(s.threads, 512);
+        assert_eq!(s.threads_launched, 512);
+        assert_eq!(s.threads_active, 512);
+        assert_eq!(s.threads_padded(), 0);
+    }
+
+    #[test]
+    fn stats_split_padded_from_active_threads() {
+        // 1000 elements in 256-thread blocks: 4 blocks, 24 padding threads.
+        reset_stats();
+        launch_1d(1000, 256, |_| {});
+        let s = stats();
+        assert_eq!(s.blocks, 4);
+        assert_eq!(s.threads_launched, 1024);
+        assert_eq!(s.threads_active, 1000);
+        assert_eq!(s.threads_padded(), 24);
+
+        // The linear(0, _) edge: the device still schedules one (empty)
+        // block of 256 threads, but none of them have work.
+        reset_stats();
+        launch_1d(0, 256, |_| unreachable!("no index has work"));
+        let s = stats();
+        assert_eq!(s.launches, 1);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.threads_launched, 256);
+        assert_eq!(s.threads_active, 0);
+        assert_eq!(s.threads_padded(), 256);
+
+        // A bare launch has no padding: every thread runs the body.
+        reset_stats();
+        launch(&LaunchConfig::linear(512, 128), |block| {
+            block.threads(|_, _| {});
+        });
+        let s = stats();
+        assert_eq!(s.threads_launched, 512);
+        assert_eq!(s.threads_active, 512);
+    }
+
+    #[test]
+    fn generic_launch_path_matches_fast_path() {
+        let n = 1003;
+        let run = |generic: bool| {
+            force_generic_launch(generic);
+            let mut out = vec![0.0f64; n];
+            let p = DevicePtr::new(&mut out);
+            launch_1d(n, 128, |i| unsafe { p.write(i, (i as f64).sin()) });
+            force_generic_launch(false);
+            out
+        };
+        let fast = run(false);
+        let generic = run(true);
+        assert!(fast
+            .iter()
+            .zip(&generic)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -48,15 +48,16 @@
 //! activates recording on the current host thread (the thread that drives
 //! every block of every launch, since blocks execute sequentially), and
 //! [`SanitizerScope::finish`] returns the accumulated [`SanitizerReport`].
-//! When no scope is active every hook is a single relaxed atomic load, so
-//! uninstrumented runs — all benchmarking — pay nothing measurable.
+//! When no scope is active on the current thread, [`active`] is a single
+//! thread-local flag load and the launch path skips instrumentation
+//! entirely, so uninstrumented runs — all benchmarking — pay nothing
+//! measurable.
 
 use crate::shadow::{PhaseAccessMap, UninitTable};
 use crate::{occupancy, Dim3, LaunchConfig, WARP_SIZE};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Hard cap on stored findings per scope; occurrences beyond the cap (or
 /// duplicating an already-stored site) are still counted in
@@ -266,20 +267,21 @@ struct State {
     uninit: UninitTable,
 }
 
-/// Count of active scopes process-wide. A counter rather than a flag so
-/// concurrent scopes on different threads (e.g. parallel tests) cannot
-/// disable each other; threads without their own scope state simply no-op
-/// in the hooks.
-static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
-
 thread_local! {
     static STATE: RefCell<Option<State>> = const { RefCell::new(None) };
+    /// Whether a scope is active on *this* thread. Scope state is already
+    /// thread-local (scopes are `!Send`), so the gate is too: concurrent
+    /// scopes on different threads are strictly independent, and the
+    /// un-sanitized hot path's check is a hoistable TLS load instead of a
+    /// cross-core atomic.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Whether any sanitizer scope is active (fast path for every hook).
+/// Whether a sanitizer scope is active on the current thread (fast path
+/// for every hook).
 #[inline]
 pub fn active() -> bool {
-    ACTIVE_SCOPES.load(Ordering::Relaxed) > 0
+    ACTIVE.with(Cell::get)
 }
 
 /// Active sanitizer recording on the current thread; construct with
@@ -310,7 +312,7 @@ impl SanitizerScope {
                 ..State::default()
             });
         });
-        ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+        ACTIVE.set(true);
         SanitizerScope {
             _pin: std::marker::PhantomData,
         }
@@ -318,7 +320,7 @@ impl SanitizerScope {
 
     /// Deactivate and return the report.
     pub fn finish(self) -> SanitizerReport {
-        ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        ACTIVE.set(false);
         let state = STATE.with(|s| s.borrow_mut().take());
         // Drop runs after this, but the state is already taken.
         std::mem::forget(self);
@@ -336,7 +338,7 @@ impl Drop for SanitizerScope {
     fn drop(&mut self) {
         // Scope abandoned (e.g. a panic unwound past it): deactivate and
         // discard so the next scope starts clean.
-        ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        ACTIVE.set(false);
         STATE.with(|s| {
             if let Ok(mut st) = s.try_borrow_mut() {
                 st.take();
@@ -421,6 +423,7 @@ fn finding_at(st: &State, kind: HazardKind, space: MemSpace, index: usize, detai
 // ---------------------------------------------------------------------------
 
 /// A kernel launch is starting: count it and lint its configuration.
+#[cold]
 pub(crate) fn on_launch(cfg: &LaunchConfig) {
     with_state(|st| {
         st.launches += 1;
@@ -460,6 +463,7 @@ pub(crate) fn on_launch(cfg: &LaunchConfig) {
 }
 
 /// A device thread is about to run its slice of the current phase.
+#[cold]
 pub(crate) fn on_thread_begin(block: Dim3, thread: Dim3, phase: u64) {
     with_state(|st| {
         st.current = Some(CurrentThread {
@@ -471,6 +475,7 @@ pub(crate) fn on_thread_begin(block: Dim3, thread: Dim3, phase: u64) {
 }
 
 /// The current phase hit its barrier: close the race windows.
+#[cold]
 pub(crate) fn on_phase_end() {
     with_state(|st| {
         st.current = None;
@@ -481,11 +486,13 @@ pub(crate) fn on_phase_end() {
 
 /// A `DevicePtr` wrapped an initialized buffer: clear any stale uninit
 /// tracking of that memory.
+#[cold]
 pub(crate) fn on_alloc_init(base: usize, bytes: usize) {
     with_state(|st| st.uninit.remove_overlapping(base, bytes));
 }
 
 /// A `DevicePtr` wrapped a logically-uninitialized buffer.
+#[cold]
 pub(crate) fn on_alloc_uninit(base: usize, bytes: usize, elem: usize) {
     with_state(|st| st.uninit.register(base, bytes, elem));
 }
@@ -522,6 +529,7 @@ fn checked_index(
 
 /// Instrumented global read through a `DevicePtr`. Returns the (possibly
 /// clamped) index to actually read.
+#[cold]
 pub(crate) fn on_global_read(base: usize, elem: usize, len: usize, i: usize) -> usize {
     with_state(|st| {
         let i = checked_index(st, i, len, false);
@@ -556,6 +564,7 @@ pub(crate) fn on_global_read(base: usize, elem: usize, len: usize, i: usize) -> 
 
 /// Instrumented global write through a `DevicePtr`. Returns the (possibly
 /// clamped) index to actually write.
+#[cold]
 pub(crate) fn on_global_write(base: usize, elem: usize, len: usize, i: usize) -> usize {
     with_state(|st| {
         let i = checked_index(st, i, len, true);
@@ -593,6 +602,7 @@ pub(crate) fn on_global_write(base: usize, elem: usize, len: usize, i: usize) ->
 }
 
 /// Instrumented shared-memory read (word index `i`).
+#[cold]
 pub(crate) fn on_shared_read(i: usize) {
     with_state(|st| {
         if let Some(cur) = st.current {
@@ -614,6 +624,7 @@ pub(crate) fn on_shared_read(i: usize) {
 }
 
 /// Instrumented shared-memory write (word index `i`).
+#[cold]
 pub(crate) fn on_shared_write(i: usize) {
     with_state(|st| {
         if let Some(cur) = st.current {

@@ -298,10 +298,19 @@ pub trait KernelBase: Send + Sync {
 
 /// Time a closure over `reps` repetitions (the standard kernel timing
 /// harness; setup happens before, checksum after).
-pub fn time_reps(reps: usize, mut body: impl FnMut()) -> Duration {
+///
+/// Each repetition routes the loop counter and the body's result through
+/// [`std::hint::black_box`], so the optimizer can neither collapse the rep
+/// loop nor discard a result it could otherwise prove unused — keeping
+/// release-mode timings honest. The body itself stays transparent (only its
+/// *result* is pinned): making the closure opaque instead would strip
+/// aliasing facts from its captures and deoptimize the very loops being
+/// measured.
+pub fn time_reps<T>(reps: usize, mut body: impl FnMut() -> T) -> Duration {
     let start = Instant::now();
-    for _ in 0..reps {
-        body();
+    for i in 0..reps {
+        std::hint::black_box(i);
+        std::hint::black_box(body());
     }
     start.elapsed()
 }
@@ -415,21 +424,31 @@ pub fn verify_variants(k: &dyn KernelBase, n: usize, rel: f64) -> Vec<(VariantId
 
 /// The full suite registry: every kernel of Table I, grouped and ordered as
 /// in the paper.
-pub fn registry() -> Vec<Box<dyn KernelBase>> {
-    let mut v: Vec<Box<dyn KernelBase>> = Vec::with_capacity(76);
-    algorithm::register(&mut v);
-    apps::register(&mut v);
-    basic::register(&mut v);
-    comm::register(&mut v);
-    lcals::register(&mut v);
-    polybench::register(&mut v);
-    stream::register(&mut v);
-    v
+///
+/// Built once and served from a static: kernels are stateless descriptor
+/// objects, and selection/lookup paths (`find`, per-sweep-cell kernel
+/// filters) used to rebuild and re-box all 76 entries on every call.
+pub fn registry() -> &'static [Box<dyn KernelBase>] {
+    static REGISTRY: std::sync::OnceLock<Vec<Box<dyn KernelBase>>> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut v: Vec<Box<dyn KernelBase>> = Vec::with_capacity(76);
+        algorithm::register(&mut v);
+        apps::register(&mut v);
+        basic::register(&mut v);
+        comm::register(&mut v);
+        lcals::register(&mut v);
+        polybench::register(&mut v);
+        stream::register(&mut v);
+        v
+    })
 }
 
 /// Find a kernel by its full name.
-pub fn find(name: &str) -> Option<Box<dyn KernelBase>> {
-    registry().into_iter().find(|k| k.info().name == name)
+pub fn find(name: &str) -> Option<&'static dyn KernelBase> {
+    registry()
+        .iter()
+        .find(|k| k.info().name == name)
+        .map(|k| k.as_ref())
 }
 
 #[cfg(test)]
@@ -455,7 +474,7 @@ mod tests {
     fn kernel_names_are_unique_and_prefixed_by_group() {
         let r = registry();
         let mut names = std::collections::HashSet::new();
-        for k in &r {
+        for k in r {
             let info = k.info();
             assert!(names.insert(info.name), "duplicate kernel {}", info.name);
             assert!(
@@ -488,6 +507,20 @@ mod tests {
             assert_eq!(s.bytes_written, m.bytes_written, "{}", info.name);
             assert!(s.problem_size == n);
         }
+    }
+
+    #[test]
+    fn time_reps_is_not_dead_code_eliminated() {
+        // A no-op body must still cost one opaque call per rep; if the
+        // optimizer deleted the loop the measured time would be ~0
+        // regardless of rep count. 10M reps at a conservative floor of
+        // 0.1 ns per call is 1 ms.
+        let reps = 10_000_000;
+        let d = time_reps(reps, || {});
+        assert!(
+            d >= Duration::from_millis(1),
+            "no-op body measured {d:?} over {reps} reps: time_reps was optimized away"
+        );
     }
 
     #[test]

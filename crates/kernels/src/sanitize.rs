@@ -364,7 +364,7 @@ mod tests {
         for name in ["Basic_MAT_MAT_SHARED", "Stream_DOT", "Basic_PI_ATOMIC"] {
             let k = crate::find(name).expect(name);
             for &v in SANITIZED_VARIANTS {
-                if let Some(o) = sanitize_kernel(k.as_ref(), v, 2048, &Tuning::default()) {
+                if let Some(o) = sanitize_kernel(k, v, 2048, &Tuning::default()) {
                     assert!(
                         o.is_clean(),
                         "{name}/{}: {:#?}",

@@ -1,0 +1,71 @@
+//! Fast-path equivalence: the `gpusim` 1-D fast path must be functionally
+//! indistinguishable from the generic block-structured path, for every
+//! kernel in the registry, under both SimGpu variants.
+//!
+//! One `#[test]` on purpose: the comparison is only bitwise-meaningful at
+//! pool width 1 (both paths then run a strictly in-order `0..n` sweep,
+//! whereas at larger widths floating-point reduction order may differ), so
+//! the test pins `RAYON_NUM_THREADS=1` before the pool is first touched.
+//! Being a separate integration-test binary guarantees no other test has
+//! initialized the pool already.
+
+use kernels::{Tuning, VariantId};
+
+#[test]
+fn full_registry_checksums_match_and_sanitizer_still_fires() {
+    // Must precede the first launch: the vendored rayon pool reads it once.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+
+    let tuning = Tuning::default();
+    let mut compared = 0usize;
+    for k in kernels::registry() {
+        let info = k.info();
+        let n = info.default_size.min(4096).max(1);
+        for &v in info.variants {
+            if !matches!(v, VariantId::BaseSimGpu | VariantId::RajaSimGpu) {
+                continue;
+            }
+            gpusim::force_generic_launch(false);
+            let fast = k.execute(v, n, 1, &tuning).checksum;
+            gpusim::force_generic_launch(true);
+            let generic = k.execute(v, n, 1, &tuning).checksum;
+            gpusim::force_generic_launch(false);
+            assert_eq!(
+                fast.to_bits(),
+                generic.to_bits(),
+                "{}/{}: fast-path checksum {fast} != generic-path checksum {generic}",
+                info.name,
+                v.name(),
+            );
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 76,
+        "expected at least one SimGpu comparison per registry kernel, got {compared}"
+    );
+
+    // The optimization must not have blinded the sanitizer: both racy
+    // positive-control fixtures still fire (sanitized launches always take
+    // the instrumented path regardless of the fast-path conditions).
+    let racy = kernels::sanitize::sanitize_kernel(
+        &kernels::sanitize::fixtures::RacySum,
+        VariantId::RajaSimGpu,
+        512,
+        &tuning,
+    )
+    .expect("fixture supports RAJA_SimGpu");
+    assert!(!racy.is_clean(), "Fixture_RACY_SUM must still be flagged");
+
+    let barrier = kernels::sanitize::sanitize_kernel(
+        &kernels::sanitize::fixtures::MissingBarrier,
+        VariantId::BaseSimGpu,
+        512,
+        &tuning,
+    )
+    .expect("fixture supports Base_SimGpu");
+    assert!(
+        !barrier.is_clean(),
+        "Fixture_MISSING_BARRIER must still be flagged"
+    );
+}

@@ -117,7 +117,7 @@ pub fn run_sanitize(params: &RunParams) -> SanitizeSection {
     for kernel in params.selected_kernels() {
         for &v in kernels::sanitize::SANITIZED_VARIANTS {
             if let Some(outcome) = kernels::sanitize::sanitize_kernel(
-                kernel.as_ref(),
+                kernel,
                 v,
                 n.unwrap_or(kernels::sanitize::DEFAULT_SANITIZE_SIZE),
                 &params.tuning,

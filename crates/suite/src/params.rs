@@ -89,9 +89,12 @@ fn feature_matches(f: &Feature, name: &str) -> bool {
 
 impl RunParams {
     /// Kernels matched by the selection, in registry (Table I) order.
-    pub fn selected_kernels(&self) -> Vec<Box<dyn KernelBase>> {
+    /// Borrows from the static registry: selection is a filter pass, not a
+    /// rebuild of 76 boxed kernels.
+    pub fn selected_kernels(&self) -> Vec<&'static dyn KernelBase> {
         kernels::registry()
-            .into_iter()
+            .iter()
+            .map(|k| k.as_ref())
             .filter(|k| {
                 let info = k.info();
                 let included = match &self.selection {

@@ -311,7 +311,7 @@ mod tests {
     #[test]
     fn triad_simulation_matches_machine_ceilings() {
         let k = kernels::find("Stream_TRIAD").unwrap();
-        let sim = simulate_kernel(k.as_ref());
+        let sim = simulate_kernel(k);
         let hbm = Machine::get(MachineId::SprHbm);
         let bw = sim.bandwidth[&MachineId::SprHbm];
         assert!(

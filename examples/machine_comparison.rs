@@ -45,7 +45,7 @@ fn main() {
     println!("\nPer-kernel detail:");
     for name in ["Stream_TRIAD", "Polybench_GEMM", "Basic_PI_ATOMIC", "Apps_EDGE3D"] {
         let kernel = kernels::find(name).unwrap();
-        let sim = suite::simulate::simulate_kernel(kernel.as_ref());
+        let sim = suite::simulate::simulate_kernel(kernel);
         print!("  {:<20}", name);
         for id in MachineId::all() {
             print!(" {}={:.2}x", id.shorthand(), sim.speedup[&id]);

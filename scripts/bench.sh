@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Snapshot the gpusim launch-overhead benchmarks into BENCH_gpusim.json.
+#
+#   scripts/bench.sh <label>          # e.g. scripts/bench.sh pre-pr3
+#
+# Runs crates/bench/benches/launch.rs in release mode with CRITERION_JSON
+# pointed at a scratch file, then appends one snapshot object
+#   {"label", "git", "threads", "utc", "entries": [{label, mean_ns, min_ns}...]}
+# to the top-level array in BENCH_gpusim.json (created on first use). The
+# file is committed so the perf trajectory across PRs is recorded.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:?usage: scripts/bench.sh <snapshot-label>}"
+OUT="BENCH_gpusim.json"
+SCRATCH="$(mktemp)"
+trap 'rm -f "$SCRATCH"' EXIT
+
+echo "== bench: cargo bench --bench launch (label: $LABEL) =="
+CRITERION_JSON="$SCRATCH" cargo bench -p rajaperf-bench --bench launch
+
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+THREADS="${RAYON_NUM_THREADS:-$(nproc)}"
+
+python3 - "$OUT" "$LABEL" "$GIT_REV" "$THREADS" "$SCRATCH" <<'PY'
+import json, sys, datetime
+out, label, git_rev, threads, scratch = sys.argv[1:6]
+entries = []
+with open(scratch) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+if not entries:
+    sys.exit("bench.sh: no benchmark entries captured (CRITERION_JSON empty)")
+try:
+    with open(out) as f:
+        snapshots = json.load(f)
+except FileNotFoundError:
+    snapshots = []
+snapshots.append({
+    "label": label,
+    "git": git_rev,
+    "threads": int(threads),
+    "utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "entries": entries,
+})
+with open(out, "w") as f:
+    json.dump(snapshots, f, indent=2)
+    f.write("\n")
+print(f"bench.sh: appended snapshot '{label}' ({len(entries)} entries) to {out}")
+PY

@@ -26,6 +26,17 @@ cargo clippy --all-targets -- -D warnings
 echo "== full: cargo test --workspace --release =="
 cargo test --workspace --release
 
+# Launch fast path: the 1-D device fast path must produce bitwise-identical
+# results to the generic block-structured path for every registry kernel,
+# and the sanitizer's positive controls must still fire.
+echo "== fastpath: cargo test --release -p kernels --test fastpath_equivalence =="
+cargo test --release -p kernels --test fastpath_equivalence
+
+# Smoke-run the launch-overhead bench harness (one iteration per benchmark,
+# no timing); full measured runs go through scripts/bench.sh.
+echo "== bench: cargo bench -p rajaperf-bench --bench launch -- --test =="
+cargo bench -p rajaperf-bench --bench launch -- --test
+
 # The release driver binary lives in crates/suite; the root-package build
 # above does not refresh it, so build it explicitly before driving it.
 echo "== cli: full-registry --checksums =="

@@ -124,22 +124,24 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        // `--test` mode: run each routine once to prove it works, skip the
+        // warm-up and the measurement loop (mirrors real criterion's
+        // `cargo bench -- --test`).
+        let (warm_up, iters) = if self.criterion.test_mode {
+            (Duration::ZERO, 1)
+        } else {
+            (self.warm_up, self.sample_size)
+        };
         // Warm-up: run single iterations until the warm-up budget is spent.
         let warm_start = Instant::now();
-        loop {
+        while warm_start.elapsed() < warm_up {
             let mut b = Bencher {
                 iters: 1,
                 last: None,
             };
             f(&mut b);
-            if warm_start.elapsed() >= self.warm_up {
-                break;
-            }
         }
-        let mut b = Bencher {
-            iters: self.sample_size,
-            last: None,
-        };
+        let mut b = Bencher { iters, last: None };
         f(&mut b);
         if let Some((mean, min)) = b.last {
             let extra = match self.throughput {
@@ -157,6 +159,7 @@ impl BenchmarkGroup<'_> {
                 "{label:<50} mean {:>12.3?}  min {:>12.3?}{extra}",
                 mean, min
             );
+            self.criterion.record_json(label, mean, min);
         }
         self.criterion.benchmarks_run += 1;
     }
@@ -168,12 +171,49 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark driver.
-#[derive(Default)]
 pub struct Criterion {
     benchmarks_run: usize,
+    /// `--test` on the bench binary's command line: run every routine once,
+    /// skipping warm-up and measurement (a smoke mode for CI).
+    test_mode: bool,
+    /// When the `CRITERION_JSON` environment variable names a file, one JSON
+    /// object per benchmark (`{"label", "mean_ns", "min_ns"}`) is appended
+    /// to it, newline-delimited, for scripts to snapshot.
+    json_path: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            benchmarks_run: 0,
+            test_mode: std::env::args().any(|a| a == "--test"),
+            json_path: std::env::var_os("CRITERION_JSON").map(Into::into),
+        }
+    }
 }
 
 impl Criterion {
+    fn record_json(&mut self, label: &str, mean: Duration, min: Duration) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        use std::io::Write;
+        let line = format!(
+            "{{\"label\":\"{}\",\"mean_ns\":{},\"min_ns\":{}}}\n",
+            label.escape_default(),
+            mean.as_nanos(),
+            min.as_nanos(),
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("criterion: cannot append to {}: {e}", path.display());
+        }
+    }
+
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();

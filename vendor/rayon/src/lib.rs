@@ -146,6 +146,45 @@ where
         .collect()
 }
 
+/// Run `f(i)` for every `i` in `0..n` across the pool, driving each chunk
+/// with a plain `lo..hi` counted loop instead of a [`SpanIter`].
+///
+/// Functionally identical to `(0..n).into_par_iter().for_each(f)` — same
+/// chunk grid, same per-chunk execution — but the per-item step is a bare
+/// increment-and-call, with no `Option` construction or iterator state for
+/// the optimizer to see through. Intended for hot index loops where the
+/// per-item body is only a few instructions.
+pub fn for_each_index<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let (nchunks, chunk) = pool::plan(n);
+    if nchunks <= 1 {
+        // Keep the single-chunk loop fully monomorphized: routing it through
+        // `pool::execute`'s `&dyn Fn` span interface costs real throughput on
+        // few-instruction bodies. Tile the index space so the hot inner loop
+        // has a fixed trip count, which the optimizer unrolls/vectorizes
+        // more readily than one flat `0..n` loop.
+        const TILE: usize = 256;
+        let mut lo = 0;
+        while lo + TILE <= n {
+            for i in lo..lo + TILE {
+                f(i);
+            }
+            lo += TILE;
+        }
+        for i in lo..n {
+            f(i);
+        }
+        return;
+    }
+    pool::execute(n, nchunks, chunk, &|lo, hi| {
+        for i in lo..hi {
+            f(i);
+        }
+    });
+}
+
 // ---------------------------------------------------------------- adapters
 
 /// The parallel iterator over a [`Producer`].
