@@ -34,12 +34,20 @@
 //! assert_eq!(profile.records[0].path, vec!["Stream_TRIAD"]);
 //! ```
 
+pub mod trace;
+
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Synthetic root node that receives metrics recorded while no region is
+/// open. Caliper attaches such values to the channel root rather than
+/// discarding them; routing them here keeps every [`Record`] path non-empty.
+pub const SYNTHETIC_ROOT: &str = "(root)";
 
 /// Aggregated statistics for one metric on one call-path node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -187,6 +195,9 @@ static NEXT_SESSION_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::Atomic
 pub struct Session {
     id: u64,
     inner: Arc<Mutex<SessionInner>>,
+    /// Opt-in event-trace mode: when set, begin/end/metric calls also record
+    /// timestamped events in the global [`trace`] collector.
+    events: Arc<AtomicBool>,
 }
 
 impl Default for Session {
@@ -201,39 +212,69 @@ impl Session {
         Session {
             id: NEXT_SESSION_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             inner: Arc::new(Mutex::new(SessionInner::default())),
+            events: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Switch this session's event-trace mode on: every subsequent
+    /// begin/end/metric call is additionally recorded as a timestamped event
+    /// in the global [`trace`] collector (which this also enables). While
+    /// off — the default — the only cost on the annotation path is one
+    /// relaxed atomic load.
+    pub fn enable_event_trace(&self) {
+        trace::enable();
+        self.events.store(true, Ordering::Relaxed);
+    }
+
+    /// Switch this session's event-trace mode off. The global [`trace`]
+    /// collector is left as-is (other producers may still be tracing).
+    pub fn disable_event_trace(&self) {
+        self.events.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether this session records trace events.
+    pub fn event_trace_enabled(&self) -> bool {
+        self.events.load(Ordering::Relaxed)
     }
 
     /// Open a region named `name` nested under the calling thread's current
     /// path. Prefer [`Session::region`] which closes automatically.
     pub fn begin(&self, name: &str) {
+        if self.events.load(Ordering::Relaxed) {
+            trace::begin_event(name);
+        }
         STACK.with(|s| {
             s.borrow_mut()
                 .push((self.id, name.to_string(), Instant::now()));
         });
     }
 
-    /// Close the innermost open region. The region's inclusive wall time is
-    /// aggregated into the call-path tree.
+    /// Close the innermost region *opened through this session*. The
+    /// region's inclusive wall time is aggregated into the call-path tree.
+    ///
+    /// Other sessions' open regions on the same thread are left untouched,
+    /// so independent sessions may interleave (each properly nested in
+    /// itself) on one thread — as independent Caliper channels can.
     ///
     /// # Panics
-    /// Panics if no region opened through this session is on the calling
-    /// thread's stack (mismatched begin/end is an annotation bug, as in
-    /// Caliper, which aborts with an error in that case).
+    /// Panics if this session has no open region on the calling thread, or
+    /// if `name` is not this session's innermost open region (mismatched
+    /// begin/end is an annotation bug, as in Caliper, which aborts with an
+    /// error in that case).
     pub fn end(&self, name: &str) {
         let (path, elapsed) = STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let top = stack.pop().expect("caliper: end() with no open region");
-            assert_eq!(
-                top.0, self.id,
-                "caliper: end() crosses session boundary (open region from another session)"
-            );
+            let idx = stack
+                .iter()
+                .rposition(|f| f.0 == self.id)
+                .expect("caliper: end() with no open region in this session");
+            let top = stack.remove(idx);
             assert_eq!(
                 top.1, name,
                 "caliper: mismatched region nesting: ended '{name}', expected '{}'",
                 top.1
             );
-            let mut path: Vec<String> = stack
+            let mut path: Vec<String> = stack[..idx]
                 .iter()
                 .filter(|f| f.0 == self.id)
                 .map(|f| f.1.clone())
@@ -241,6 +282,9 @@ impl Session {
             path.push(top.1);
             (path, top.2.elapsed().as_secs_f64())
         });
+        if self.events.load(Ordering::Relaxed) {
+            trace::end_event(name);
+        }
         let mut inner = self.inner.lock();
         let node = inner.nodes.entry(path).or_default();
         node.visits += 1;
@@ -248,6 +292,31 @@ impl Session {
             Some(agg) => agg.record(elapsed),
             t @ None => *t = Some(MetricAgg::new(elapsed)),
         }
+    }
+
+    /// Remove this session's innermost open `name` frame without asserting
+    /// or aggregating. Used by [`Region`]'s drop while the thread is already
+    /// unwinding: a second panic there would abort the process, turning a
+    /// diagnosable kernel failure into a coreless abort.
+    fn end_quiet(&self, name: &str) {
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(idx) = stack
+                .iter()
+                .rposition(|f| f.0 == self.id && f.1 == name)
+            {
+                // Also sweep this session's frames above idx: those are
+                // inner regions whose end() the panic skipped. Frames from
+                // other sessions stay — they are still live.
+                let mut i = stack.len();
+                while i > idx {
+                    i -= 1;
+                    if stack[i].0 == self.id {
+                        stack.remove(i);
+                    }
+                }
+            }
+        });
     }
 
     /// Open a region and return an RAII guard that closes it on drop.
@@ -271,11 +340,27 @@ impl Session {
         })
     }
 
+    /// Call path a metric recorded right now should attach to: the current
+    /// open path, or the [`SYNTHETIC_ROOT`] record when no region is open
+    /// (an empty path would make every per-record `path.len() - 1`
+    /// computation underflow).
+    fn metric_path(&self) -> Vec<String> {
+        let path = self.current_path();
+        if path.is_empty() {
+            vec![SYNTHETIC_ROOT.to_string()]
+        } else {
+            path
+        }
+    }
+
     /// Attach a metric value to the current region, replacing any previous
     /// value recorded at this node (set semantics — used for per-run
     /// analytic metrics like `Bytes/Rep` that do not vary between visits).
     pub fn set_metric(&self, name: &str, value: f64) {
-        let path = self.current_path();
+        if self.events.load(Ordering::Relaxed) {
+            trace::counter_event(name, value);
+        }
+        let path = self.metric_path();
         let mut inner = self.inner.lock();
         let node = inner.nodes.entry(path).or_default();
         node.metrics.insert(name.to_string(), MetricAgg::new(value));
@@ -284,7 +369,10 @@ impl Session {
     /// Attach a metric observation to the current region, aggregating
     /// (sum/min/max/avg) with previous observations.
     pub fn add_metric(&self, name: &str, value: f64) {
-        let path = self.current_path();
+        if self.events.load(Ordering::Relaxed) {
+            trace::counter_event(name, value);
+        }
+        let path = self.metric_path();
         let mut inner = self.inner.lock();
         let node = inner.nodes.entry(path).or_default();
         match node.metrics.get_mut(name) {
@@ -406,7 +494,7 @@ impl Session {
         let name_w = profile
             .records
             .iter()
-            .map(|r| r.name().len() + 2 * (r.path.len() - 1))
+            .map(|r| r.name().len() + 2 * r.path.len().saturating_sub(1))
             .max()
             .unwrap_or(4)
             .max("Path".len());
@@ -415,7 +503,7 @@ impl Session {
             "Path", "Count", "Time (sum)", "Time (avg)", "Time (max)"
         ));
         for r in &profile.records {
-            let indent = "  ".repeat(r.path.len() - 1);
+            let indent = "  ".repeat(r.path.len().saturating_sub(1));
             let label = format!("{indent}{}", r.name());
             out.push_str(&format!(
                 "{:<name_w$} {:>10} {:>12.6} {:>12.6} {:>12.6}\n",
@@ -447,7 +535,16 @@ impl Region<'_> {
 
 impl Drop for Region<'_> {
     fn drop(&mut self) {
-        if !self.done {
+        if self.done {
+            return;
+        }
+        if std::thread::panicking() {
+            // end()'s nesting asserts can legitimately fire here (the panic
+            // may have skipped inner end() calls); a panic-in-drop during
+            // unwinding aborts the process. Drop the frame silently — the
+            // visit is lost, but the original panic stays diagnosable.
+            self.session.end_quiet(&self.name);
+        } else {
             self.session.end(&self.name);
         }
     }
@@ -496,6 +593,13 @@ pub enum OutputSpec {
         /// File path for the JSON profile.
         output: String,
     },
+    /// `trace` service: event timeline from the [`trace`] collector.
+    Trace {
+        /// File path for the Chrome Trace Event JSON.
+        output: String,
+        /// Optional file path for flamegraph folded stacks.
+        folded: Option<String>,
+    },
 }
 
 /// Parses Caliper-style configuration strings and drives profile output.
@@ -505,7 +609,10 @@ pub enum OutputSpec {
 /// (`spot(output=run.cali)`) or with trailing `key=value` arguments that bind
 /// to the most recent service (`runtime-report,output=stdout`).
 ///
-/// Recognized services: `runtime-report`, `spot`, `hatchet-region-profile`.
+/// Recognized services: `runtime-report`, `spot`, `hatchet-region-profile`,
+/// and `trace` (alias `event-trace`), which serializes the global [`trace`]
+/// event log as Chrome Trace Event JSON (`output=`) and optionally as
+/// flamegraph folded stacks (`folded=`).
 #[derive(Debug, Default)]
 pub struct ConfigManager {
     outputs: Vec<OutputSpec>,
@@ -538,9 +645,13 @@ impl ConfigManager {
                 match self.outputs.last_mut() {
                     Some(OutputSpec::RuntimeReport { output })
                     | Some(OutputSpec::SpotProfile { output })
+                    | Some(OutputSpec::Trace { output, .. })
                         if key.trim() == "output" =>
                     {
                         *output = value.trim().to_string();
+                    }
+                    Some(OutputSpec::Trace { folded, .. }) if key.trim() == "folded" => {
+                        *folded = Some(value.trim().to_string());
                     }
                     _ => {
                         self.error =
@@ -573,6 +684,13 @@ impl ConfigManager {
                         .cloned()
                         .unwrap_or_else(|| "profile.cali.json".to_string()),
                 }),
+                "trace" | "event-trace" => self.outputs.push(OutputSpec::Trace {
+                    output: args
+                        .get("output")
+                        .cloned()
+                        .unwrap_or_else(|| "trace.json".to_string()),
+                    folded: args.get("folded").cloned(),
+                }),
                 other => {
                     self.error = Some(format!("caliper config: unknown service '{other}'"));
                 }
@@ -589,6 +707,15 @@ impl ConfigManager {
     /// The parsed output specifications.
     pub fn outputs(&self) -> &[OutputSpec] {
         &self.outputs
+    }
+
+    /// Whether any configured service exports the event trace. Callers use
+    /// this to switch event collection on for the run — the `trace` service
+    /// can only export events that were recorded.
+    pub fn requests_event_trace(&self) -> bool {
+        self.outputs
+            .iter()
+            .any(|o| matches!(o, OutputSpec::Trace { .. }))
     }
 
     /// Produce every configured output from `session`'s current data.
@@ -617,6 +744,22 @@ impl ConfigManager {
                     let p = std::path::Path::new(output);
                     session.profile().write_file(p)?;
                     written.push(p.to_path_buf());
+                }
+                OutputSpec::Trace { output, folded } => {
+                    let p = std::path::Path::new(output);
+                    if let Some(dir) = p.parent() {
+                        std::fs::create_dir_all(dir)?;
+                    }
+                    std::fs::write(p, trace::export_chrome_json())?;
+                    written.push(p.to_path_buf());
+                    if let Some(folded) = folded {
+                        let p = std::path::Path::new(folded);
+                        if let Some(dir) = p.parent() {
+                            std::fs::create_dir_all(dir)?;
+                        }
+                        std::fs::write(p, trace::export_folded())?;
+                        written.push(p.to_path_buf());
+                    }
                 }
             }
         }
@@ -905,5 +1048,105 @@ mod tests {
         let r = s.region("k");
         r.end();
         assert_eq!(s.profile().find("k").unwrap().metric("count"), Some(1.0));
+    }
+
+    /// Regression: two independent sessions with properly-nested but
+    /// interleaved regions on one thread used to panic with "end() crosses
+    /// session boundary" because end() popped the thread's topmost frame
+    /// unconditionally.
+    #[test]
+    fn interleaved_sessions_on_one_thread() {
+        let a = Session::new();
+        let b = Session::new();
+        a.begin("outer_a");
+        b.begin("outer_b");
+        a.begin("inner_a");
+        a.end("inner_a"); // topmost overall, fine either way
+        a.end("outer_a"); // b's outer_b is topmost — must be skipped over
+        b.end("outer_b");
+        let pa = a.profile();
+        let pb = b.profile();
+        // Each session sees only its own nesting.
+        assert!(pa.records.iter().any(|r| r.path == vec!["outer_a"]));
+        assert!(pa
+            .records
+            .iter()
+            .any(|r| r.path == vec!["outer_a".to_string(), "inner_a".to_string()]));
+        assert!(pb.records.iter().any(|r| r.path == vec!["outer_b"]));
+        assert_eq!(pb.records.len(), 1, "b never sees a's regions");
+    }
+
+    /// Regression: a panic inside a region body used to abort the process —
+    /// `Region::drop` called `end()`, whose asserts can themselves panic
+    /// while the thread is already unwinding.
+    #[test]
+    fn panicking_region_body_unwinds_instead_of_aborting() {
+        let s = Session::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = s.region("outer");
+            s.begin("inner_without_guard"); // its end() will be skipped
+            let _leaf = s.region("leaf");
+            panic!("kernel failure");
+        }));
+        assert!(result.is_err(), "the original panic propagates");
+        // The stack is clean again: the session remains usable.
+        {
+            let _r = s.region("after_panic");
+        }
+        assert_eq!(
+            s.profile().find("after_panic").unwrap().metric("count"),
+            Some(1.0)
+        );
+        assert!(
+            s.profile()
+                .find("after_panic")
+                .unwrap()
+                .path
+                .len()
+                == 1,
+            "no stale frames nest later regions"
+        );
+    }
+
+    /// Regression: `set_metric`/`add_metric` with no open region created an
+    /// empty-path record, and `runtime_report`'s `path.len() - 1` underflowed.
+    #[test]
+    fn rootless_metrics_go_to_synthetic_root() {
+        let s = Session::new();
+        s.set_metric("problem_size", 1.0e6);
+        s.add_metric("warmup_time", 0.25);
+        let p = s.profile();
+        let root = p.find(SYNTHETIC_ROOT).expect("synthetic root record");
+        assert_eq!(root.path, vec![SYNTHETIC_ROOT.to_string()]);
+        assert_eq!(root.metric("problem_size"), Some(1.0e6));
+        assert_eq!(root.metric("sum#warmup_time"), Some(0.25));
+        // The report renders without panicking and shows the root.
+        let report = s.runtime_report();
+        assert!(report.contains(SYNTHETIC_ROOT));
+    }
+
+    #[test]
+    fn config_manager_parses_trace_service() {
+        let mut cm = ConfigManager::new();
+        cm.add("trace(output=t.json,folded=t.folded)");
+        assert!(cm.error().is_none());
+        assert_eq!(
+            cm.outputs(),
+            &[OutputSpec::Trace {
+                output: "t.json".into(),
+                folded: Some("t.folded".into())
+            }]
+        );
+        // Trailing key=value binding, Caliper-style.
+        let mut cm = ConfigManager::new();
+        cm.add("trace,output=x.json,folded=x.folded");
+        assert!(cm.error().is_none());
+        assert_eq!(
+            cm.outputs(),
+            &[OutputSpec::Trace {
+                output: "x.json".into(),
+                folded: Some("x.folded".into())
+            }]
+        );
     }
 }

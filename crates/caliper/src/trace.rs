@@ -1,0 +1,609 @@
+//! The Caliper **event-trace service**: a per-thread ring buffer of
+//! begin/end/counter/instant events with timestamps and lane ids, plus
+//! exporters to Chrome Trace Event JSON (`chrome://tracing` / Perfetto) and
+//! flamegraph folded stacks.
+//!
+//! Real Caliper's aggregating services (what [`crate::Session`] implements)
+//! collapse every visit of a region into one call-path record. That is the
+//! right shape for Thicket's cross-run dataframes, but it discards the
+//! *timeline*: when each visit happened, on which thread, and how visits
+//! from different threads interleaved — exactly the information needed to
+//! diagnose parallel-backend scalability (why a `Par` variant does not
+//! scale) or launch-overhead pathologies. This module is the event-level
+//! counterpart, modeled on Caliper's `event` + `trace` services.
+//!
+//! # Design
+//!
+//! * **Process-global collector, per-thread lanes.** Every thread that
+//!   records gets its own *lane*: a fixed-capacity ring buffer it alone
+//!   writes. Rayon pool workers get stable lane ids derived from
+//!   [`rayon::current_worker_index`] (lane `1 + worker`), so a trace view
+//!   shows one swimlane per pool worker; non-pool threads get lanes past
+//!   [`NONWORKER_LANE_BASE`] (the first one, normally the main thread, gets
+//!   lane 0).
+//! * **Zero cost when off.** The global gate is one relaxed atomic load
+//!   ([`enabled`]); every producer (the session annotation API, the gpusim
+//!   device) checks it before doing any work. Nothing is allocated, timed,
+//!   or locked until the first event of an enabled trace.
+//! * **Bounded memory.** Each lane's ring holds [`default capacity`]
+//!   events; once full, the oldest events are overwritten and counted in
+//!   [`LaneSnapshot::dropped`]. Exporters tolerate the resulting unmatched
+//!   begin/end events.
+//!
+//! [`default capacity`]: DEFAULT_LANE_CAPACITY
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Default per-lane ring capacity, in events.
+pub const DEFAULT_LANE_CAPACITY: usize = 1 << 20;
+
+/// First lane id handed to threads that are *not* rayon pool workers (other
+/// than the very first such thread, which gets lane 0 — normally the main
+/// thread). Pool worker `w` always gets lane `1 + w`.
+pub const NONWORKER_LANE_BASE: u32 = 1 << 16;
+
+/// What one trace event records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A region opened (Chrome phase `B`).
+    Begin,
+    /// A region closed (Chrome phase `E`).
+    End,
+    /// A sampled counter value (Chrome phase `C`).
+    Counter(f64),
+    /// A point-in-time marker (Chrome phase `i`).
+    Instant,
+}
+
+impl EventKind {
+    /// The Chrome Trace Event phase letter.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Counter(_) => "C",
+            EventKind::Instant => "i",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event (region/counter/marker) name.
+    pub name: String,
+    /// What happened.
+    pub kind: EventKind,
+    /// Microseconds since the collector's epoch (first [`enable`] call).
+    pub ts_us: f64,
+}
+
+/// A fixed-capacity overwrite-oldest ring of events.
+struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Index of the chronologically first event once the ring has wrapped.
+    head: usize,
+    /// Events overwritten since the last [`clear`].
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent, capacity: usize) {
+        if self.buf.len() < capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.buf.len();
+            self.dropped += 1;
+        }
+    }
+
+    fn chronological(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// One thread's lane of the event trace, snapshotted for export.
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    /// Stable lane id (Chrome `tid`): `1 + worker` for pool workers, 0 for
+    /// the first non-worker thread, `NONWORKER_LANE_BASE + k` otherwise.
+    pub id: u32,
+    /// Human-readable lane label (`main`, `pool-worker-3`, ...).
+    pub label: String,
+    /// Events in chronological order.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overwrite since the last clear.
+    pub dropped: u64,
+}
+
+struct Lane {
+    id: u32,
+    label: String,
+    ring: Mutex<Ring>,
+}
+
+struct Collector {
+    epoch: Instant,
+    lanes: Mutex<Vec<Arc<Lane>>>,
+    nonworker_seq: AtomicU32,
+    capacity: AtomicUsize,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        epoch: Instant::now(),
+        lanes: Mutex::new(Vec::new()),
+        nonworker_seq: AtomicU32::new(0),
+        capacity: AtomicUsize::new(DEFAULT_LANE_CAPACITY),
+    })
+}
+
+thread_local! {
+    /// This thread's lane, registered with the collector on first use.
+    static MY_LANE: std::cell::OnceCell<Arc<Lane>> = const { std::cell::OnceCell::new() };
+}
+
+/// Whether the event-trace service is collecting. One relaxed atomic load:
+/// this is the producers' fast-path gate, the trace-off zero-cost guarantee.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Switch event collection on. The first call fixes the trace epoch
+/// (timestamp zero).
+pub fn enable() {
+    collector();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Switch event collection off. Already-recorded events are retained until
+/// [`clear`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Discard every recorded event (lane registrations persist — threads keep
+/// their lane ids for the process lifetime).
+pub fn clear() {
+    let c = collector();
+    for lane in c.lanes.lock().iter() {
+        let mut ring = lane.ring.lock();
+        ring.buf.clear();
+        ring.head = 0;
+        ring.dropped = 0;
+    }
+}
+
+/// Cap each lane's ring at `events` entries (applies to subsequent pushes;
+/// existing longer rings are kept until they naturally shrink via clear).
+pub fn set_lane_capacity(events: usize) {
+    collector().capacity.store(events.max(1), Ordering::Relaxed);
+}
+
+fn lane_for_current_thread(c: &'static Collector) -> Arc<Lane> {
+    MY_LANE.with(|cell| {
+        Arc::clone(cell.get_or_init(|| {
+            let (id, label) = match rayon::current_worker_index() {
+                Some(w) => (1 + w as u32, format!("pool-worker-{w}")),
+                None => match c.nonworker_seq.fetch_add(1, Ordering::Relaxed) {
+                    0 => (0, "main".to_string()),
+                    k => (NONWORKER_LANE_BASE + k, format!("thread-{k}")),
+                },
+            };
+            let lane = Arc::new(Lane {
+                id,
+                label,
+                ring: Mutex::new(Ring {
+                    buf: Vec::new(),
+                    head: 0,
+                    dropped: 0,
+                }),
+            });
+            c.lanes.lock().push(Arc::clone(&lane));
+            lane
+        }))
+    })
+}
+
+/// Record one event on the calling thread's lane. Cold: callers gate on
+/// [`enabled`] first, so this never sits on a trace-off fast path.
+#[cold]
+pub fn record(name: &str, kind: EventKind) {
+    let c = collector();
+    let ts_us = c.epoch.elapsed().as_secs_f64() * 1e6;
+    let lane = lane_for_current_thread(c);
+    let capacity = c.capacity.load(Ordering::Relaxed);
+    lane.ring.lock().push(
+        TraceEvent {
+            name: name.to_string(),
+            kind,
+            ts_us,
+        },
+        capacity,
+    );
+}
+
+/// Record a region-begin event (no-op while tracing is off).
+#[inline]
+pub fn begin_event(name: &str) {
+    if enabled() {
+        record(name, EventKind::Begin);
+    }
+}
+
+/// Record a region-end event (no-op while tracing is off).
+#[inline]
+pub fn end_event(name: &str) {
+    if enabled() {
+        record(name, EventKind::End);
+    }
+}
+
+/// Record a counter sample (no-op while tracing is off).
+#[inline]
+pub fn counter_event(name: &str, value: f64) {
+    if enabled() {
+        record(name, EventKind::Counter(value));
+    }
+}
+
+/// Record an instant marker (no-op while tracing is off).
+#[inline]
+pub fn instant_event(name: &str) {
+    if enabled() {
+        record(name, EventKind::Instant);
+    }
+}
+
+/// Snapshot every lane (sorted by lane id), skipping lanes with no events.
+pub fn snapshot() -> Vec<LaneSnapshot> {
+    let c = collector();
+    let mut out: Vec<LaneSnapshot> = c
+        .lanes
+        .lock()
+        .iter()
+        .map(|lane| {
+            let ring = lane.ring.lock();
+            LaneSnapshot {
+                id: lane.id,
+                label: lane.label.clone(),
+                events: ring.chronological(),
+                dropped: ring.dropped,
+            }
+        })
+        .filter(|s| !s.events.is_empty())
+        .collect();
+    out.sort_by_key(|s| s.id);
+    out
+}
+
+/// Validate the begin/end discipline of a snapshot: on every lane, events
+/// must nest properly and every `Begin` must have a matching `End` with
+/// `ts_end >= ts_begin`. Returns the number of complete begin/end pairs.
+///
+/// This is the invariant the trace exporters rely on and the suite's
+/// property test checks across the whole kernel registry. A trace that
+/// overflowed its ring (nonzero [`LaneSnapshot::dropped`]) can legitimately
+/// violate it; this validator is for bounded traces.
+pub fn validate_pairing(lanes: &[LaneSnapshot]) -> Result<usize, String> {
+    let mut pairs = 0usize;
+    for lane in lanes {
+        let mut stack: Vec<(&str, f64)> = Vec::new();
+        for ev in &lane.events {
+            match ev.kind {
+                EventKind::Begin => stack.push((&ev.name, ev.ts_us)),
+                EventKind::End => {
+                    let (name, ts0) = stack.pop().ok_or_else(|| {
+                        format!("lane {}: end '{}' without a begin", lane.label, ev.name)
+                    })?;
+                    if name != ev.name {
+                        return Err(format!(
+                            "lane {}: end '{}' does not match open region '{}'",
+                            lane.label, ev.name, name
+                        ));
+                    }
+                    if ev.ts_us < ts0 {
+                        return Err(format!(
+                            "lane {}: region '{}' ends at {} before it begins at {}",
+                            lane.label, ev.name, ev.ts_us, ts0
+                        ));
+                    }
+                    pairs += 1;
+                }
+                EventKind::Counter(_) | EventKind::Instant => {}
+            }
+        }
+        if let Some((name, _)) = stack.last() {
+            return Err(format!(
+                "lane {}: {} unclosed region(s), innermost '{}'",
+                lane.label,
+                stack.len(),
+                name
+            ));
+        }
+    }
+    Ok(pairs)
+}
+
+/// Serialize the current event log as Chrome Trace Event JSON — the "JSON
+/// Array with metadata" flavor, loadable in `chrome://tracing` and Perfetto.
+///
+/// Every lane becomes a Chrome thread (`tid` = lane id) named via a
+/// `thread_name` metadata event. Regions map to `B`/`E` duration events,
+/// counters to `C` events, markers to thread-scoped `i` events.
+pub fn export_chrome_json() -> String {
+    use serde_json::{json, Value};
+    fn event_obj(name: &str, ph: &str, tid: u32, ts: f64) -> std::collections::BTreeMap<String, Value> {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("name".to_string(), json!(name));
+        m.insert("ph".to_string(), json!(ph));
+        m.insert("pid".to_string(), json!(1));
+        m.insert("tid".to_string(), json!(tid));
+        m.insert("ts".to_string(), json!(ts));
+        m
+    }
+    let lanes = snapshot();
+    let dropped: u64 = lanes.iter().map(|l| l.dropped).sum();
+    let mut events: Vec<Value> = Vec::new();
+    for lane in &lanes {
+        let mut meta = event_obj("thread_name", "M", lane.id, 0.0);
+        meta.remove("ts");
+        meta.insert("args".to_string(), json!({"name": lane.label}));
+        events.push(Value::Object(meta));
+        for ev in &lane.events {
+            let mut obj = event_obj(&ev.name, ev.kind.phase(), lane.id, ev.ts_us);
+            match ev.kind {
+                EventKind::Begin | EventKind::End => {
+                    obj.insert("cat".to_string(), json!("region"));
+                }
+                EventKind::Counter(v) => {
+                    obj.insert("args".to_string(), json!({"value": v}));
+                }
+                EventKind::Instant => {
+                    obj.insert("s".to_string(), json!("t"));
+                }
+            }
+            events.push(Value::Object(obj));
+        }
+    }
+    let mut other = std::collections::BTreeMap::new();
+    other.insert(
+        "producer".to_string(),
+        json!("rajaperf-rs caliper trace service"),
+    );
+    other.insert("dropped_events".to_string(), json!(dropped));
+    let mut doc = std::collections::BTreeMap::new();
+    doc.insert("traceEvents".to_string(), Value::Array(events));
+    doc.insert("displayTimeUnit".to_string(), json!("ms"));
+    doc.insert("otherData".to_string(), Value::Object(other));
+    serde_json::to_string_pretty(&Value::Object(doc)).expect("trace serialization cannot fail")
+}
+
+/// Serialize the current event log as flamegraph *folded stacks*: one line
+/// per distinct call stack, `lane;outer;inner <self-time-us>`, suitable for
+/// `flamegraph.pl` / `inferno-flamegraph`. Values are each stack's
+/// *exclusive* (self) time in integer microseconds, summed over visits.
+///
+/// Unmatched events (from ring overwrite, or regions still open when the
+/// snapshot was taken) are skipped rather than guessed at.
+pub fn export_folded() -> String {
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<String, f64> = BTreeMap::new();
+    for lane in snapshot() {
+        // Replay the lane's stack: (name, ts_begin, accumulated child time).
+        let mut stack: Vec<(String, f64, f64)> = Vec::new();
+        for ev in lane.events {
+            match ev.kind {
+                EventKind::Begin => stack.push((ev.name, ev.ts_us, 0.0)),
+                EventKind::End => {
+                    let Some(pos) = stack.iter().rposition(|f| f.0 == ev.name) else {
+                        continue; // unmatched end: begin was overwritten
+                    };
+                    stack.truncate(pos + 1);
+                    let (name, ts0, child) = stack.pop().expect("pos is in range");
+                    let dur = (ev.ts_us - ts0).max(0.0);
+                    let mut path = String::with_capacity(lane.label.len() + name.len() + 8);
+                    path.push_str(&lane.label);
+                    for (frame, _, _) in &stack {
+                        path.push(';');
+                        path.push_str(frame);
+                    }
+                    path.push(';');
+                    path.push_str(&name);
+                    *agg.entry(path).or_default() += (dur - child).max(0.0);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 += dur;
+                    }
+                }
+                EventKind::Counter(_) | EventKind::Instant => {}
+            }
+        }
+    }
+    let mut out = String::new();
+    for (path, self_us) in agg {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&format!("{}", self_us.round() as u64));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global; tests in this module serialize on one
+    // lock so enable/clear calls do not interleave.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_is_the_default_and_records_nothing() {
+        let _g = lock();
+        clear();
+        disable();
+        assert!(!enabled());
+        begin_event("r");
+        end_event("r");
+        counter_event("c", 1.0);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn events_record_in_order_with_monotonic_timestamps() {
+        let _g = lock();
+        clear();
+        enable();
+        begin_event("outer");
+        begin_event("inner");
+        counter_event("bytes", 42.0);
+        end_event("inner");
+        end_event("outer");
+        disable();
+        let lanes = snapshot();
+        clear();
+        let lane = lanes
+            .iter()
+            .find(|l| l.events.iter().any(|e| e.name == "outer"))
+            .expect("recording lane present");
+        let names: Vec<&str> = lane.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "bytes", "inner", "outer"]);
+        assert!(lane
+            .events
+            .windows(2)
+            .all(|w| w[0].ts_us <= w[1].ts_us));
+        assert_eq!(validate_pairing(&lanes).unwrap(), 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _g = lock();
+        clear();
+        set_lane_capacity(4);
+        enable();
+        for i in 0..10 {
+            instant_event(&format!("ev{i}"));
+        }
+        disable();
+        let lanes = snapshot();
+        clear();
+        set_lane_capacity(DEFAULT_LANE_CAPACITY);
+        let lane = lanes
+            .iter()
+            .find(|l| l.events.iter().any(|e| e.name.starts_with("ev")))
+            .expect("recording lane present");
+        let evs: Vec<&TraceEvent> =
+            lane.events.iter().filter(|e| e.name.starts_with("ev")).collect();
+        assert_eq!(evs.len(), 4, "ring capped at 4 events");
+        assert_eq!(evs.last().unwrap().name, "ev9", "newest retained");
+        assert!(lane.dropped >= 6, "oldest overwritten: {}", lane.dropped);
+    }
+
+    #[test]
+    fn validate_pairing_rejects_malformed_traces() {
+        let mk = |events: Vec<TraceEvent>| LaneSnapshot {
+            id: 0,
+            label: "test".into(),
+            events,
+            dropped: 0,
+        };
+        let ev = |name: &str, kind: EventKind, ts: f64| TraceEvent {
+            name: name.into(),
+            kind,
+            ts_us: ts,
+        };
+        // End without begin.
+        let bad = mk(vec![ev("x", EventKind::End, 1.0)]);
+        assert!(validate_pairing(&[bad]).is_err());
+        // Mismatched nesting.
+        let bad = mk(vec![
+            ev("a", EventKind::Begin, 1.0),
+            ev("b", EventKind::End, 2.0),
+        ]);
+        assert!(validate_pairing(&[bad]).is_err());
+        // Unclosed region.
+        let bad = mk(vec![ev("a", EventKind::Begin, 1.0)]);
+        assert!(validate_pairing(&[bad]).is_err());
+        // End before begin (clock went backwards).
+        let bad = mk(vec![
+            ev("a", EventKind::Begin, 5.0),
+            ev("a", EventKind::End, 1.0),
+        ]);
+        assert!(validate_pairing(&[bad]).is_err());
+    }
+
+    #[test]
+    fn session_event_mode_records_begin_end_and_counters() {
+        let _g = lock();
+        clear();
+        let s = crate::Session::new();
+        assert!(!s.event_trace_enabled());
+        s.enable_event_trace();
+        {
+            let _r = s.region("kernel");
+            s.set_metric("Bytes/Rep", 64.0);
+        }
+        s.disable_event_trace();
+        disable();
+        let lanes = snapshot();
+        clear();
+        let lane = lanes
+            .iter()
+            .find(|l| l.events.iter().any(|e| e.name == "kernel"))
+            .expect("session events recorded");
+        let kinds: Vec<(&str, &EventKind)> = lane
+            .events
+            .iter()
+            .filter(|e| e.name == "kernel" || e.name == "Bytes/Rep")
+            .map(|e| (e.name.as_str(), &e.kind))
+            .collect();
+        assert_eq!(kinds[0], ("kernel", &EventKind::Begin));
+        assert_eq!(kinds[1], ("Bytes/Rep", &EventKind::Counter(64.0)));
+        assert_eq!(kinds[2], ("kernel", &EventKind::End));
+        assert!(validate_pairing(&lanes).is_ok());
+        // Off again: nothing further is recorded.
+        {
+            let _r = s.region("not_traced");
+        }
+        assert!(snapshot()
+            .iter()
+            .all(|l| l.events.iter().all(|e| e.name != "not_traced")));
+    }
+
+    #[test]
+    fn folded_export_attributes_self_time_to_stacks() {
+        let _g = lock();
+        clear();
+        enable();
+        begin_event("root");
+        begin_event("leaf");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        end_event("leaf");
+        end_event("root");
+        disable();
+        let folded = export_folded();
+        clear();
+        let lines: Vec<&str> = folded
+            .lines()
+            .filter(|l| l.contains(";root"))
+            .collect();
+        assert_eq!(lines.len(), 2, "root and root;leaf stacks: {folded}");
+        let leaf_line = lines.iter().find(|l| l.contains("root;leaf")).unwrap();
+        let leaf_us: u64 = leaf_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(leaf_us >= 1_000, "leaf self time covers the sleep: {leaf_us}");
+    }
+}

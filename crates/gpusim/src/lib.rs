@@ -405,6 +405,25 @@ fn count_launch(cfg: &LaunchConfig, active: u64) {
     BLOCKS.fetch_add(nblocks, Ordering::Relaxed);
     THREADS_LAUNCHED.fetch_add(nblocks * cfg.block.total() as u64, Ordering::Relaxed);
     THREADS_ACTIVE.fetch_add(active, Ordering::Relaxed);
+    // Event-trace hook, gated sanitizer-style: one relaxed atomic load on
+    // the launch path, everything else behind a cold call.
+    if caliper::trace::enabled() {
+        trace_launch();
+    }
+}
+
+/// Emit the per-launch trace events: an instant marker on the launching
+/// thread's lane plus the cumulative device counters as Chrome counter
+/// tracks. Cold so the trace-off launch path carries only the gate load.
+#[cold]
+fn trace_launch() {
+    caliper::trace::instant_event("gpusim.launch");
+    caliper::trace::counter_event("gpusim.launches", LAUNCHES.load(Ordering::Relaxed) as f64);
+    caliper::trace::counter_event("gpusim.blocks", BLOCKS.load(Ordering::Relaxed) as f64);
+    caliper::trace::counter_event(
+        "gpusim.threads_active",
+        THREADS_ACTIVE.load(Ordering::Relaxed) as f64,
+    );
 }
 
 /// Launch a kernel on the simulated device.
@@ -439,6 +458,12 @@ fn run_block<F>(cfg: &LaunchConfig, body: &F, bx: usize, by: usize, bz: usize)
 where
     F: Fn(&mut BlockCtx) + Sync,
 {
+    // Per-block trace events land on the executing thread's lane, giving the
+    // trace one span per block per pool worker. Gated like the launch hook.
+    let tracing = caliper::trace::enabled();
+    if tracing {
+        caliper::trace::begin_event("gpusim.block");
+    }
     let mut ctx = BlockCtx {
         block_idx: Dim3::d3(bx, by, bz),
         block_dim: cfg.block,
@@ -448,6 +473,9 @@ where
     };
     body(&mut ctx);
     ctx.shared.release();
+    if tracing {
+        caliper::trace::end_event("gpusim.block");
+    }
 }
 
 /// The un-instrumented block scheduler: flatten the grid and let the pool
@@ -535,7 +563,11 @@ where
 {
     let cfg = LaunchConfig::linear(n, block_size);
     count_launch(&cfg, n as u64);
-    if !sanitizer::active() && !generic_launch_forced() {
+    // An active event trace takes the generic path too: the fast path has no
+    // block structure, so it cannot emit the per-block spans the trace is
+    // for. Same discipline as the sanitizer gate — one relaxed load here,
+    // zero cost while tracing is off.
+    if !sanitizer::active() && !generic_launch_forced() && !caliper::trace::enabled() {
         // `for_each_index` drives each pool chunk with a bare counted loop;
         // the par-iter `SpanIter` equivalent costs ~2.4ns/element extra on
         // slice-indexed bodies (measured on Stream_TRIAD), which at stream

@@ -36,6 +36,23 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
     adiak::value("size_factor", params.size_factor);
     adiak::value_categorized("suite", "RAJAPerf-rs", adiak::Category::General);
 
+    // Event trace: switch collection on before the first region so the
+    // timeline covers the whole run — whether requested via `--trace` or a
+    // `trace(...)` service in the Caliper spec (the service can only export
+    // events that were recorded). `clear()` drops any events left over from
+    // an earlier run in this process.
+    let spec_cm = params.caliper_spec.as_ref().map(|spec| {
+        let mut cm = caliper::ConfigManager::new();
+        cm.add(spec);
+        cm
+    });
+    let tracing = params.trace.is_some()
+        || spec_cm.as_ref().is_some_and(|cm| cm.requests_event_trace());
+    if tracing {
+        caliper::trace::clear();
+        session.enable_event_trace();
+    }
+
     let mut entries = Vec::new();
     let _suite_region = session.region("RAJAPerf");
     for kernel in params.selected_kernels() {
@@ -68,6 +85,13 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
     }
     drop(_suite_region);
 
+    // Stop collecting before the sanitizer pass and the exports: the trace
+    // is the timing run's timeline, nothing else's.
+    if tracing {
+        session.disable_event_trace();
+        caliper::trace::disable();
+    }
+
     // Optional sanitizer pass over the same selection. It runs after the
     // timing loop (never interleaved with it) so the measured kernel times
     // above are untouched, and its cost lands in the profile as metadata
@@ -84,9 +108,7 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
     });
 
     let mut outputs = Vec::new();
-    if let Some(spec) = &params.caliper_spec {
-        let mut cm = caliper::ConfigManager::new();
-        cm.add(spec);
+    if let Some(cm) = &spec_cm {
         if let Some(err) = cm.error() {
             eprintln!("warning: {err}");
         }
@@ -94,6 +116,25 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
             Ok(paths) => outputs.extend(paths),
             Err(e) => eprintln!("warning: caliper flush failed: {e}"),
         }
+    }
+    if let Some(path) = &params.trace {
+        // The --trace flag is sugar for the ConfigManager `trace` service.
+        let mut spec = format!("trace(output={}", path.display());
+        if let Some(folded) = &params.trace_folded {
+            spec.push_str(&format!(",folded={}", folded.display()));
+        }
+        spec.push(')');
+        let mut cm = caliper::ConfigManager::new();
+        cm.add(&spec);
+        match cm.flush(&session) {
+            Ok(paths) => outputs.extend(paths),
+            Err(e) => eprintln!("warning: trace export failed: {e}"),
+        }
+    }
+    if tracing {
+        // All trace exports are done; leave no events behind for the next
+        // run in this process.
+        caliper::trace::clear();
     }
 
     SuiteReport {

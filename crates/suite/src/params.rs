@@ -50,6 +50,11 @@ pub struct RunParams {
     pub sweep_block_sizes: Vec<usize>,
     /// Output directory for sweep profiles, cell caches, and the manifest.
     pub sweep_dir: Option<std::path::PathBuf>,
+    /// Record an event trace of the run and write it as Chrome Trace Event
+    /// JSON to this path (loadable in `chrome://tracing` / Perfetto).
+    pub trace: Option<std::path::PathBuf>,
+    /// Also write the event trace as flamegraph folded stacks to this path.
+    pub trace_folded: Option<std::path::PathBuf>,
 }
 
 impl Default for RunParams {
@@ -68,6 +73,8 @@ impl Default for RunParams {
             sweep: false,
             sweep_block_sizes: Vec::new(),
             sweep_dir: None,
+            trace: None,
+            trace_folded: None,
         }
     }
 }
@@ -166,7 +173,7 @@ impl RunParams {
                         .map(str::to_string)
                         .collect()
                 }
-                "--variant" => {
+                "--variant" | "--variants" => {
                     let v = value("--variant")?;
                     p.variant = VariantId::parse(&v)
                         .ok_or_else(|| format!("unknown variant '{v}'"))?;
@@ -210,6 +217,10 @@ impl RunParams {
                 "--sweep-dir" => {
                     p.sweep_dir = Some(std::path::PathBuf::from(value("--sweep-dir")?))
                 }
+                "--trace" => p.trace = Some(std::path::PathBuf::from(value("--trace")?)),
+                "--trace-folded" => {
+                    p.trace_folded = Some(std::path::PathBuf::from(value("--trace-folded")?))
+                }
                 other => return Err(format!("unknown option '{other}' (try --help)")),
             }
         }
@@ -248,6 +259,15 @@ impl RunParams {
                     .to_string(),
             );
         }
+        if self.sweep && (self.trace.is_some() || self.trace_folded.is_some()) {
+            return Err(
+                "--trace records a single run's timeline; do not combine with --sweep"
+                    .to_string(),
+            );
+        }
+        if self.trace_folded.is_some() && self.trace.is_none() {
+            return Err("--trace-folded requires --trace".to_string());
+        }
         Ok(())
     }
 
@@ -283,7 +303,15 @@ impl RunParams {
          \n\
          Output:\n\
            --caliper SPEC               e.g. 'runtime-report,output=stdout' or\n\
-                                        'spot(output=run.cali.json)'\n\
+                                        'spot(output=run.cali.json)' or\n\
+                                        'trace(output=run.trace.json)'\n\
+           --trace FILE                 record an event trace (per-kernel regions,\n\
+                                        per-worker lanes, device launch/block\n\
+                                        events) and write Chrome Trace Event JSON\n\
+                                        loadable in chrome://tracing or Perfetto;\n\
+                                        zero overhead when not passed\n\
+           --trace-folded FILE          also write the trace as flamegraph folded\n\
+                                        stacks (requires --trace)\n\
            --checksums                  run every variant and print the\n\
                                         cross-variant checksum report\n\
            --sanitize                   run the simulated-device sanitizer\n\
@@ -389,6 +417,24 @@ mod tests {
         assert!(
             RunParams::parse(&args("--sweep --caliper runtime-report")).is_err(),
             "sweep owns its Caliper outputs"
+        );
+    }
+
+    #[test]
+    fn trace_flags_parse_and_validate() {
+        let p = RunParams::parse(&args(
+            "--kernels Stream_TRIAD --trace out.trace.json --trace-folded out.folded",
+        ))
+        .unwrap();
+        assert_eq!(p.trace.as_deref(), Some(std::path::Path::new("out.trace.json")));
+        assert_eq!(p.trace_folded.as_deref(), Some(std::path::Path::new("out.folded")));
+        assert!(
+            RunParams::parse(&args("--trace-folded out.folded")).is_err(),
+            "--trace-folded alone has no trace to fold"
+        );
+        assert!(
+            RunParams::parse(&args("--sweep --trace out.trace.json")).is_err(),
+            "a sweep is many runs; a trace is one run's timeline"
         );
     }
 

@@ -161,24 +161,37 @@ impl ProfileData {
     }
 }
 
+/// Transient path → node-id index used by the bulk ingestion paths. Built
+/// once per bulk operation (O(nodes)) so node lookups are hashed instead of
+/// linear — concatenating sweep-sized thickets was O(nodes²·columns) with
+/// the old per-record scan. Not stored on [`Thicket`]: the struct is plain
+/// serializable data, and an index field would leak into its JSON form.
+type PathIndex = std::collections::HashMap<Vec<String>, usize>;
+
 impl Thicket {
     /// Ingest profiles, unioning their call trees. Each profile gets the
     /// next free profile id.
     pub fn from_profiles(profiles: &[ProfileData]) -> Thicket {
         let mut t = Thicket::default();
+        let mut index = t.build_path_index();
         for p in profiles {
-            t.ingest(p);
+            t.ingest_indexed(&mut index, p);
         }
         t
     }
 
     /// Add one profile to this thicket.
     pub fn ingest(&mut self, p: &ProfileData) {
-        let pid = self.profiles.iter().copied().max().map_or(0, |m| m + 1);
+        let mut index = self.build_path_index();
+        self.ingest_indexed(&mut index, p);
+    }
+
+    fn ingest_indexed(&mut self, index: &mut PathIndex, p: &ProfileData) {
+        let pid = self.next_profile_id();
         self.profiles.push(pid);
         self.metadata.insert(pid, p.globals.clone());
         for (path, metrics) in &p.records {
-            let nid = self.node_id_or_insert(path);
+            let nid = self.node_id_or_insert(index, path);
             for (col, &val) in metrics {
                 self.columns
                     .entry(col.clone())
@@ -188,15 +201,31 @@ impl Thicket {
         }
     }
 
-    fn node_id_or_insert(&mut self, path: &[String]) -> usize {
-        if let Some(i) = self.nodes.iter().position(|n| n.path == path) {
-            i
-        } else {
-            self.nodes.push(Node {
-                path: path.to_vec(),
-            });
-            self.nodes.len() - 1
+    /// Smallest unused profile id. `max + 1`, not `len`: ids stay unique
+    /// even after [`Thicket::filter_metadata`] leaves the set non-contiguous.
+    fn next_profile_id(&self) -> usize {
+        self.profiles.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Index the current node set by path.
+    fn build_path_index(&self) -> PathIndex {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.path.clone(), i))
+            .collect()
+    }
+
+    fn node_id_or_insert(&mut self, index: &mut PathIndex, path: &[String]) -> usize {
+        if let Some(&i) = index.get(path) {
+            return i;
         }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            path: path.to_vec(),
+        });
+        index.insert(path.to_vec(), id);
+        id
     }
 
     /// Node id of a call path, if present.
@@ -228,26 +257,33 @@ impl Thicket {
     }
 
     /// Compose thickets into one (Thicket's `concat_thickets`): profiles are
-    /// renumbered; call trees are unioned.
+    /// renumbered; call trees are unioned. Linear in the total data volume:
+    /// node ids map through a per-thicket vector and every column's sparse
+    /// entries are copied directly, instead of the old per-profile ×
+    /// per-node × per-column probing.
     pub fn concat(thickets: &[Thicket]) -> Thicket {
         let mut out = Thicket::default();
+        let mut index = PathIndex::new();
         for t in thickets {
-            for &pid in &t.profiles {
-                let new_pid = out.profiles.iter().copied().max().map_or(0, |m| m + 1);
-                out.profiles.push(new_pid);
+            // This thicket's node id → out's node id (node id = index).
+            let node_map: Vec<usize> = t
+                .nodes
+                .iter()
+                .map(|n| out.node_id_or_insert(&mut index, &n.path))
+                .collect();
+            let mut prof_map: BTreeMap<usize, usize> = BTreeMap::new();
+            for (next_pid, &pid) in (out.next_profile_id()..).zip(t.profiles.iter()) {
+                out.profiles.push(next_pid);
                 if let Some(md) = t.metadata.get(&pid) {
-                    out.metadata.insert(new_pid, md.clone());
+                    out.metadata.insert(next_pid, md.clone());
                 }
-                for node in &t.nodes {
-                    let old_nid = t.node_id(&node.path.iter().map(String::as_str).collect::<Vec<_>>()).expect("own node");
-                    let new_nid = out.node_id_or_insert(&node.path);
-                    for (col, data) in &t.columns {
-                        if let Some(&v) = data.get(&(old_nid, pid)) {
-                            out.columns
-                                .entry(col.clone())
-                                .or_default()
-                                .insert((new_nid, new_pid), v);
-                        }
+                prof_map.insert(pid, next_pid);
+            }
+            for (col, data) in &t.columns {
+                let out_col = out.columns.entry(col.clone()).or_default();
+                for (&(nid, pid), &v) in data {
+                    if let Some(&new_pid) = prof_map.get(&pid) {
+                        out_col.insert((node_map[nid], new_pid), v);
                     }
                 }
             }
@@ -669,5 +705,59 @@ mod tests {
         let t = Thicket::from_profiles(&[profile("a", 1.0), profile("b", 2.0)]);
         // Root has no metrics; TRIAD × 2 profiles = 2 rows.
         assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn profile_ids_stay_unique_after_filtering() {
+        let mut t = Thicket::from_profiles(&[
+            profile("keep", 1.0),
+            profile("drop", 2.0),
+            profile("keep", 3.0),
+        ]);
+        // Filter leaves ids {0, 2}; the next ingest must not reuse id 2.
+        t = t.filter_metadata(|md| md["variant"] == serde_json::json!("keep"));
+        assert_eq!(t.profiles, vec![0, 2]);
+        t.ingest(&profile("new", 4.0));
+        assert_eq!(t.profiles, vec![0, 2, 3], "max+1 allocation, not len");
+    }
+
+    /// Perf regression: concat used to re-scan the node list per record
+    /// (O(nodes²·columns)); with the path index, composing the 12-cell
+    /// sweep's worth of full-registry thickets is effectively instant.
+    #[test]
+    fn concat_of_sweep_sized_thickets_is_fast() {
+        // 12 sweep cells × one profile over a 600-node call tree with 8
+        // metric columns each — the shape `rajaperf --sweep` produces.
+        let cells: Vec<Thicket> = (0..12)
+            .map(|cell| {
+                let mut globals = BTreeMap::new();
+                globals.insert("variant".to_string(), serde_json::json!(format!("v{cell}")));
+                let records = (0..600)
+                    .map(|k| {
+                        let mut metrics = BTreeMap::new();
+                        for m in 0..8 {
+                            metrics.insert(format!("metric{m}"), (cell * 600 + k) as f64 + m as f64);
+                        }
+                        (
+                            vec!["RAJAPerf".to_string(), format!("group{}", k % 20), format!("kernel{k}")],
+                            metrics,
+                        )
+                    })
+                    .collect();
+                Thicket::from_profiles(&[ProfileData { globals, records }])
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let combined = Thicket::concat(&cells);
+        let elapsed = start.elapsed();
+        assert_eq!(combined.profiles.len(), 12);
+        assert_eq!(combined.nodes.len(), 600, "node set is unioned, not duplicated");
+        let nid = combined.node_by_name("kernel17").unwrap();
+        assert_eq!(combined.value("metric0", nid, 0), Some(17.0));
+        assert_eq!(combined.value("metric0", nid, 11), Some((11 * 600 + 17) as f64));
+        assert!(
+            elapsed < std::time::Duration::from_secs(1),
+            "sweep-sized concat took {elapsed:?}; the path index should make it well under a second"
+        );
     }
 }

@@ -58,4 +58,19 @@ fi
 [[ -f "$SWEEP_DIR/manifest.json" ]] || { echo "verify: FAIL — sweep manifest missing" >&2; exit 1; }
 echo "sweep: 12 distinct profiles + manifest"
 
+echo "== cli: --trace exports a parseable Chrome trace =="
+TRACE_JSON="$SWEEP_DIR/smoke.trace.json"
+"$RAJAPERF" --variants Base_Seq --kernels Stream_TRIAD --size 100000 --reps 2 \
+    --trace "$TRACE_JSON" >/dev/null
+python3 - "$TRACE_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+begins = [(e["tid"], e["name"]) for e in events if e["ph"] == "B"]
+ends = [(e["tid"], e["name"]) for e in events if e["ph"] == "E"]
+complete = sum(1 for b in begins if b in ends)
+assert complete >= 1, "no complete begin/end event in trace"
+print(f"trace: {len(events)} events, {complete} complete region begin/ends")
+EOF
+
 echo "verify: OK"

@@ -30,7 +30,7 @@ use std::ops::{Range, RangeInclusive};
 
 mod pool;
 
-pub use pool::current_num_threads;
+pub use pool::{current_num_threads, current_worker_index};
 
 // --------------------------------------------------------------- producers
 

@@ -27,10 +27,11 @@ use std::time::Duration;
 const CHUNKS_PER_THREAD: usize = 8;
 
 thread_local! {
-    /// Set on pool worker threads. A parallel call issued from a worker (a
-    /// nested parallel call) runs inline and sequentially: the worker must
-    /// not block waiting on siblings that may themselves be blocked.
-    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Set on pool worker threads to the worker's stable index. A parallel
+    /// call issued from a worker (a nested parallel call) runs inline and
+    /// sequentially: the worker must not block waiting on siblings that may
+    /// themselves be blocked.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
 /// One parallel call: the span function plus completion bookkeeping.
@@ -190,7 +191,7 @@ fn pool() -> &'static Pool {
 }
 
 fn worker_loop(shared: &Shared, w: usize) {
-    IN_WORKER.with(|f| f.set(true));
+    WORKER_INDEX.with(|f| f.set(Some(w)));
     loop {
         if let Some(seg) = shared.find_work(Some(w)) {
             shared.run_segment(Some(w), seg);
@@ -213,6 +214,15 @@ pub fn current_num_threads() -> usize {
     pool().threads
 }
 
+/// Stable index of the pool worker running the calling thread, or `None`
+/// off-pool (including the submitting caller, which participates in every
+/// job but is not a worker). Indices are dense in
+/// `0..current_num_threads() - 1` and fixed for the worker's lifetime, so
+/// instrumentation layers can use them as per-worker lane ids.
+pub fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(std::cell::Cell::get)
+}
+
 /// How a parallel call over `len` items will be partitioned: `(nchunks,
 /// chunk)` with chunk boundaries at multiples of `chunk`. The grid depends
 /// only on the length, the pool width, and whether the calling thread is a
@@ -220,7 +230,7 @@ pub fn current_num_threads() -> usize {
 /// one result slot per chunk and combine them in chunk order.
 pub(crate) fn plan(len: usize) -> (usize, usize) {
     let threads = pool().threads;
-    if threads <= 1 || len <= 1 || IN_WORKER.with(std::cell::Cell::get) {
+    if threads <= 1 || len <= 1 || WORKER_INDEX.with(std::cell::Cell::get).is_some() {
         return (1, len.max(1));
     }
     let chunk = len.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
