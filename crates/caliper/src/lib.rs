@@ -146,12 +146,10 @@ impl Profile {
         serde_json::from_str(text)
     }
 
-    /// Write the profile to a file.
+    /// Write the profile to a file, atomically (see [`write_atomic`]): a
+    /// mid-write kill never leaves a torn `.cali.json` behind.
     pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        std::fs::write(path, self.to_json())
+        write_atomic(path, self.to_json().as_bytes())
     }
 
     /// Read a profile from a file.
@@ -169,6 +167,58 @@ impl Profile {
     /// A global metadata value as a string, if present.
     pub fn global_str(&self, name: &str) -> Option<&str> {
         self.globals.get(name).and_then(|v| v.as_str())
+    }
+}
+
+/// Crash-safe file write: the contents land in a temp file in the
+/// destination directory, are fsynced, and are renamed over `path` — so a
+/// reader (or a process killed mid-write) only ever observes the old
+/// contents or the complete new contents, never a torn prefix. Parent
+/// directories are created as needed. Every profile, trace, cache, and
+/// manifest write in the suite routes through here.
+///
+/// Carries the `io.write` simfault failpoint: an armed `truncate` entry
+/// reproduces the torn write this helper exists to prevent (a strict prefix
+/// written straight to `path`, no error surfaced — what a mid-write kill of
+/// a bare `fs::write` leaves behind), so integrity validation downstream
+/// can be exercised deterministically.
+pub fn write_atomic(path: &std::path::Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => {
+            std::fs::create_dir_all(d)?;
+            Some(d)
+        }
+        _ => None,
+    };
+    if let Some(keep) = simfault::truncated_len("io.write", contents.len()) {
+        std::fs::write(path, &contents[..keep])?;
+        return Ok(());
+    }
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let tmp = path.with_file_name(format!(".{}.tmp.{}", name, std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    match result {
+        Ok(()) => {
+            // Best-effort directory fsync so the rename itself is durable.
+            if let Some(dir) = dir {
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -731,11 +781,7 @@ impl ConfigManager {
                         "stderr" => eprint!("{report}"),
                         path => {
                             let p = std::path::Path::new(path);
-                            if let Some(dir) = p.parent() {
-                                std::fs::create_dir_all(dir)?;
-                            }
-                            let mut f = std::fs::File::create(p)?;
-                            f.write_all(report.as_bytes())?;
+                            write_atomic(p, report.as_bytes())?;
                             written.push(p.to_path_buf());
                         }
                     }
@@ -747,17 +793,11 @@ impl ConfigManager {
                 }
                 OutputSpec::Trace { output, folded } => {
                     let p = std::path::Path::new(output);
-                    if let Some(dir) = p.parent() {
-                        std::fs::create_dir_all(dir)?;
-                    }
-                    std::fs::write(p, trace::export_chrome_json())?;
+                    write_atomic(p, trace::export_chrome_json().as_bytes())?;
                     written.push(p.to_path_buf());
                     if let Some(folded) = folded {
                         let p = std::path::Path::new(folded);
-                        if let Some(dir) = p.parent() {
-                            std::fs::create_dir_all(dir)?;
-                        }
-                        std::fs::write(p, trace::export_folded())?;
+                        write_atomic(p, trace::export_folded().as_bytes())?;
                         written.push(p.to_path_buf());
                     }
                 }

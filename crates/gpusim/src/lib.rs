@@ -400,6 +400,12 @@ pub fn reset_stats() {
 /// Record one launch in the device counters. `active` is the number of
 /// threads with real work (≤ launched; see [`DeviceStats::threads_active`]).
 fn count_launch(cfg: &LaunchConfig, active: u64) {
+    // Fault-injection hook, gated like the sanitizer and trace hooks: one
+    // relaxed atomic load here, the evaluation behind a cold call. Sits
+    // before the counters so an injected launch failure counts nothing.
+    if simfault::armed() {
+        launch_failpoint();
+    }
     let nblocks = cfg.grid.total() as u64;
     LAUNCHES.fetch_add(1, Ordering::Relaxed);
     BLOCKS.fetch_add(nblocks, Ordering::Relaxed);
@@ -409,6 +415,18 @@ fn count_launch(cfg: &LaunchConfig, active: u64) {
     // the launch path, everything else behind a cold call.
     if caliper::trace::enabled() {
         trace_launch();
+    }
+}
+
+/// Evaluate the `gpusim.launch` failpoint. `launch` returns `()`, so an
+/// `err`-mode injection cannot propagate as a `Result`; it surfaces as a
+/// panic that keeps the `simfault:` message prefix, which the suite's
+/// isolation layer classifies as a *transient* (retryable) failure — the
+/// moral equivalent of a `cudaErrorLaunchFailure` return code.
+#[cold]
+fn launch_failpoint() {
+    if let Err(e) = simfault::fail_point("gpusim.launch") {
+        panic!("simfault: {e}");
     }
 }
 
@@ -618,10 +636,27 @@ pub struct DevicePtr<T> {
 unsafe impl<T: Send> Send for DevicePtr<T> {}
 unsafe impl<T: Sync> Sync for DevicePtr<T> {}
 
+/// Evaluate the `gpusim.ecc` failpoint: an armed `flip` entry models an
+/// uncorrected ECC error by flipping one deterministically-chosen bit of the
+/// buffer being registered with the device. Kernel buffers are plain numeric
+/// data, where any bit pattern is a valid value.
+#[cold]
+fn ecc_failpoint<T>(slice: &mut [T]) {
+    // SAFETY: `slice` is an exclusive borrow and the byte view covers
+    // exactly its memory; u8 has no validity or alignment requirements.
+    let bytes = unsafe {
+        std::slice::from_raw_parts_mut(slice.as_mut_ptr() as *mut u8, std::mem::size_of_val(slice))
+    };
+    simfault::corrupt_bytes("gpusim.ecc", bytes);
+}
+
 impl<T> DevicePtr<T> {
     /// Wrap a host slice for device access. The borrow is logically exclusive
     /// for the duration of the launch.
     pub fn new(slice: &mut [T]) -> DevicePtr<T> {
+        if simfault::armed() {
+            ecc_failpoint(slice);
+        }
         let p = DevicePtr {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
@@ -641,6 +676,9 @@ impl<T> DevicePtr<T> {
     /// (the memory itself is real host memory, so the access stays defined
     /// — this models `compute-sanitizer initcheck`, not UB detection).
     pub fn new_uninit(slice: &mut [T]) -> DevicePtr<T> {
+        if simfault::armed() {
+            ecc_failpoint(slice);
+        }
         let p = DevicePtr {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),

@@ -1,0 +1,99 @@
+//! The `gpusim.launch` and `gpusim.ecc` failpoints. Fault configuration is
+//! process-global, so every test here serializes on one gate and disarms
+//! before releasing it.
+
+use gpusim::DevicePtr;
+use std::sync::Mutex;
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_message(err: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+#[test]
+fn launch_panic_injection_unwinds_with_simfault_prefix() {
+    let _g = gate();
+    simfault::install_spec("gpusim.launch=panic:1.0").unwrap();
+    let err = std::panic::catch_unwind(|| {
+        let mut out = vec![0.0f64; 64];
+        let d = DevicePtr::new(&mut out);
+        gpusim::launch_1d(64, 32, |i| unsafe { d.write(i, i as f64) });
+    })
+    .expect_err("armed panic failpoint must unwind the launch");
+    simfault::disarm();
+    let msg = panic_message(&*err);
+    assert!(msg.starts_with("simfault:"), "panic message: {msg}");
+}
+
+#[test]
+fn launch_err_injection_surfaces_as_transient_panic() {
+    let _g = gate();
+    simfault::install_spec("gpusim.launch=err:1.0").unwrap();
+    let err = std::panic::catch_unwind(|| {
+        gpusim::launch_1d(8, 8, |_| {});
+    })
+    .expect_err("err-mode injection panics because launch returns ()");
+    simfault::disarm();
+    let msg = panic_message(&*err);
+    assert!(
+        msg.starts_with("simfault:") && msg.contains("gpusim.launch"),
+        "panic message: {msg}"
+    );
+}
+
+#[test]
+fn launch_failures_count_no_launches() {
+    let _g = gate();
+    simfault::install_spec("gpusim.launch=err:1.0").unwrap();
+    gpusim::reset_stats();
+    let _ = std::panic::catch_unwind(|| gpusim::launch_1d(8, 8, |_| {}));
+    simfault::disarm();
+    assert_eq!(
+        gpusim::stats().launches,
+        0,
+        "an injected launch failure must not reach the device counters"
+    );
+}
+
+#[test]
+fn ecc_flip_corrupts_buffer_deterministically() {
+    let _g = gate();
+    let register = || {
+        simfault::install_spec("gpusim.ecc=flip:1.0,seed=11").unwrap();
+        let mut buf = vec![1.0f64; 256];
+        let _d = DevicePtr::new(&mut buf);
+        simfault::disarm();
+        buf
+    };
+    let a = register();
+    let b = register();
+    assert_ne!(a, vec![1.0f64; 256], "one bit must have flipped");
+    assert_eq!(a, b, "same seed flips the same bit");
+    let corrupted: Vec<usize> = a
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| **v != 1.0)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(corrupted.len(), 1, "exactly one element corrupted");
+}
+
+#[test]
+fn disarmed_device_behaves_normally() {
+    let _g = gate();
+    simfault::disarm();
+    let mut out = vec![0.0f64; 128];
+    let d = DevicePtr::new(&mut out);
+    gpusim::launch_1d(128, 64, |i| unsafe { d.write(i, 2.0 * i as f64) });
+    assert!(out.iter().enumerate().all(|(i, v)| *v == 2.0 * i as f64));
+}

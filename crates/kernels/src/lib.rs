@@ -32,6 +32,7 @@ pub mod apps;
 pub mod basic;
 pub mod comm;
 pub mod common;
+pub mod faulty;
 pub mod lcals;
 pub mod polybench;
 pub mod sanitize;

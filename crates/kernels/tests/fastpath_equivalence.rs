@@ -20,7 +20,7 @@ fn full_registry_checksums_match_and_sanitizer_still_fires() {
     let mut compared = 0usize;
     for k in kernels::registry() {
         let info = k.info();
-        let n = info.default_size.min(4096).max(1);
+        let n = info.default_size.clamp(1, 4096);
         for &v in info.variants {
             if !matches!(v, VariantId::BaseSimGpu | VariantId::RajaSimGpu) {
                 continue;

@@ -5,8 +5,13 @@
 //! ```text
 //! rajaperf-analyze <dir> [--groupby KEY] [--metric COLUMN] [--tree] [--csv]
 //! ```
+//!
+//! Corrupt or truncated profiles (e.g. torn by a mid-write kill) are skipped
+//! with a warning rather than aborting the composition; the exit codes match
+//! `rajaperf` ([`SuiteExit`]): 0 success, 1 internal error, 2 usage error.
 
-use thicket::{ProfileData, Stat, Thicket};
+use suite::SuiteExit;
+use thicket::{Stat, Thicket};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,7 +19,10 @@ fn main() {
         eprintln!(
             "usage: rajaperf-analyze <profile-dir> [--groupby KEY] [--metric COLUMN] [--tree] [--csv]"
         );
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+        if args.is_empty() {
+            SuiteExit::Usage.exit();
+        }
+        return;
     }
     let dir = std::path::Path::new(&args[0]);
     let mut groupby: Option<String> = None;
@@ -34,34 +42,43 @@ fn main() {
             "--csv" => show_csv = true,
             other => {
                 eprintln!("unknown option {other}");
-                std::process::exit(2);
+                SuiteExit::Usage.exit();
             }
         }
     }
 
-    // Load every *.cali.json profile in the directory.
-    let mut profiles = Vec::new();
+    // Collect every *.cali.json profile in the directory; ingestion itself
+    // tolerates (and reports) unreadable or malformed files.
+    let mut paths = Vec::new();
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("cannot read {}: {e}", dir.display());
-            std::process::exit(1);
+            SuiteExit::Internal.exit();
         }
     };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.to_string_lossy().ends_with(".cali.json") {
-            match ProfileData::read_file(&path) {
-                Ok(p) => profiles.push(p),
-                Err(e) => eprintln!("skipping {}: {e}", path.display()),
-            }
+            paths.push(path);
         }
     }
-    if profiles.is_empty() {
-        eprintln!("no .cali.json profiles found in {}", dir.display());
-        std::process::exit(1);
+    paths.sort();
+    let (mut tk, stats) = Thicket::from_files(&paths);
+    for (path, reason) in &stats.skipped {
+        eprintln!("warning: skipping {}: {reason}", path.display());
     }
-    let mut tk = Thicket::from_profiles(&profiles);
+    if stats.warnings() > 0 {
+        eprintln!(
+            "warning: {} of {} profile(s) skipped as unreadable or malformed",
+            stats.warnings(),
+            paths.len()
+        );
+    }
+    if stats.ingested == 0 {
+        eprintln!("no usable .cali.json profiles found in {}", dir.display());
+        SuiteExit::Internal.exit();
+    }
     println!(
         "composed {} profiles, {} call-tree nodes, {} metric columns",
         tk.profiles.len(),

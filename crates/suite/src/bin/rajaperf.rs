@@ -9,8 +9,11 @@
 //! rajaperf --kernels Stream_TRIAD --size 8000000 --caliper 'spot(output=triad.cali.json)'
 //! rajaperf --list
 //! ```
+//!
+//! Exit codes follow [`SuiteExit`]: 0 success, 1 internal error, 2 usage
+//! error, 3 checksum failures, 4 sanitizer findings, 5 kernel failures.
 
-use suite::{run_suite, RunParams};
+use suite::{run_suite, RunParams, SuiteExit};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,14 +26,25 @@ fn main() {
         return;
     }
     let checksums_mode = args.iter().any(|a| a == "--checksums");
-    let filtered: Vec<String> = args.into_iter().filter(|a| a != "--checksums").collect();
+    let mut filtered: Vec<String> = args.into_iter().filter(|a| a != "--checksums").collect();
+    // `SIMFAULT` env is the ambient form of `--faults`; the explicit flag
+    // wins. Routing it through the normal argument path gets it the same
+    // validation (spec grammar, known failpoints, --sanitize conflict).
+    if !filtered.iter().any(|a| a == "--faults") {
+        if let Ok(spec) = std::env::var("SIMFAULT") {
+            if !spec.trim().is_empty() {
+                filtered.push("--faults".to_string());
+                filtered.push(spec);
+            }
+        }
+    }
     let params = match RunParams::parse(&filtered) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
             eprint!("{}", RunParams::usage());
-            std::process::exit(2);
+            SuiteExit::Usage.exit();
         }
     };
     if params.sweep {
@@ -40,10 +54,13 @@ fn main() {
             Ok(summary) => {
                 print!("{}", summary.render());
                 println!("wrote {}", summary.manifest.display());
+                if summary.kernels_failed() > 0 {
+                    SuiteExit::KernelFailures.exit();
+                }
             }
             Err(e) => {
                 eprintln!("error: sweep failed: {e}");
-                std::process::exit(1);
+                SuiteExit::Internal.exit();
             }
         }
         return;
@@ -55,16 +72,31 @@ fn main() {
         let reports = suite::run_variants(&params, &variants);
         let cr = suite::checksum_report(&reports);
         print!("{}", cr.render());
+        if reports.iter().any(|r| !r.all_passed()) {
+            // Kernel failures poke holes in the checksum grid; report them
+            // as the stronger condition.
+            for r in &reports {
+                if !r.all_passed() {
+                    println!();
+                    print!("{}", r.render_outcomes());
+                }
+            }
+            SuiteExit::KernelFailures.exit();
+        }
         if cr.all_pass() {
             println!("ALL CHECKSUMS PASS");
         } else {
             println!("CHECKSUM FAILURES DETECTED");
-            std::process::exit(1);
+            SuiteExit::ChecksumFailure.exit();
         }
         return;
     }
     let report = run_suite(&params);
     print!("{}", report.render_timing());
+    if params.faults.is_some() || !report.all_passed() {
+        println!();
+        print!("{}", report.render_outcomes());
+    }
     if let Some(section) = &report.sanitize {
         println!();
         print!("{}", section.render());
@@ -72,8 +104,11 @@ fn main() {
     for path in &report.outputs {
         println!("wrote {}", path.display());
     }
+    if !report.all_passed() {
+        SuiteExit::KernelFailures.exit();
+    }
     if report.sanitize.as_ref().is_some_and(|s| !s.all_clean()) {
-        std::process::exit(1);
+        SuiteExit::SanitizerFindings.exit();
     }
 }
 

@@ -17,14 +17,25 @@ use kernels::VariantId;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
+pub mod exec;
 pub mod params;
 pub mod report;
 pub mod simulate;
 pub mod sweep;
 
+pub use exec::{FaultPolicy, KernelOutcome, OutcomeRecord, SuiteExit};
 pub use params::{RunParams, Selection};
 pub use sweep::{run_sweep, SweepCell, SweepSummary};
 pub use report::{CheckStatus, ChecksumReport, SanitizeSection, SuiteReport, TimingEntry};
+
+/// Fault observer installed while `--faults` is armed: each fired fault
+/// lands in the event trace as an instant marker (`simfault.<point>.<mode>`),
+/// so a traced faulty run shows *where* in the timeline injections hit.
+fn fault_trace_observer(point: &str, mode: &str) {
+    if caliper::trace::enabled() {
+        caliper::trace::instant_event(&format!("simfault.{point}.{mode}"));
+    }
+}
 
 /// Execute the suite described by `params`, producing a report and (if
 /// configured) Caliper output files.
@@ -53,7 +64,28 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         session.enable_event_trace();
     }
 
+    // Fault injection: (re)install the spec at the start of every run so
+    // draw counters reset — each run_suite call (each sweep cell included)
+    // replays the identical deterministic fault sequence, interrupted or
+    // not. Stays armed through the output flush so `io.write` injections
+    // can tear profile writes; disarmed before returning.
+    let faults_armed = match &params.faults {
+        Some(spec) => {
+            simfault::install_spec(spec)
+                .unwrap_or_else(|e| panic!("invalid fault spec (validate params first): {e}"));
+            simfault::set_observer(Some(fault_trace_observer));
+            true
+        }
+        None => false,
+    };
+    let policy = exec::FaultPolicy {
+        timeout: params.timeout,
+        max_retries: params.max_retries,
+        retry_backoff: params.retry_backoff,
+    };
+
     let mut entries = Vec::new();
+    let mut outcomes = Vec::new();
     let _suite_region = session.region("RAJAPerf");
     for kernel in params.selected_kernels() {
         let info = kernel.info();
@@ -64,26 +96,79 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         let reps = params.reps(&info);
         let _group = session.region(info.group.name());
         let region = session.region(info.name);
-        let result = kernel.execute(params.variant, n, reps, &params.tuning);
+        // Scope label for `point@kernel` fault filters. Process-global (not
+        // thread-local) so a watchdog-spawned attempt still sees it.
+        let scope = faults_armed.then(|| simfault::scoped(info.name));
+        let (outcome, result) =
+            exec::execute_guarded(kernel, params.variant, n, reps, &params.tuning, &policy);
+        drop(scope);
         session.set_metric("ProblemSize", n as f64);
         session.set_metric("Reps", reps as f64);
-        session.set_metric("Bytes/Rep", result.metrics.bytes_read + result.metrics.bytes_written);
-        session.set_metric("BytesRead/Rep", result.metrics.bytes_read);
-        session.set_metric("BytesWritten/Rep", result.metrics.bytes_written);
-        session.set_metric("Flops/Rep", result.metrics.flops);
-        session.set_metric("Checksum", result.checksum);
-        session.set_metric("Time/Rep", result.time_per_rep());
+        if let exec::KernelOutcome::Passed { retries: r @ 1.. } = outcome {
+            session.set_metric("fault.retries", r as f64);
+        }
+        match result {
+            Some(result) => {
+                session.set_metric(
+                    "Bytes/Rep",
+                    result.metrics.bytes_read + result.metrics.bytes_written,
+                );
+                session.set_metric("BytesRead/Rep", result.metrics.bytes_read);
+                session.set_metric("BytesWritten/Rep", result.metrics.bytes_written);
+                session.set_metric("Flops/Rep", result.metrics.flops);
+                session.set_metric("Checksum", result.checksum);
+                session.set_metric("Time/Rep", result.time_per_rep());
+                entries.push(TimingEntry {
+                    kernel: info.name.to_string(),
+                    group: info.group.name().to_string(),
+                    variant: params.variant,
+                    problem_size: n,
+                    reps,
+                    result,
+                });
+            }
+            None => {
+                // The failure is data too: the profile records that the
+                // kernel ran and failed, so thicket-side analysis can
+                // distinguish "failed" from "not selected".
+                session.set_metric("fault.failed", 1.0);
+                eprintln!(
+                    "warning: {} {}: {} — continuing with the rest of the selection",
+                    info.name,
+                    outcome.label(),
+                    outcome.detail()
+                );
+            }
+        }
         region.end();
-        entries.push(TimingEntry {
+        outcomes.push(exec::OutcomeRecord {
             kernel: info.name.to_string(),
-            group: info.group.name().to_string(),
             variant: params.variant,
-            problem_size: n,
-            reps,
-            result,
+            outcome,
         });
     }
     drop(_suite_region);
+
+    // Adiak-style fault metadata, recorded only when there is something to
+    // say (a fault config, a failure, or a retry) so ordinary clean runs
+    // keep their exact historical profile shape.
+    let failed = outcomes.iter().filter(|o| !o.outcome.is_pass()).count();
+    let retries_total: u32 = outcomes
+        .iter()
+        .map(|o| match o.outcome {
+            exec::KernelOutcome::Passed { retries }
+            | exec::KernelOutcome::Failed { retries, .. } => retries,
+            _ => 0,
+        })
+        .sum();
+    if faults_armed || failed > 0 || retries_total > 0 {
+        if let Some(spec) = &params.faults {
+            session.set_global("fault.spec", spec.as_str());
+        }
+        session.set_global("fault.kernels_failed", failed as i64);
+        session.set_global("fault.retries_total", retries_total as i64);
+        session.set_global("fault.injected_total", simfault::fired_total() as i64);
+    }
 
     // Stop collecting before the sanitizer pass and the exports: the trace
     // is the timing run's timeline, nothing else's.
@@ -136,6 +221,10 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         // run in this process.
         caliper::trace::clear();
     }
+    if faults_armed {
+        simfault::set_observer(None);
+        simfault::disarm();
+    }
 
     SuiteReport {
         variant: params.variant,
@@ -143,6 +232,7 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         profile: session.profile(),
         outputs,
         sanitize,
+        outcomes,
     }
 }
 

@@ -55,6 +55,17 @@ pub struct RunParams {
     pub trace: Option<std::path::PathBuf>,
     /// Also write the event trace as flamegraph folded stacks to this path.
     pub trace_folded: Option<std::path::PathBuf>,
+    /// Deterministic fault-injection spec (`--faults` / `SIMFAULT`), e.g.
+    /// `gpusim.launch=err:0.05,seed=42`. Installed (counters reset) at the
+    /// start of every [`crate::run_suite`] call, so each sweep cell replays
+    /// the same fault sequence whether or not the sweep was interrupted.
+    pub faults: Option<String>,
+    /// Watchdog deadline per kernel-variant execution attempt (`--timeout`).
+    pub timeout: Option<std::time::Duration>,
+    /// Retries allowed per kernel for *transient* failures (`--retries`).
+    pub max_retries: u32,
+    /// Base linear backoff between retries (`--retry-backoff-ms`).
+    pub retry_backoff: std::time::Duration,
 }
 
 impl Default for RunParams {
@@ -75,8 +86,19 @@ impl Default for RunParams {
             sweep_dir: None,
             trace: None,
             trace_folded: None,
+            faults: None,
+            timeout: None,
+            max_retries: 0,
+            retry_backoff: std::time::Duration::from_millis(50),
         }
     }
+}
+
+/// The faulty positive-control fixtures, boxed once so selection can hand
+/// out `&'static` references like the registry does.
+fn faulty_fixtures() -> &'static [Box<dyn KernelBase>] {
+    static FIXTURES: std::sync::OnceLock<Vec<Box<dyn KernelBase>>> = std::sync::OnceLock::new();
+    FIXTURES.get_or_init(kernels::faulty::all)
 }
 
 fn feature_matches(f: &Feature, name: &str) -> bool {
@@ -98,8 +120,15 @@ impl RunParams {
     /// Kernels matched by the selection, in registry (Table I) order.
     /// Borrows from the static registry: selection is a filter pass, not a
     /// rebuild of 76 boxed kernels.
+    ///
+    /// `Fixture_*` kernels (the sanitizer and fault-tolerance positive
+    /// controls, deliberately outside the registry) join the selection only
+    /// when named explicitly via `Selection::Kernels` — never through
+    /// `All`, groups, or features — so `--kernels Fixture_PANIC,Basic_DAXPY`
+    /// can exercise the isolation layer without the fixtures ever running
+    /// by accident.
     pub fn selected_kernels(&self) -> Vec<&'static dyn KernelBase> {
-        kernels::registry()
+        let mut selected: Vec<&'static dyn KernelBase> = kernels::registry()
             .iter()
             .map(|k| k.as_ref())
             .filter(|k| {
@@ -118,7 +147,20 @@ impl RunParams {
                 };
                 included && !self.exclude.iter().any(|n| n == info.name)
             })
-            .collect()
+            .collect();
+        if let Selection::Kernels(names) = &self.selection {
+            selected.extend(
+                faulty_fixtures()
+                    .iter()
+                    .map(|k| k.as_ref())
+                    .filter(|k| {
+                        let name = k.info().name;
+                        names.iter().any(|n| n == name)
+                            && !self.exclude.iter().any(|n| n == name)
+                    }),
+            );
+        }
+        selected
     }
 
     /// Problem size for a kernel under these parameters.
@@ -221,6 +263,27 @@ impl RunParams {
                 "--trace-folded" => {
                     p.trace_folded = Some(std::path::PathBuf::from(value("--trace-folded")?))
                 }
+                "--faults" => p.faults = Some(value("--faults")?),
+                "--timeout" => {
+                    let secs: f64 = value("--timeout")?
+                        .parse()
+                        .map_err(|e| format!("bad timeout: {e}"))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err("--timeout must be a positive number of seconds".to_string());
+                    }
+                    p.timeout = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                "--retries" => {
+                    p.max_retries = value("--retries")?
+                        .parse()
+                        .map_err(|e| format!("bad retries: {e}"))?
+                }
+                "--retry-backoff-ms" => {
+                    let ms: u64 = value("--retry-backoff-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad retry backoff: {e}"))?;
+                    p.retry_backoff = std::time::Duration::from_millis(ms);
+                }
                 other => return Err(format!("unknown option '{other}' (try --help)")),
             }
         }
@@ -267,6 +330,27 @@ impl RunParams {
         }
         if self.trace_folded.is_some() && self.trace.is_none() {
             return Err("--trace-folded requires --trace".to_string());
+        }
+        if let Some(spec) = &self.faults {
+            // Strict at the CLI: a typoed failpoint name must not silently
+            // inject nothing.
+            let cfg = simfault::FaultConfig::parse(spec)
+                .map_err(|e| format!("--faults: {e}"))?;
+            let unknown = cfg.unknown_points();
+            if !unknown.is_empty() {
+                let known: Vec<&str> =
+                    simfault::KNOWN_POINTS.iter().map(|(p, _)| *p).collect();
+                return Err(format!(
+                    "--faults names unknown failpoint(s) {unknown:?}; known: {}",
+                    known.join(", ")
+                ));
+            }
+            if self.sanitize {
+                return Err(
+                    "--sanitize expects hazard-free execution; do not combine with --faults"
+                        .to_string(),
+                );
+            }
         }
         Ok(())
     }
@@ -319,11 +403,34 @@ impl RunParams {
                                         its hazard report\n\
            --list                       list kernels and exit\n\
          \n\
+         Fault tolerance:\n\
+           --faults SPEC                arm deterministic fault injection, e.g.\n\
+                                        'gpusim.launch=err:0.05,seed=42' or\n\
+                                        'suite.kernel@Stream_TRIAD=panic:1.0'\n\
+                                        (points: gpusim.launch gpusim.ecc\n\
+                                        suite.kernel io.write fixture.flaky;\n\
+                                        modes: panic err stall[(ms)] flip\n\
+                                        truncate; rate defaults to 1.0; zero\n\
+                                        overhead when not armed)\n\
+           --timeout SECS               watchdog deadline per kernel execution;\n\
+                                        a kernel exceeding it is recorded as\n\
+                                        TIMEOUT and the run continues\n\
+           --retries N                  retries for transient (injected) kernel\n\
+                                        failures (default 0)\n\
+           --retry-backoff-ms MS        base linear backoff between retries\n\
+                                        (default 50)\n\
+         \n\
+         Exit codes:\n\
+           0 success | 1 internal error | 2 usage | 3 checksum failure |\n\
+           4 sanitizer findings | 5 kernel failures (partial failure: the\n\
+           rest of the selection completed and reported)\n\
+         \n\
          Environment:\n\
            RAYON_NUM_THREADS            thread-pool width for Par variants and\n\
                                         simulated-GPU block scheduling (positive\n\
                                         integer; default: available parallelism;\n\
-                                        1 = fully sequential, bitwise-deterministic)\n"
+                                        1 = fully sequential, bitwise-deterministic)\n\
+           SIMFAULT                     fault spec used when --faults is absent\n"
     }
 }
 
@@ -442,5 +549,49 @@ mod tests {
     fn all_selection_covers_registry() {
         let p = RunParams::default();
         assert_eq!(p.selected_kernels().len(), 76);
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let p = RunParams::parse(&args(
+            "--faults gpusim.launch=err:0.05,seed=42 --timeout 2.5 --retries 3 --retry-backoff-ms 10",
+        ))
+        .unwrap();
+        assert_eq!(p.faults.as_deref(), Some("gpusim.launch=err:0.05,seed=42"));
+        assert_eq!(p.timeout, Some(std::time::Duration::from_secs_f64(2.5)));
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.retry_backoff, std::time::Duration::from_millis(10));
+
+        // Strictness: a typoed failpoint or malformed spec fails parse.
+        let err = RunParams::parse(&args("--faults gpusim.lanuch=err")).unwrap_err();
+        assert!(err.contains("unknown failpoint"), "{err}");
+        assert!(err.contains("gpusim.launch"), "lists the registry: {err}");
+        assert!(RunParams::parse(&args("--faults gpusim.launch=warp")).is_err());
+        assert!(RunParams::parse(&args("--timeout 0")).is_err());
+        assert!(RunParams::parse(&args("--timeout -1")).is_err());
+        // Sanitizer expects hazard-free execution; injection contradicts it.
+        assert!(RunParams::parse(&args("--sanitize --faults gpusim.launch=err")).is_err());
+    }
+
+    #[test]
+    fn fixtures_selectable_only_by_explicit_name() {
+        let by_name = RunParams::parse(&args("--kernels Fixture_PANIC,Basic_DAXPY")).unwrap();
+        let names: Vec<&str> = by_name
+            .selected_kernels()
+            .iter()
+            .map(|k| k.info().name)
+            .collect();
+        assert_eq!(names, vec!["Basic_DAXPY", "Fixture_PANIC"]);
+        // Fixtures share the Basic group but must not join group selections.
+        let by_group = RunParams::parse(&args("--groups Basic")).unwrap();
+        assert!(by_group
+            .selected_kernels()
+            .iter()
+            .all(|k| !k.info().name.starts_with("Fixture_")));
+        // --exclude-kernels applies to fixtures too.
+        let excluded =
+            RunParams::parse(&args("--kernels Fixture_PANIC --exclude-kernels Fixture_PANIC"))
+                .unwrap();
+        assert!(excluded.selected_kernels().is_empty());
     }
 }

@@ -2,6 +2,7 @@
 //! validation — the "various text-based files" RAJAPerf generates (§II-A) —
 //! and the `--sanitize` hazard section.
 
+use crate::exec::{KernelOutcome, OutcomeRecord};
 use kernels::sanitize::SanitizeOutcome;
 use kernels::{RunResult, VariantId};
 use std::collections::BTreeMap;
@@ -58,6 +59,10 @@ pub struct SuiteReport {
     pub outputs: Vec<std::path::PathBuf>,
     /// Sanitizer results when the run was invoked with `--sanitize`.
     pub sanitize: Option<SanitizeSection>,
+    /// Per-kernel execution outcomes, one per selected kernel that supports
+    /// the variant — including the failed/timed-out ones that have no
+    /// [`TimingEntry`].
+    pub outcomes: Vec<OutcomeRecord>,
 }
 
 /// The `--sanitize` section of a suite report: one outcome per sanitized
@@ -170,6 +175,67 @@ impl SuiteReport {
     pub fn entry(&self, kernel: &str) -> Option<&TimingEntry> {
         self.entries.iter().find(|e| e.kernel == kernel)
     }
+
+    /// Look up a kernel's execution outcome.
+    pub fn outcome(&self, kernel: &str) -> Option<&KernelOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.kernel == kernel)
+            .map(|o| &o.outcome)
+    }
+
+    /// True when every executed kernel passed (retried passes count).
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.outcome.is_pass())
+    }
+
+    /// Kernels that failed or timed out.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.outcome.is_pass()).count()
+    }
+
+    /// Total retries absorbed across the run.
+    pub fn retries_total(&self) -> u32 {
+        self.outcomes
+            .iter()
+            .map(|o| match o.outcome {
+                KernelOutcome::Passed { retries } | KernelOutcome::Failed { retries, .. } => {
+                    retries
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Render the per-kernel outcome section (status + detail per kernel,
+    /// then a pass/fail summary line). The interesting report when faults
+    /// are armed — and after any partial failure.
+    pub fn render_outcomes(&self) -> String {
+        let mut out = String::from("Kernel outcomes\n");
+        for o in &self.outcomes {
+            let detail = o.outcome.detail();
+            out.push_str(&format!(
+                "{:<28} {:<12} {:<12}{}{}\n",
+                o.kernel,
+                o.variant.name(),
+                o.outcome.label(),
+                if detail.is_empty() { "" } else { "  " },
+                detail,
+            ));
+        }
+        let failed = self.failed_count();
+        out.push_str(&format!(
+            "{} kernel(s): {} passed, {} failed{}\n",
+            self.outcomes.len(),
+            self.outcomes.len() - failed,
+            failed,
+            match self.retries_total() {
+                0 => String::new(),
+                r => format!(", {r} transient failure(s) retried"),
+            }
+        ));
+        out
+    }
 }
 
 /// Outcome of comparing one variant's checksum against its kernel's
@@ -267,10 +333,57 @@ mod tests {
             profile: caliper::Profile::default(),
             outputs: vec![],
             sanitize: None,
+            outcomes: vec![],
         };
         assert_eq!(report.to_csv().lines().count(), 3);
         assert!(report.entry("A").is_some());
         assert!(report.entry("C").is_none());
+    }
+
+    #[test]
+    fn outcome_section_lists_failures_and_retries() {
+        let report = SuiteReport {
+            variant: VariantId::BaseSeq,
+            entries: vec![entry("A", 1.0)],
+            profile: caliper::Profile::default(),
+            outputs: vec![],
+            sanitize: None,
+            outcomes: vec![
+                OutcomeRecord {
+                    kernel: "A".into(),
+                    variant: VariantId::BaseSeq,
+                    outcome: KernelOutcome::Passed { retries: 2 },
+                },
+                OutcomeRecord {
+                    kernel: "B".into(),
+                    variant: VariantId::BaseSeq,
+                    outcome: KernelOutcome::Failed {
+                        message: "boom".into(),
+                        retries: 0,
+                    },
+                },
+                OutcomeRecord {
+                    kernel: "C".into(),
+                    variant: VariantId::BaseSeq,
+                    outcome: KernelOutcome::TimedOut {
+                        limit: std::time::Duration::from_secs(1),
+                    },
+                },
+            ],
+        };
+        assert!(!report.all_passed());
+        assert_eq!(report.failed_count(), 2);
+        assert_eq!(report.retries_total(), 2);
+        assert!(matches!(
+            report.outcome("C"),
+            Some(KernelOutcome::TimedOut { .. })
+        ));
+        let text = report.render_outcomes();
+        assert!(text.contains("RETRIED(2)"));
+        assert!(text.contains("boom"));
+        assert!(text.contains("TIMEOUT"));
+        assert!(text.contains("1 passed, 2 failed"));
+        assert!(text.contains("2 transient failure(s) retried"));
     }
 
     #[test]

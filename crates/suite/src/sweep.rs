@@ -10,10 +10,28 @@
 //!
 //! Cells are cached: each run writes a `cells/<cell>.json` record whose
 //! `key` captures exactly what was executed — (kernel, size, reps) for every
-//! selected kernel, the variant, and the block-size tuning. Re-running a
-//! sweep after an interruption (or with an unchanged configuration) reuses
-//! any cell whose key matches and whose profile file still exists, and
-//! re-executes the rest.
+//! selected kernel, the variant, the block-size tuning, and the fault spec
+//! (a cell computed under injection must never satisfy a fault-free sweep).
+//! Re-running a sweep after an interruption (or with an unchanged
+//! configuration) reuses any cell whose key matches and whose profile file
+//! still exists, and re-executes the rest.
+//!
+//! # Crash safety
+//!
+//! The sweep is built to survive a `kill -9` at any instant and resume:
+//!
+//! * Every file the sweep writes — profiles (via [`run_suite`]'s Caliper
+//!   outputs), cell cache records, and the manifest — goes through
+//!   [`caliper::write_atomic`] (temp + fsync + rename), so a mid-write kill
+//!   leaves either the old file or the new one, never a torn prefix.
+//! * Cached cells are *integrity-checked* on load: a cache record or
+//!   profile that exists but does not parse (e.g. written by a pre-atomic
+//!   legacy writer, or hit by an injected `io.write` tear) is moved to
+//!   `quarantine/` and the cell re-runs. Corruption is never trusted and
+//!   never fatal.
+//! * The manifest records only deterministic cell facts (no `cached` flags,
+//!   no wall times), so a killed-and-resumed sweep produces a manifest
+//!   byte-identical to an uninterrupted one.
 
 use crate::{run_suite, RunParams};
 use kernels::VariantId;
@@ -32,8 +50,13 @@ pub struct SweepCell {
     pub profile: PathBuf,
     /// True when the cell was reused from a previous sweep run.
     pub cached: bool,
-    /// Kernels that executed in this cell (selection ∩ variant support).
+    /// Kernels that executed and passed in this cell.
     pub kernels_run: usize,
+    /// Kernels that failed or timed out in this cell (fault tolerance:
+    /// failures are cell facts, not sweep aborts).
+    pub kernels_failed: usize,
+    /// Per-kernel `(name, outcome label)` of the failures, in run order.
+    pub failed_kernels: Vec<(String, String)>,
     /// Summed kernel wall time of the cell, seconds.
     pub total_time_s: f64,
 }
@@ -47,30 +70,54 @@ pub struct SweepSummary {
     pub manifest: PathBuf,
     /// Every cell of the cross-product, in (variant, block-size) order.
     pub cells: Vec<SweepCell>,
+    /// Corrupt cache/profile files found while loading cached cells, after
+    /// being moved into the sweep's `quarantine/` directory. Their cells
+    /// were re-run.
+    pub quarantined: Vec<PathBuf>,
 }
 
 impl SweepSummary {
+    /// Total kernel failures across all cells.
+    pub fn kernels_failed(&self) -> usize {
+        self.cells.iter().map(|c| c.kernels_failed).sum()
+    }
+
     /// Render the per-cell summary table.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "Sweep: {} cells ({} cached)\n{:<12} {:>10} {:>8} {:>12}  profile\n",
+            "Sweep: {} cells ({} cached{})\n{:<12} {:>10} {:>8} {:>8} {:>12}  profile\n",
             self.cells.len(),
             self.cells.iter().filter(|c| c.cached).count(),
+            match self.quarantined.len() {
+                0 => String::new(),
+                n => format!(", {n} corrupt file(s) quarantined"),
+            },
             "Variant",
             "BlockSize",
             "Kernels",
+            "Failed",
             "Time (s)"
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<12} {:>10} {:>8} {:>12.3}  {}{}\n",
+                "{:<12} {:>10} {:>8} {:>8} {:>12.3}  {}{}\n",
                 c.variant.name(),
                 c.gpu_block_size,
                 c.kernels_run,
+                c.kernels_failed,
                 c.total_time_s,
                 c.profile.display(),
                 if c.cached { "  (cached)" } else { "" }
             ));
+        }
+        for c in &self.cells {
+            for (kernel, label) in &c.failed_kernels {
+                out.push_str(&format!(
+                    "  {} block_{}: {kernel} {label}\n",
+                    c.variant.name(),
+                    c.gpu_block_size
+                ));
+            }
         }
         out
     }
@@ -98,23 +145,103 @@ fn cell_key(base: &RunParams, variant: VariantId, block_size: usize) -> Value {
         "variant": variant.name(),
         "gpu_block_size": block_size,
         "kernels": Value::Array(kernel_keys),
+        // A cell computed under fault injection answers a different
+        // question than a fault-free cell; never let one satisfy the other.
+        "faults": match &base.faults {
+            Some(s) => Value::String(s.clone()),
+            None => Value::Null,
+        },
     })
 }
 
-/// Reuse a finished cell when its cache record matches `key` and its
-/// profile file is still on disk. Returns `(kernels_run, total_time_s)`.
-fn load_cached_cell(cache: &Path, key: &Value, profile: &Path) -> Option<(usize, f64)> {
-    if !profile.exists() {
-        return None;
+/// What loading a cell's cache produced.
+enum CellLoad {
+    /// The record matches and the profile is intact: reuse.
+    Hit {
+        kernels_run: usize,
+        kernels_failed: usize,
+        failed_kernels: Vec<(String, String)>,
+        total_time_s: f64,
+    },
+    /// No usable cache (absent, or stale key): run the cell normally.
+    Miss,
+    /// Files exist but do not parse — torn by a kill or corrupted on disk.
+    /// They must be quarantined and the cell re-run.
+    Corrupt(Vec<PathBuf>),
+}
+
+/// Load a cell's cache record, integrity-checking both the record and the
+/// profile it vouches for.
+fn load_cached_cell(cache: &Path, key: &Value, profile: &Path) -> CellLoad {
+    let text = match std::fs::read_to_string(cache) {
+        Ok(t) => t,
+        Err(_) => return CellLoad::Miss,
+    };
+    // An unparseable record is corruption, not staleness: a legacy
+    // non-atomic writer (or an injected io.write tear) left a torn file.
+    let v: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(_) => return CellLoad::Corrupt(vec![cache.to_path_buf()]),
+    };
+    let parsed = (|| {
+        let obj = v.as_object()?;
+        if obj.get("key")? != key {
+            return None;
+        }
+        let kernels_run = usize::try_from(obj.get("kernels_run")?.as_i64()?).ok()?;
+        let kernels_failed = usize::try_from(obj.get("kernels_failed")?.as_i64()?).ok()?;
+        let failed_kernels = obj
+            .get("failed_kernels")?
+            .as_array()?
+            .iter()
+            .map(|f| {
+                Some((
+                    f.get("kernel")?.as_str()?.to_string(),
+                    f.get("status")?.as_str()?.to_string(),
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let total_time_s = obj.get("total_time_s")?.as_f64()?;
+        Some((kernels_run, kernels_failed, failed_kernels, total_time_s))
+    })();
+    let Some((kernels_run, kernels_failed, failed_kernels, total_time_s)) = parsed else {
+        return CellLoad::Miss;
+    };
+    // The record vouches for the profile; verify the profile is actually
+    // there and intact before trusting either.
+    match std::fs::read_to_string(profile) {
+        Err(_) => CellLoad::Miss,
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(_) => CellLoad::Hit {
+                kernels_run,
+                kernels_failed,
+                failed_kernels,
+                total_time_s,
+            },
+            // Torn profile: quarantine it *and* the record that vouched for
+            // it, so neither is ever consulted again.
+            Err(_) => CellLoad::Corrupt(vec![profile.to_path_buf(), cache.to_path_buf()]),
+        },
     }
-    let v: Value = serde_json::from_str(&std::fs::read_to_string(cache).ok()?).ok()?;
-    let obj = v.as_object()?;
-    if obj.get("key")? != key {
-        return None;
+}
+
+/// Move a corrupt file into `dir/quarantine/`, uniquifying the name if a
+/// previous quarantine already holds one. Returns the quarantined path.
+fn quarantine(dir: &Path, file: &Path) -> io::Result<PathBuf> {
+    let qdir = dir.join("quarantine");
+    std::fs::create_dir_all(&qdir)?;
+    let name = file
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "corrupt".to_string());
+    let mut dest = qdir.join(&name);
+    let mut i = 1;
+    while dest.exists() {
+        dest = qdir.join(format!("{name}.{i}"));
+        i += 1;
     }
-    let kernels_run = usize::try_from(obj.get("kernels_run")?.as_i64()?).ok()?;
-    let total_time_s = obj.get("total_time_s")?.as_f64()?;
-    Some((kernels_run, total_time_s))
+    std::fs::rename(file, &dest)?;
+    Ok(dest)
 }
 
 fn json_io(e: serde_json::Error) -> io::Error {
@@ -144,6 +271,7 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
     };
 
     let mut cells = Vec::new();
+    let mut quarantined = Vec::new();
     for &variant in &VariantId::all() {
         for &bs in &block_sizes {
             let cell_name = format!("{}.block_{bs}", variant.name());
@@ -151,16 +279,31 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
             let cache = cells_dir.join(format!("{cell_name}.json"));
             let key = cell_key(base, variant, bs);
 
-            if let Some((kernels_run, total_time_s)) = load_cached_cell(&cache, &key, &profile) {
-                cells.push(SweepCell {
-                    variant,
-                    gpu_block_size: bs,
-                    profile,
-                    cached: true,
+            match load_cached_cell(&cache, &key, &profile) {
+                CellLoad::Hit {
                     kernels_run,
+                    kernels_failed,
+                    failed_kernels,
                     total_time_s,
-                });
-                continue;
+                } => {
+                    cells.push(SweepCell {
+                        variant,
+                        gpu_block_size: bs,
+                        profile,
+                        cached: true,
+                        kernels_run,
+                        kernels_failed,
+                        failed_kernels,
+                        total_time_s,
+                    });
+                    continue;
+                }
+                CellLoad::Corrupt(files) => {
+                    for f in files {
+                        quarantined.push(quarantine(&dir, &f)?);
+                    }
+                }
+                CellLoad::Miss => {}
             }
 
             let mut p = base.clone();
@@ -174,6 +317,12 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
                 .iter()
                 .map(|e| e.result.time.as_secs_f64())
                 .sum();
+            let failed_kernels: Vec<(String, String)> = report
+                .outcomes
+                .iter()
+                .filter(|o| !o.outcome.is_pass())
+                .map(|o| (o.kernel.clone(), o.outcome.label()))
+                .collect();
             let entries: Vec<Value> = report
                 .entries
                 .iter()
@@ -191,21 +340,36 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
                 "key": key,
                 "profile": profile.display().to_string(),
                 "kernels_run": report.entries.len(),
+                "kernels_failed": failed_kernels.len(),
+                "failed_kernels": Value::Array(
+                    failed_kernels
+                        .iter()
+                        .map(|(k, s)| json!({"kernel": k, "status": s}))
+                        .collect()
+                ),
                 "total_time_s": total_time_s,
                 "entries": Value::Array(entries),
             });
-            std::fs::write(&cache, serde_json::to_string_pretty(&record).map_err(json_io)?)?;
+            caliper::write_atomic(
+                &cache,
+                serde_json::to_string_pretty(&record).map_err(json_io)?.as_bytes(),
+            )?;
             cells.push(SweepCell {
                 variant,
                 gpu_block_size: bs,
                 profile,
                 cached: false,
                 kernels_run: report.entries.len(),
+                kernels_failed: failed_kernels.len(),
+                failed_kernels,
                 total_time_s,
             });
         }
     }
 
+    // The manifest indexes deterministic cell facts only — no cached flags,
+    // no wall times — so resuming an interrupted sweep reproduces the
+    // uninterrupted manifest byte for byte.
     let manifest = dir.join("manifest.json");
     let manifest_value = json!({
         "suite": "RAJAPerf-rs",
@@ -218,22 +382,30 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
                         "variant": c.variant.name(),
                         "gpu_block_size": c.gpu_block_size,
                         "profile": c.profile.display().to_string(),
-                        "cached": c.cached,
                         "kernels_run": c.kernels_run,
-                        "total_time_s": c.total_time_s,
+                        "kernels_failed": c.kernels_failed,
+                        "failed_kernels": Value::Array(
+                            c.failed_kernels
+                                .iter()
+                                .map(|(k, s)| json!({"kernel": k, "status": s}))
+                                .collect()
+                        ),
                     })
                 })
                 .collect()
         ),
     });
-    std::fs::write(
+    caliper::write_atomic(
         &manifest,
-        serde_json::to_string_pretty(&manifest_value).map_err(json_io)?,
+        serde_json::to_string_pretty(&manifest_value)
+            .map_err(json_io)?
+            .as_bytes(),
     )?;
 
     Ok(SweepSummary {
         dir,
         manifest,
         cells,
+        quarantined,
     })
 }

@@ -1,0 +1,364 @@
+//! Fault-tolerance integration tests: per-kernel isolation, deterministic
+//! retry under injected transient failures, exit codes, and crash-safe
+//! `--sweep` resume after a `kill -9`.
+//!
+//! Tests that arm simfault in-process (directly or via `run_suite` with a
+//! fault spec) serialize on [`GATE`] — simfault's armed state is global.
+//! End-to-end tests drive the built `rajaperf` binary in child processes
+//! and need no gate.
+
+use std::path::Path;
+use std::process::Command;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use suite::{run_suite, KernelOutcome, RunParams, Selection};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn base_params(kernels: &[&str]) -> RunParams {
+    RunParams {
+        selection: Selection::Kernels(kernels.iter().map(|s| s.to_string()).collect()),
+        explicit_size: Some(1000),
+        explicit_reps: Some(2),
+        ..RunParams::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process: isolation and retry determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panicking_fixture_is_isolated_and_rest_of_selection_completes() {
+    let _g = gate();
+    let params = base_params(&["Basic_DAXPY", "Fixture_PANIC"]);
+    let report = run_suite(&params);
+
+    // The panic was contained: the healthy kernel still produced a timing
+    // entry, the crashed one produced an outcome but no entry.
+    assert_eq!(report.entries.len(), 1);
+    assert_eq!(report.entries[0].kernel, "Basic_DAXPY");
+    assert_eq!(report.outcomes.len(), 2);
+    assert!(report.outcome("Basic_DAXPY").unwrap().is_pass());
+    match report.outcome("Fixture_PANIC").unwrap() {
+        KernelOutcome::Failed { message, retries } => {
+            assert!(
+                message.contains("Fixture_PANIC crashed deliberately"),
+                "unexpected failure message: {message}"
+            );
+            // A genuine (non-simfault) panic must never be retried.
+            assert_eq!(*retries, 0);
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert!(!report.all_passed());
+    assert_eq!(report.failed_count(), 1);
+}
+
+#[test]
+fn flaky_fixture_retries_until_success_deterministically() {
+    let _g = gate();
+    let mut params = base_params(&["Fixture_FLAKY"]);
+    params.faults = Some("fixture.flaky=err:0.6,seed=5".to_string());
+    params.max_retries = 16;
+    params.retry_backoff = Duration::from_millis(1);
+
+    let run = || {
+        let report = run_suite(&params);
+        match report.outcome("Fixture_FLAKY").unwrap() {
+            KernelOutcome::Passed { retries } => (*retries, report.entries.len()),
+            other => panic!("expected eventual pass, got {other:?}"),
+        }
+    };
+    let (retries_a, entries_a) = run();
+    let (retries_b, entries_b) = run();
+
+    // install_spec resets the draw counters, so the same seeded spec replays
+    // the identical failure/success sequence on every run.
+    assert_eq!(retries_a, retries_b, "retry count must be deterministic");
+    assert_eq!((entries_a, entries_b), (1, 1));
+    assert!(retries_a > 0, "rate 0.6 at seed 5 should fail at least once");
+}
+
+#[test]
+fn retry_budget_exhaustion_reports_transient_failure() {
+    let _g = gate();
+    let mut params = base_params(&["Fixture_FLAKY"]);
+    // Rate 1.0: every attempt fails; the budget must run out.
+    params.faults = Some("fixture.flaky=err:1.0,seed=1".to_string());
+    params.max_retries = 2;
+    params.retry_backoff = Duration::from_millis(1);
+    let report = run_suite(&params);
+    match report.outcome("Fixture_FLAKY").unwrap() {
+        KernelOutcome::Failed { message, retries } => {
+            assert_eq!(*retries, 2);
+            assert!(message.starts_with("simfault:"), "{message}");
+        }
+        other => panic!("expected Failed after budget exhaustion, got {other:?}"),
+    }
+    assert!(report.entries.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the rajaperf binary
+// ---------------------------------------------------------------------------
+
+fn rajaperf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rajaperf"))
+}
+
+fn outcome_section(stdout: &str) -> &str {
+    let start = stdout
+        .find("Kernel outcomes")
+        .expect("stdout should contain an outcome section");
+    &stdout[start..]
+}
+
+#[test]
+fn e2e_injected_panic_fails_one_kernel_and_exits_partial_failure() {
+    let out = rajaperf()
+        .args([
+            "--kernels",
+            "Stream_TRIAD,Basic_DAXPY",
+            "--variant",
+            "Base_SimGpu",
+            "--size",
+            "1000",
+            "--reps",
+            "2",
+            "--faults",
+            "gpusim.launch@Stream_TRIAD=panic:1.0,seed=1",
+        ])
+        .output()
+        .expect("spawn rajaperf");
+    assert_eq!(out.status.code(), Some(5), "kernel failures must exit 5");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let section = outcome_section(&stdout);
+    assert!(section.contains("Stream_TRIAD"));
+    assert!(section.contains("FAILED"));
+    assert!(section.contains("1 failed"), "section: {section}");
+    // The healthy kernel still ran to completion.
+    assert!(section.contains("1 passed"), "section: {section}");
+}
+
+#[test]
+fn e2e_same_seed_reproduces_identical_outcome_set() {
+    let run = || {
+        let out = rajaperf()
+            .args([
+                "--groups",
+                "Stream",
+                "--variant",
+                "Base_SimGpu",
+                "--size",
+                "1000",
+                "--reps",
+                "2",
+                "--faults",
+                "gpusim.launch=panic:0.1,seed=7",
+            ])
+            .output()
+            .expect("spawn rajaperf");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        outcome_section(&a),
+        outcome_section(&b),
+        "same seed must reproduce the identical outcome set"
+    );
+}
+
+#[test]
+fn e2e_simfault_env_is_picked_up_and_validated() {
+    let out = rajaperf()
+        .args([
+            "--kernels",
+            "Basic_DAXPY",
+            "--variant",
+            "Base_SimGpu",
+            "--size",
+            "1000",
+            "--reps",
+            "2",
+        ])
+        .env("SIMFAULT", "gpusim.launch=panic:1.0,seed=1")
+        .output()
+        .expect("spawn rajaperf");
+    assert_eq!(out.status.code(), Some(5));
+
+    let bad = rajaperf()
+        .args(["--kernels", "Basic_DAXPY"])
+        .env("SIMFAULT", "no.such.point=panic")
+        .output()
+        .expect("spawn rajaperf");
+    assert_eq!(bad.status.code(), Some(2), "unknown failpoint is a usage error");
+}
+
+#[test]
+fn e2e_usage_error_exits_2() {
+    let out = rajaperf().args(["--no-such-flag"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: crash-safe sweep resume
+// ---------------------------------------------------------------------------
+
+fn sweep_args() -> Vec<&'static str> {
+    vec![
+        "--sweep",
+        "--sweep-dir",
+        "sweep",
+        "--kernels",
+        "Basic_DAXPY",
+        "--size",
+        "1000",
+        "--reps",
+        "2",
+        // Slow every kernel execution down deterministically so the kill
+        // reliably lands mid-sweep; stalls never fail anything.
+        "--faults",
+        "suite.kernel=stall(80),seed=1",
+    ]
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rajaperf-fault-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn e2e_killed_sweep_resumes_to_identical_manifest() {
+    let interrupted = temp_dir("kill");
+    let fresh = temp_dir("fresh");
+
+    // Start a sweep and kill -9 it mid-run.
+    let mut child = rajaperf()
+        .args(sweep_args())
+        .current_dir(&interrupted)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn sweep");
+    std::thread::sleep(Duration::from_millis(200));
+    child.kill().expect("kill -9 the sweep");
+    let _ = child.wait();
+
+    // Resume: must complete, reusing whatever intact cells survived.
+    let resumed = rajaperf()
+        .args(sweep_args())
+        .current_dir(&interrupted)
+        .output()
+        .expect("resume sweep");
+    assert!(resumed.status.success(), "resumed sweep must succeed");
+
+    // Reference: the same sweep, uninterrupted, from a sibling directory.
+    // Relative --sweep-dir keeps every path in the manifest relative, so the
+    // two manifests are byte-comparable.
+    let reference = rajaperf()
+        .args(sweep_args())
+        .current_dir(&fresh)
+        .output()
+        .expect("uninterrupted sweep");
+    assert!(reference.status.success());
+
+    let a = std::fs::read(interrupted.join("sweep/manifest.json")).unwrap();
+    let b = std::fs::read(fresh.join("sweep/manifest.json")).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&a),
+        String::from_utf8_lossy(&b),
+        "resumed manifest must be byte-identical to an uninterrupted run"
+    );
+
+    // No torn temp files may survive anywhere in the sweep tree.
+    assert!(!tree_has_tmp(&interrupted.join("sweep")));
+
+    let _ = std::fs::remove_dir_all(&interrupted);
+    let _ = std::fs::remove_dir_all(&fresh);
+}
+
+fn tree_has_tmp(dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if tree_has_tmp(&p) {
+                return true;
+            }
+        } else if p.file_name().is_some_and(|n| n.to_string_lossy().contains(".tmp.")) {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn e2e_corrupt_sweep_cell_is_quarantined_and_rerun() {
+    let dir = temp_dir("quarantine");
+    let args: Vec<&str> = vec![
+        "--sweep",
+        "--sweep-dir",
+        "sweep",
+        "--kernels",
+        "Basic_DAXPY",
+        "--size",
+        "1000",
+        "--reps",
+        "2",
+    ];
+
+    let first = rajaperf().args(&args).current_dir(&dir).output().unwrap();
+    assert!(first.status.success());
+    let manifest_before = std::fs::read_to_string(dir.join("sweep/manifest.json")).unwrap();
+
+    // Tear one cell record and one *other* cell's profile, as a mid-write
+    // kill of a non-atomic writer would have.
+    let cells = dir.join("sweep/cells");
+    let torn_cell = cells.join("Base_Seq.block_256.json");
+    let full = std::fs::read_to_string(&torn_cell).unwrap();
+    std::fs::write(&torn_cell, &full[..full.len() / 3]).unwrap();
+    let torn_profile = dir.join("sweep/profiles/Base_Par.block_256.cali.json");
+    let full_profile = std::fs::read_to_string(&torn_profile).unwrap();
+    std::fs::write(&torn_profile, &full_profile[..full_profile.len() / 2]).unwrap();
+
+    let second = rajaperf().args(&args).current_dir(&dir).output().unwrap();
+    assert!(second.status.success());
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(
+        stdout.contains("quarantined"),
+        "summary must report quarantined files: {stdout}"
+    );
+
+    // Corrupt files were moved aside (cell record + profile + the record
+    // that vouched for the torn profile), the cells re-ran, and the
+    // manifest is whole again.
+    let quarantine = dir.join("sweep/quarantine");
+    let quarantined: Vec<_> = std::fs::read_dir(&quarantine)
+        .expect("quarantine directory must exist")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(quarantined.iter().any(|n| n == "Base_Seq.block_256.json"));
+    assert!(quarantined.iter().any(|n| n == "Base_Par.block_256.cali.json"));
+    let manifest_after = std::fs::read_to_string(dir.join("sweep/manifest.json")).unwrap();
+    assert_eq!(manifest_before, manifest_after);
+    // The re-run cells rewrote intact files.
+    let reparsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&torn_cell).unwrap()).unwrap();
+    assert!(reparsed.get("key").is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -154,10 +154,39 @@ impl ProfileData {
     }
 
     /// Read a caliper-JSON profile file.
+    ///
+    /// A truncated, torn, or non-JSON file returns a descriptive
+    /// `InvalidData` error naming the file and the byte offset where
+    /// parsing failed (the parser embeds `at byte N` in its messages) —
+    /// never a panic. Campaign ingestion ([`Thicket::from_files`]) relies
+    /// on this to skip corrupt cells instead of dying on them.
     pub fn read_file(path: &std::path::Path) -> std::io::Result<ProfileData> {
-        let text = std::fs::read_to_string(path)?;
-        Self::from_caliper_json(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        Self::from_caliper_json(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: malformed profile: {e}", path.display()),
+            )
+        })
+    }
+}
+
+/// What [`Thicket::from_files`] skipped: one `(path, reason)` pair per
+/// unreadable or malformed profile, so campaign tooling can report — and
+/// re-run — exactly the cells that were lost.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Files ingested successfully.
+    pub ingested: usize,
+    /// Files skipped, with the error that disqualified each.
+    pub skipped: Vec<(std::path::PathBuf, String)>,
+}
+
+impl IngestStats {
+    /// Number of files skipped (the warning count).
+    pub fn warnings(&self) -> usize {
+        self.skipped.len()
     }
 }
 
@@ -178,6 +207,28 @@ impl Thicket {
             t.ingest_indexed(&mut index, p);
         }
         t
+    }
+
+    /// Ingest profile files, skipping (not dying on) any that are
+    /// unreadable or malformed — the fault-tolerant entry point for
+    /// campaign-scale analysis, where a sweep directory may contain
+    /// quarantined or torn cells. Returns the thicket built from the intact
+    /// files plus an [`IngestStats`] listing every skipped file and why.
+    pub fn from_files<P: AsRef<std::path::Path>>(paths: &[P]) -> (Thicket, IngestStats) {
+        let mut t = Thicket::default();
+        let mut index = t.build_path_index();
+        let mut stats = IngestStats::default();
+        for p in paths {
+            let p = p.as_ref();
+            match ProfileData::read_file(p) {
+                Ok(data) => {
+                    t.ingest_indexed(&mut index, &data);
+                    stats.ingested += 1;
+                }
+                Err(e) => stats.skipped.push((p.to_path_buf(), e.to_string())),
+            }
+        }
+        (t, stats)
     }
 
     /// Add one profile to this thicket.

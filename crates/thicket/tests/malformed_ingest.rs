@@ -1,0 +1,76 @@
+//! Fault-tolerant profile ingestion: truncated / non-JSON `.cali.json`
+//! files produce descriptive errors (file path + byte offset) and are
+//! skipped — not fatal — when ingesting a whole campaign directory.
+
+use thicket::{ProfileData, Thicket};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("thicket_ingest_{}_{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+const GOOD: &str = r#"{
+  "globals": {"variant": "Base_Seq"},
+  "records": [{"path": ["main", "Stream_TRIAD"], "metrics": {"avg#time.duration": 1.5}}]
+}"#;
+
+#[test]
+fn truncated_profile_errors_with_path_and_byte_offset() {
+    let dir = tmpdir("trunc");
+    let path = dir.join("torn.cali.json");
+    // A torn write: a strict prefix of a valid profile.
+    std::fs::write(&path, &GOOD.as_bytes()[..GOOD.len() / 2]).unwrap();
+    let err = ProfileData::read_file(&path).expect_err("truncated JSON must not parse");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("torn.cali.json"), "no file path in: {msg}");
+    assert!(msg.contains("at byte"), "no byte offset in: {msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_json_profile_errors_instead_of_panicking() {
+    let dir = tmpdir("nonjson");
+    let path = dir.join("garbage.cali.json");
+    std::fs::write(&path, b"\x00\x01\xffnot json at all").unwrap();
+    let err = ProfileData::read_file(&path).expect_err("garbage must not parse");
+    let msg = err.to_string();
+    assert!(msg.contains("garbage.cali.json"), "no file path in: {msg}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_file_error_names_the_file() {
+    let err = ProfileData::read_file(std::path::Path::new("/nonexistent/run.cali.json"))
+        .expect_err("missing file");
+    assert!(err.to_string().contains("/nonexistent/run.cali.json"));
+}
+
+#[test]
+fn from_files_skips_corrupt_profiles_with_warnings() {
+    let dir = tmpdir("fromfiles");
+    let good_a = dir.join("a.cali.json");
+    let torn = dir.join("torn.cali.json");
+    let good_b = dir.join("b.cali.json");
+    std::fs::write(&good_a, GOOD).unwrap();
+    std::fs::write(&torn, &GOOD.as_bytes()[..20]).unwrap();
+    std::fs::write(&good_b, GOOD.replace("Base_Seq", "RAJA_Seq")).unwrap();
+
+    let (t, stats) = Thicket::from_files(&[&good_a, &torn, &good_b]);
+    assert_eq!(stats.ingested, 2);
+    assert_eq!(stats.warnings(), 1);
+    assert_eq!(stats.skipped[0].0, torn);
+    assert!(stats.skipped[0].1.contains("torn.cali.json"));
+    assert_eq!(t.profiles.len(), 2, "both intact profiles ingested");
+    let variants: Vec<_> = t
+        .profiles
+        .iter()
+        .filter_map(|p| t.metadata.get(p))
+        .filter_map(|m| m.get("variant"))
+        .filter_map(|v| v.as_str().map(String::from))
+        .collect();
+    assert_eq!(variants, vec!["Base_Seq", "RAJA_Seq"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

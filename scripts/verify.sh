@@ -73,4 +73,47 @@ assert complete >= 1, "no complete begin/end event in trace"
 print(f"trace: {len(events)} events, {complete} complete region begin/ends")
 EOF
 
+echo "== cli: fault injection isolates the failing kernel (exit 5) =="
+set +e
+FAULT_OUT=$("$RAJAPERF" --kernels Stream_TRIAD,Basic_DAXPY --variant Base_SimGpu \
+    --size 100000 --reps 2 --faults 'gpusim.launch@Stream_TRIAD=panic:1.0,seed=1' 2>/dev/null)
+FAULT_CODE=$?
+set -e
+if [[ "$FAULT_CODE" -ne 5 ]]; then
+    echo "verify: FAIL — expected exit code 5 (kernel failures), got $FAULT_CODE" >&2
+    exit 1
+fi
+echo "$FAULT_OUT" | grep -q "Stream_TRIAD.*FAILED" \
+    || { echo "verify: FAIL — Stream_TRIAD not reported FAILED" >&2; exit 1; }
+echo "$FAULT_OUT" | grep -q "1 passed, 1 failed" \
+    || { echo "verify: FAIL — healthy kernel did not survive the injected panic" >&2; exit 1; }
+echo "faults: injected panic isolated, exit code 5"
+
+echo "== cli: same-seed fault runs reproduce identical outcomes =="
+set +e
+RUN_A=$("$RAJAPERF" --variant Base_SimGpu --size 20000 --reps 1 \
+    --faults 'gpusim.launch=panic:0.1,seed=7' 2>/dev/null | awk '/Kernel outcomes/,0')
+RUN_B=$("$RAJAPERF" --variant Base_SimGpu --size 20000 --reps 1 \
+    --faults 'gpusim.launch=panic:0.1,seed=7' 2>/dev/null | awk '/Kernel outcomes/,0')
+set -e
+if [[ -z "$RUN_A" || "$RUN_A" != "$RUN_B" ]]; then
+    echo "verify: FAIL — seeded fault runs diverged" >&2
+    exit 1
+fi
+echo "faults: seed=7 outcome set reproduced exactly"
+
+echo "== cli: analyzer skips truncated profiles with a warning =="
+ANALYZE=target/release/rajaperf-analyze
+GOOD_PROFILE=$(ls "$SWEEP_DIR"/profiles/*.cali.json | head -1)
+INGEST_DIR="$SWEEP_DIR/ingest-smoke"
+mkdir -p "$INGEST_DIR"
+cp "$GOOD_PROFILE" "$INGEST_DIR/good.cali.json"
+head -c 40 "$GOOD_PROFILE" > "$INGEST_DIR/torn.cali.json"
+ANALYZE_ERR=$("$ANALYZE" "$INGEST_DIR" 2>&1 >/dev/null)
+echo "$ANALYZE_ERR" | grep -q "torn.cali.json" \
+    || { echo "verify: FAIL — truncated profile not reported by analyzer" >&2; exit 1; }
+echo "$ANALYZE_ERR" | grep -q "1 of 2 profile(s) skipped" \
+    || { echo "verify: FAIL — analyzer skip count wrong: $ANALYZE_ERR" >&2; exit 1; }
+echo "analyze: truncated profile skipped with warning, composition continued"
+
 echo "verify: OK"
