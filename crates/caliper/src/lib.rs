@@ -36,13 +36,13 @@
 
 pub mod trace;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use simsched::sync::atomic::{AtomicBool, Ordering};
+use simsched::sync::Mutex;
+use simsched::time::Instant;
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
 
 /// Synthetic root node that receives metrics recorded while no region is
 /// open. Caliper attaches such values to the channel root rather than
@@ -335,7 +335,7 @@ impl Session {
         if self.events.load(Ordering::Relaxed) {
             trace::end_event(name);
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let node = inner.nodes.entry(path).or_default();
         node.visits += 1;
         match &mut node.time {
@@ -411,7 +411,7 @@ impl Session {
             trace::counter_event(name, value);
         }
         let path = self.metric_path();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let node = inner.nodes.entry(path).or_default();
         node.metrics.insert(name.to_string(), MetricAgg::new(value));
     }
@@ -423,7 +423,7 @@ impl Session {
             trace::counter_event(name, value);
         }
         let path = self.metric_path();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let node = inner.nodes.entry(path).or_default();
         match node.metrics.get_mut(name) {
             Some(agg) => agg.record(value),
@@ -438,6 +438,7 @@ impl Session {
     pub fn set_global(&self, name: &str, value: impl Into<serde_json::Value>) {
         self.inner
             .lock()
+            .unwrap()
             .globals
             .insert(name.to_string(), value.into());
     }
@@ -469,7 +470,7 @@ impl Session {
     /// Build the current [`Profile`]: Adiak snapshot + session globals +
     /// aggregated records.
     pub fn profile(&self) -> Profile {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let mut globals: BTreeMap<String, serde_json::Value> = adiak::snapshot()
             .0
             .into_iter()
@@ -532,7 +533,7 @@ impl Session {
 
     /// Discard all aggregated data (globals and nodes).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.nodes.clear();
         inner.globals.clear();
     }
@@ -628,6 +629,32 @@ pub fn region(name: &str) -> Region<'static> {
 /// Set a metric on the default session's current region.
 pub fn set_metric(name: &str, value: f64) {
     global().set_metric(name, value);
+}
+
+/// Slash-joined path of every region open on the calling thread — across
+/// all sessions, in the order they were opened — or `None` outside any
+/// region. This is the attribution hook diagnostic layers use to tie a
+/// low-level event to the kernel/variant the suite was measuring at the
+/// time: the lock-order analyzer installs it as `simsched`'s context
+/// provider so a reported deadlock cycle names the Caliper region (e.g.
+/// `RAJAPerf/Stream/Stream_TRIAD`) each edge was recorded under. It spans
+/// sessions deliberately — the suite measures through a private session,
+/// and "what was this thread inside" is the question being answered.
+pub fn current_region_path() -> Option<String> {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(
+                stack
+                    .iter()
+                    .map(|f| f.1.as_str())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            )
+        }
+    })
 }
 
 /// One parsed output target from a [`ConfigManager`] spec.

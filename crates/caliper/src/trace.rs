@@ -32,10 +32,10 @@
 //!
 //! [`default capacity`]: DEFAULT_LANE_CAPACITY
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use simsched::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use simsched::sync::Mutex;
+use simsched::time::Instant;
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
 
 /// Default per-lane ring capacity, in events.
 pub const DEFAULT_LANE_CAPACITY: usize = 1 << 20;
@@ -177,8 +177,8 @@ pub fn disable() {
 /// their lane ids for the process lifetime).
 pub fn clear() {
     let c = collector();
-    for lane in c.lanes.lock().iter() {
-        let mut ring = lane.ring.lock();
+    for lane in c.lanes.lock().unwrap().iter() {
+        let mut ring = lane.ring.lock().unwrap();
         ring.buf.clear();
         ring.head = 0;
         ring.dropped = 0;
@@ -210,7 +210,7 @@ fn lane_for_current_thread(c: &'static Collector) -> Arc<Lane> {
                     dropped: 0,
                 }),
             });
-            c.lanes.lock().push(Arc::clone(&lane));
+            c.lanes.lock().unwrap().push(Arc::clone(&lane));
             lane
         }))
     })
@@ -224,7 +224,7 @@ pub fn record(name: &str, kind: EventKind) {
     let ts_us = c.epoch.elapsed().as_secs_f64() * 1e6;
     let lane = lane_for_current_thread(c);
     let capacity = c.capacity.load(Ordering::Relaxed);
-    lane.ring.lock().push(
+    lane.ring.lock().unwrap().push(
         TraceEvent {
             name: name.to_string(),
             kind,
@@ -272,9 +272,10 @@ pub fn snapshot() -> Vec<LaneSnapshot> {
     let mut out: Vec<LaneSnapshot> = c
         .lanes
         .lock()
+        .unwrap()
         .iter()
         .map(|lane| {
-            let ring = lane.ring.lock();
+            let ring = lane.ring.lock().unwrap();
             LaneSnapshot {
                 id: lane.id,
                 label: lane.label.clone(),
@@ -446,8 +447,8 @@ mod tests {
 
     // Trace state is process-global; tests in this module serialize on one
     // lock so enable/clear calls do not interleave.
-    fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    fn lock() -> simsched::sync::MutexGuard<'static, ()> {
+        static LOCK: simsched::sync::Mutex<()> = simsched::sync::Mutex::new(());
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 

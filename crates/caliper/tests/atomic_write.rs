@@ -3,9 +3,9 @@
 //! is process-global, so the failpoint test serializes behind a gate.
 
 use caliper::{write_atomic, Profile};
-use std::sync::Mutex;
+use simsched::sync::Mutex;
 
-fn gate() -> std::sync::MutexGuard<'static, ()> {
+fn gate() -> simsched::sync::MutexGuard<'static, ()> {
     static GATE: Mutex<()> = Mutex::new(());
     GATE.lock().unwrap_or_else(|e| e.into_inner())
 }

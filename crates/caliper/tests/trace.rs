@@ -8,7 +8,7 @@
 //! letters, event order — is pinned exactly.
 
 use caliper::trace;
-use std::sync::Mutex;
+use simsched::sync::Mutex;
 
 /// The trace collector is process-global; tests in this binary serialize on
 /// one lock so enable/clear calls do not interleave.

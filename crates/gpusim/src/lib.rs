@@ -722,6 +722,9 @@ impl<T> DevicePtr<T> {
             i
         };
         debug_assert!(i < self.len, "DevicePtr read out of bounds: {i} >= {}", self.len);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { *self.ptr.add(i) }
     }
 
@@ -741,6 +744,9 @@ impl<T> DevicePtr<T> {
             i
         };
         debug_assert!(i < self.len, "DevicePtr write out of bounds: {i} >= {}", self.len);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { *self.ptr.add(i) = v };
     }
 
@@ -758,6 +764,9 @@ impl<T> DevicePtr<T> {
             i
         };
         debug_assert!(i < self.len, "DevicePtr at_mut out of bounds: {i} >= {}", self.len);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { &mut *self.ptr.add(i) }
     }
 }
@@ -782,6 +791,9 @@ mod tests {
         let n = 1003;
         let mut hits = vec![0u8; n];
         let p = DevicePtr::new(&mut hits);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         launch_1d(n, 128, |i| unsafe { p.write(i, p.read(i) + 1) });
         assert!(hits.iter().all(|&h| h == 1));
     }
@@ -837,6 +849,9 @@ mod tests {
             force_generic_launch(generic);
             let mut out = vec![0.0f64; n];
             let p = DevicePtr::new(&mut out);
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             launch_1d(n, 128, |i| unsafe { p.write(i, (i as f64).sin()) });
             force_generic_launch(false);
             out
@@ -863,6 +878,9 @@ mod tests {
             });
             block.threads(|t, shared| {
                 if t.flat_thread() == 0 {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from, and each parallel iterate writes a distinct element, so writes
+                    // never alias.
                     unsafe { out_ptr.write(0, shared[0]) };
                 }
             });
@@ -879,6 +897,9 @@ mod tests {
         launch(&cfg, |block| {
             block.threads(|t, _| {
                 let (gx, gy) = (t.global_id_x(), t.global_id_y());
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { p.write(gy * 8 + gx, 1) };
             });
         });
@@ -908,6 +929,9 @@ mod tests {
             });
             // 8 threads incremented a zero-initialized private slot.
             assert_eq!(block.shared()[0], 8.0);
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             unsafe { p.write(bx, block.shared()[0]) };
         });
         assert!(firsts.iter().all(|&f| f == 8.0));

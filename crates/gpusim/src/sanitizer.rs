@@ -665,6 +665,9 @@ mod tests {
         let n = 300;
         let mut out = vec![0.0f64; n];
         let p = DevicePtr::new(&mut out);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         launch_1d(n, 64, |i| unsafe { p.write(i, 1.0) });
         let report = scope.finish();
         assert!(report.is_clean(), "{report}");
@@ -678,6 +681,9 @@ mod tests {
         let mut out = vec![0.0f64; 4];
         let p = DevicePtr::new(&mut out);
         // Every thread of the (single) block writes cell 0 in one phase.
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         launch_1d(64, 64, |_| unsafe { p.write(0, 1.0) });
         let report = scope.finish();
         let races = report.of_kind(HazardKind::WriteWriteRace);
@@ -731,6 +737,9 @@ mod tests {
         let mut buf = vec![7.0f64; 8];
         let p = DevicePtr::new(&mut buf);
         // Touch index 12 of an 8-element buffer from device code.
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         launch_1d(1, 32, |_| unsafe {
             let v = p.read(12);
             p.write(12, v + 1.0);
@@ -749,6 +758,9 @@ mod tests {
         let scope = SanitizerScope::begin("test/uninit");
         let mut buf = vec![0.0f64; 4];
         let p = DevicePtr::new_uninit(&mut buf);
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         launch_1d(1, 32, |_| unsafe {
             let _ = p.read(1); // before any write: flagged
             p.write(1, 5.0);
@@ -784,6 +796,9 @@ mod tests {
         let p = DevicePtr::new(&mut out);
         {
             let _r = region("raja::forall<SimGpu>");
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             launch_1d(32, 32, |_| unsafe { p.write(0, 2.0) });
         }
         let report = scope.finish();
@@ -803,6 +818,9 @@ mod tests {
         let mut buf = vec![0.0f64; 4];
         let p = DevicePtr::new_uninit(&mut buf);
         // No scope: uninit reads are not tracked, nothing panics.
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         launch_1d(4, 32, |i| unsafe {
             let v = p.read(i);
             p.write(i, v + 1.0);

@@ -3,9 +3,9 @@
 //! before releasing it.
 
 use gpusim::DevicePtr;
-use std::sync::Mutex;
+use simsched::sync::Mutex;
 
-fn gate() -> std::sync::MutexGuard<'static, ()> {
+fn gate() -> simsched::sync::MutexGuard<'static, ()> {
     static GATE: Mutex<()> = Mutex::new(());
     GATE.lock().unwrap_or_else(|e| e.into_inner())
 }
@@ -27,6 +27,9 @@ fn launch_panic_injection_unwinds_with_simfault_prefix() {
     let err = std::panic::catch_unwind(|| {
         let mut out = vec![0.0f64; 64];
         let d = DevicePtr::new(&mut out);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         gpusim::launch_1d(64, 32, |i| unsafe { d.write(i, i as f64) });
     })
     .expect_err("armed panic failpoint must unwind the launch");
@@ -94,6 +97,9 @@ fn disarmed_device_behaves_normally() {
     simfault::disarm();
     let mut out = vec![0.0f64; 128];
     let d = DevicePtr::new(&mut out);
+    // SAFETY: the index is in bounds of the allocation the pointer was built
+    // from, and each parallel iterate writes a distinct element, so writes
+    // never alias.
     gpusim::launch_1d(128, 64, |i| unsafe { d.write(i, 2.0 * i as f64) });
     assert!(out.iter().enumerate().all(|(i, v)| *v == 2.0 * i as f64));
 }

@@ -219,6 +219,9 @@ impl KernelBase for Memcpy {
             VariantId::BaseSeq => y.copy_from_slice(&x),
             _ => {
                 let yp = DevicePtr::new(&mut y);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 run_elementwise(variant, n, bs, |i| unsafe { yp.write(i, x[i]) });
             }
         });
@@ -263,6 +266,9 @@ impl KernelBase for Memset {
             VariantId::BaseSeq => x.fill(value),
             _ => {
                 let xp = DevicePtr::new(&mut x);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 run_elementwise(variant, n, bs, |i| unsafe { xp.write(i, value) });
             }
         });

@@ -239,6 +239,9 @@ fn run_pa_kernel(
         let mut ye = [0.0f64; DOFS_PER_ELEM];
         sumfact_element(&b, xe, &mut ye, &pointwise);
         for (d, &v) in ye.iter().enumerate() {
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             unsafe { yp.write(e * DOFS_PER_ELEM + d, v) };
         }
     });
@@ -392,6 +395,9 @@ impl KernelBase for Mass3dea {
                                     for jx in 0..D1D {
                                         let j = (jz * D1D + jy) * D1D + jx;
                                         let v = m1[iz][jz] * m1[iy][jy] * m1[ix][jx];
+                                        // SAFETY: indices stay within the extents the device pointers/views were
+                                        // built from, and each parallel iterate touches a disjoint set of output
+                                        // elements, so writes never alias.
                                         unsafe {
                                             mp.write(base + i * DOFS_PER_ELEM + j, v);
                                         }
@@ -490,6 +496,9 @@ impl KernelBase for Edge3d {
                                 + 0.5 * cz[(j + 2 * q) % 8];
                             acc += gi * gj * (1.0 + 0.125 * q as f64);
                         }
+                        // SAFETY: indices stay within the extents the device pointers/views were
+                        // built from, and each parallel iterate touches a disjoint set of output
+                        // elements, so writes never alias.
                         unsafe {
                             mp.write(base + i * EDGES + j, acc);
                             mp.write(base + j * EDGES + i, acc);
@@ -587,6 +596,9 @@ impl KernelBase for DelDotVec2d {
                 let rarea = 1.0 / (xi * yj - xj * yi + 1e-30);
                 let dfxdx = rarea * (fxi * yj - fxj * yi);
                 let dfydy = rarea * (fyj * xi - fyi * xj);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { dp.write(z, dfxdx + dfydy) };
             });
         });
@@ -650,6 +662,9 @@ impl KernelBase for Energy {
             let ep = DevicePtr::new(&mut e_new);
             let qp = DevicePtr::new(&mut q_new);
             // Loop 1: provisional energy.
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 ep.write(
                     i,
@@ -657,6 +672,9 @@ impl KernelBase for Energy {
                 );
             });
             // Loop 2: artificial viscosity with compression branch.
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 if delvc[i] > 0.0 {
                     qp.write(i, 0.0);
@@ -668,6 +686,8 @@ impl KernelBase for Energy {
                 }
             });
             // Loop 3: energy cut-offs.
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from; the accesses are reads.
             run_elementwise(variant, n, bs, |i| unsafe {
                 let mut e = ep.read(i) + 0.5 * delvc[i] * qp.read(i);
                 if e.abs() < e_cut {
@@ -727,9 +747,14 @@ impl KernelBase for Pressure {
         let time = time_reps(reps, || {
             let bp = DevicePtr::new(&mut bvc);
             let pp = DevicePtr::new(&mut p_new);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 bp.write(i, cls * (compression[i] + 1.0));
             });
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from; the accesses are reads.
             run_elementwise(variant, n, bs, |i| unsafe {
                 let mut p = bp.read(i) * e_old[i];
                 if p.abs() < p_cut {
@@ -799,6 +824,9 @@ impl KernelBase for Fir {
                 for (j, &c) in coeff.iter().enumerate() {
                     acc += c * input[i + j];
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { op.write(i, acc) };
             });
         });
@@ -885,13 +913,20 @@ impl KernelBase for Ltimes {
             run_elementwise(variant, nz, bs, |z| {
                 for g in 0..LT_NUM_G {
                     for m in 0..LT_NUM_M {
+                        // SAFETY: the index is in bounds of the allocation the pointer was built
+                        // from; concurrent accesses to it are reads.
                         let mut acc = unsafe { phi_v.get([z as isize, g as isize, m as isize]) };
                         for d in 0..LT_NUM_D {
+                            // SAFETY: indices stay within the extents the device pointers/views were
+                            // built from; the accesses are reads.
                             acc += unsafe {
                                 ell_v.get([m as isize, d as isize])
                                     * psi_v.get([z as isize, g as isize, d as isize])
                             };
                         }
+                        // SAFETY: the index is in bounds of the allocation the pointer was built
+                        // from, and each parallel iterate writes a distinct element, so writes
+                        // never alias.
                         unsafe { phi_v.set([z as isize, g as isize, m as isize], acc) };
                     }
                 }
@@ -936,11 +971,16 @@ impl KernelBase for LtimesNoview {
                 for g in 0..LT_NUM_G {
                     for m in 0..LT_NUM_M {
                         let pidx = (z * LT_NUM_G + g) * LT_NUM_M + m;
+                        // SAFETY: the index is in bounds of the allocation the pointer was built
+                        // from; concurrent accesses to it are reads.
                         let mut acc = unsafe { pp.read(pidx) };
                         for d in 0..LT_NUM_D {
                             acc += ell[m * LT_NUM_D + d]
                                 * psi[(z * LT_NUM_G + g) * LT_NUM_D + d];
                         }
+                        // SAFETY: the index is in bounds of the allocation the pointer was built
+                        // from, and each parallel iterate writes a distinct element, so writes
+                        // never alias.
                         unsafe { pp.write(pidx, acc) };
                     }
                 }
@@ -1032,6 +1072,9 @@ impl KernelBase for Matvec3dStencil {
                         }
                     }
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { bp.write(zi, acc) };
             });
         });
@@ -1165,6 +1208,9 @@ impl KernelBase for ZonalAccumulation3d {
                         }
                     }
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { zp.write(z, acc) };
             });
         });
@@ -1253,6 +1299,9 @@ impl KernelBase for Vol3d {
                 };
                 let v = tp(n0, n1, n3, n6) + tp(n0, n4, n1, n6) + tp(n0, n3, n4, n6)
                     + tp(n7, n5, n2, n0);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { vp.write(zi, v * vnormq) };
             });
         });

@@ -130,8 +130,13 @@ impl KernelBase for ArrayOfPtrs {
             crate::run_elementwise(variant, n, bs, |i| {
                 let mut acc = 0.0;
                 for a in 0..NUM_PTRS {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from; concurrent accesses to it are reads.
                     acc += unsafe { mv.get(a, i) };
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { op.write(i, acc) };
             });
         });
@@ -184,6 +189,9 @@ impl KernelBase for Copy8 {
             }));
             crate::run_elementwise(variant, n, bs, |i| {
                 for (a, x) in xs.iter().enumerate() {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from, and each parallel iterate writes a distinct element, so writes
+                    // never alias.
                     unsafe { yv.set(a, i, x[i]) };
                 }
             });
@@ -232,6 +240,9 @@ impl KernelBase for Daxpy {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let yp = DevicePtr::new(&mut y);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             crate::run_elementwise(variant, n, bs, |i| unsafe {
                 yp.write(i, yp.read(i) + a * x[i])
             });
@@ -339,11 +350,17 @@ impl KernelBase for IfQuad {
                 if s >= 0.0 {
                     let s = s.sqrt();
                     let den = 0.5 / a[i];
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         p1.write(i, (-b[i] + s) * den);
                         p2.write(i, (-b[i] - s) * den);
                     }
                 } else {
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         p1.write(i, 0.0);
                         p2.write(i, 0.0);
@@ -375,6 +392,9 @@ where
     let lp = DevicePtr::new(list);
     raja::forall::<P>(0..n, |i| {
         if x[i] < 0.0 {
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             unsafe { lp.write(pos[i] as usize, i as i32) };
         }
     });
@@ -497,6 +517,9 @@ impl KernelBase for IndexList3Loop {
             // Loop 1: flags.
             let mut flags = vec![0.0f64; n];
             let fp = DevicePtr::new(&mut flags);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             raja::forall::<P>(0..n, |i| unsafe {
                 fp.write(i, if x[i] < 0.0 { 1.0 } else { 0.0 })
             });
@@ -507,6 +530,9 @@ impl KernelBase for IndexList3Loop {
             let lp = DevicePtr::new(list);
             raja::forall::<P>(0..n, |i| {
                 if flags[i] != 0.0 {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from, and each parallel iterate writes a distinct element, so writes
+                    // never alias.
                     unsafe { lp.write(pos[i] as usize, i as i32) };
                 }
             });
@@ -574,6 +600,9 @@ impl KernelBase for Init3 {
             );
             crate::run_elementwise(variant, n, bs, |i| {
                 let v = -in1[i] - in2[i];
+                // SAFETY: indices stay within the extents the device pointers/views were
+                // built from, and each parallel iterate touches a disjoint set of output
+                // elements, so writes never alias.
                 unsafe {
                     p1.write(i, v);
                     p2.write(i, v);
@@ -626,6 +655,9 @@ impl KernelBase for MulAddSub {
                 DevicePtr::new(&mut o2),
                 DevicePtr::new(&mut o3),
             );
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             crate::run_elementwise(variant, n, bs, |i| unsafe {
                 p1.write(i, in1[i] * in2[i]);
                 p2.write(i, in1[i] + in2[i]);
@@ -681,6 +713,9 @@ impl KernelBase for InitView1d {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let view = View::new(&mut a, Layout::new([n]));
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             crate::run_elementwise(variant, n, bs, |i| unsafe {
                 view.set([i as isize], (i + 1) as f64 * V);
             });
@@ -726,6 +761,9 @@ impl KernelBase for InitView1dOffset {
         let time = time_reps(reps, || {
             let view = View::new(&mut a, Layout::offset([1], [n as isize + 1]));
             // Iteration space 1..=n, exactly as the offset variant upstream.
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             let body = |i: usize| unsafe {
                 view.set([i as isize], i as f64 * V);
             };
@@ -783,6 +821,9 @@ impl MatMatShared {
                         for k in k0..(k0 + TILE).min(ne) {
                             acc += a[i * ne + k] * b[k * ne + j];
                         }
+                        // SAFETY: the index is in bounds of the allocation the pointer was built
+                        // from, and each parallel iterate writes a distinct element, so writes
+                        // never alias.
                         unsafe { cp.write(i * ne + j, cp.read(i * ne + j) + acc) };
                     }
                 }
@@ -842,6 +883,9 @@ impl MatMatShared {
                 let (ty, tx) = (t.thread_idx.y, t.thread_idx.x);
                 let (gi, gj) = (i0 + ty, j0 + tx);
                 if gi < ne && gj < ne {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from, and each parallel iterate writes a distinct element, so writes
+                    // never alias.
                     unsafe { cp.write(gi * ne + gj, shared[2 * TILE * TILE + ty * TILE + tx]) };
                 }
             });
@@ -1042,6 +1086,9 @@ impl KernelBase for NestedInit {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let ap = DevicePtr::new(&mut a);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             let body3 = |i: usize, j: usize, k: usize| unsafe {
                 ap.write((i * e + j) * e + k, (i * j * k) as f64);
             };

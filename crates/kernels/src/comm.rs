@@ -98,6 +98,9 @@ fn pack_per_direction(
         let bp = DevicePtr::new(&mut bufs[d]);
         run_elementwise(variant, len * NUM_VARS, bs, |f| {
             let (v, i) = (f / len, f % len);
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             unsafe { bp.write(v * len + i, grids[v][e.pack_list[i]]) };
         });
     }
@@ -119,6 +122,9 @@ fn unpack_per_direction(
         let buf = &bufs[d];
         run_elementwise(variant, len * NUM_VARS, bs, |f| {
             let (v, i) = (f / len, f % len);
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             unsafe { ptrs[v].write(e.unpack_list[i], buf[v * len + i]) };
         });
     }
@@ -144,6 +150,9 @@ fn pack_fused(
             let bp = ptrs[d];
             pool.enqueue(0..len * NUM_VARS, move |f| {
                 let (v, i) = (f / len, f % len);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { bp.write(v * len + i, grids[v][e.pack_list[i]]) };
             });
         }
@@ -175,6 +184,9 @@ fn pack_fused(
         let len = e.pack_list.len();
         let local = f - offsets[d];
         let (v, i) = (local / len, local % len);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { ptrs[d].write(v * len + i, grids[v][e.pack_list[i]]) };
     });
 }
@@ -196,6 +208,9 @@ fn unpack_fused(
             let ptrs = &ptrs;
             pool.enqueue(0..len * NUM_VARS, move |f| {
                 let (v, i) = (f / len, f % len);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { ptrs[v].write(e.unpack_list[i], buf[v * len + i]) };
             });
         }
@@ -225,6 +240,9 @@ fn unpack_fused(
         let len = e.unpack_list.len();
         let local = f - offsets[d];
         let (v, i) = (local / len, local % len);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { ptrs[v].write(e.unpack_list[i], bufs[d][v * len + i]) };
     });
 }

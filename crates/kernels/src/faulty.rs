@@ -50,6 +50,9 @@ fn daxpy_run(variant: VariantId, n: usize, reps: usize, tuning: &Tuning, seed: u
     let mut y = vec![0.0f64; n];
     let time = time_reps(reps, || {
         let p = gpusim::DevicePtr::new(&mut y);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         let body = |i: usize| unsafe { p.write(i, p.read(i) + 2.5 * x[i]) };
         match variant {
             VariantId::BaseSeq => (0..n).for_each(body),
@@ -141,6 +144,9 @@ impl KernelBase for Hang {
 
     fn execute(&self, variant: VariantId, n: usize, reps: usize, tuning: &Tuning) -> RunResult {
         check_variant(&self.info(), variant);
+        // Deliberately real wall-clock: this fixture must hang for actual
+        // time so the watchdog fires, not for virtual checker time.
+        #[allow(clippy::disallowed_methods)]
         let slept_from = std::time::Instant::now();
         while slept_from.elapsed() < HANG_TOTAL {
             std::thread::sleep(std::time::Duration::from_millis(25));

@@ -73,6 +73,9 @@ pub struct DiffPredict;
 impl DiffPredict {
     #[inline]
     fn body(i: usize, n: usize, px: &DevicePtr<f64>, cx: &[f64]) {
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         unsafe {
             let ar = cx[4 * n + i];
             let br = ar - px.read(4 * n + i);
@@ -167,6 +170,9 @@ impl KernelBase for Eos {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let xp = DevicePtr::new(&mut x);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 xp.write(
                     i,
@@ -213,6 +219,9 @@ impl KernelBase for FirstDiff {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let xp = DevicePtr::new(&mut x);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 xp.write(i, y[i + 1] - y[i]);
             });
@@ -340,9 +349,15 @@ impl KernelBase for FirstSum {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let xp = DevicePtr::new(&mut x);
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             unsafe { xp.write(0, y[0]) };
             run_elementwise(variant, n - 1, bs, |j| {
                 let i = j + 1;
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { xp.write(i, y[i - 1] + y[i]) };
             });
         });
@@ -390,12 +405,18 @@ impl KernelBase for GenLinRecur {
             let bp = DevicePtr::new(&mut b5);
             let sp = DevicePtr::new(&mut stb5);
             // Forward pass.
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |k| unsafe {
                 let v = sa[k] + sp.read(k) * sb[k];
                 bp.write(k, v);
                 sp.write(k, v - sp.read(k));
             });
             // Backward pass (reversed index, same update).
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 let k = n - 1 - i;
                 let v = sa[k] + sp.read(k) * sb[k];
@@ -441,6 +462,9 @@ impl KernelBase for Hydro1d {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let xp = DevicePtr::new(&mut x);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 xp.write(i, q + y[i] * (r * z[i + 10] + t * z[i + 11]));
             });
@@ -517,6 +541,9 @@ impl KernelBase for Hydro2d {
                 let (k, j) = (1 + f / inner, 1 + f % inner);
                 let a = (za_in[idx(k + 1, j)] + za_in[idx(k - 1, j)]) * zp[idx(k, j)];
                 let b = (zb_in[idx(k, j + 1)] + zb_in[idx(k, j - 1)]) * zq[idx(k, j)];
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { zup.write(idx(k, j), a - b) };
             });
             // Sub-loop 2: second component.
@@ -524,11 +551,17 @@ impl KernelBase for Hydro2d {
                 let (k, j) = (1 + f / inner, 1 + f % inner);
                 let a = (za_in[idx(k, j + 1)] - za_in[idx(k, j - 1)]) * zm[idx(k, j)];
                 let b = (zb_in[idx(k + 1, j)] - zb_in[idx(k - 1, j)]) * zm[idx(k, j)];
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { zvp.write(idx(k, j), a + b) };
             });
             // Sub-loop 3: time advance.
             run_elementwise(variant, inner * inner, bs, |f| {
                 let (k, j) = (1 + f / inner, 1 + f % inner);
+                // SAFETY: indices stay within the extents the device pointers/views were
+                // built from, and each parallel iterate touches a disjoint set of output
+                // elements, so writes never alias.
                 unsafe {
                     zrp.write(idx(k, j), zrp.read(idx(k, j)) + t * zup.read(idx(k, j)) * s);
                     zzp.write(idx(k, j), zzp.read(idx(k, j)) + t * zvp.read(idx(k, j)) * s);
@@ -575,6 +608,8 @@ impl KernelBase for IntPredict {
         let bs = tuning.gpu_block_size;
         let time = time_reps(reps, || {
             let pp = DevicePtr::new(&mut px);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from; the accesses are reads.
             run_elementwise(variant, n, bs, |i| unsafe {
                 let v = dm[6] * pp.read(12 * n + i)
                     + dm[5] * pp.read(11 * n + i)
@@ -633,6 +668,9 @@ impl KernelBase for Planckian {
         let time = time_reps(reps, || {
             let yp = DevicePtr::new(&mut y);
             let wp = DevicePtr::new(&mut w);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             run_elementwise(variant, n, bs, |i| unsafe {
                 let yi = u[i] / v[i];
                 yp.write(i, yi);
@@ -680,6 +718,9 @@ impl KernelBase for TridiagElim {
             let xp = DevicePtr::new(&mut xout);
             run_elementwise(variant, n - 1, bs, |j| {
                 let i = j + 1;
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { xp.write(i, z[i] * (y[i] - xin[i - 1])) };
             });
         });

@@ -25,7 +25,8 @@
 #![allow(clippy::manual_memcpy)]
 
 use perfmodel::{Complexity, ExecSignature};
-use std::time::{Duration, Instant};
+use simsched::time::Instant;
+use std::time::Duration;
 
 pub mod algorithm;
 pub mod apps;

@@ -115,6 +115,9 @@ fn mm_accumulate(variant: VariantId, bs: usize, ne: usize, c: &mut [f64], a: &[f
         for k in 0..ne {
             acc += a[i * ne + k] * b[k * ne + j];
         }
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { cp.write(i * ne + j, cp.read(i * ne + j) + acc) };
     });
 }
@@ -258,6 +261,9 @@ impl KernelBase for Gemm {
                 for k in 0..ne {
                     acc += alpha * a[i * ne + k] * b[k * ne + j];
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { cp.write(i * ne + j, acc) };
             });
         });
@@ -332,6 +338,9 @@ impl KernelBase for Adi {
                 // Column sweep: parallel over columns i, recurrence along j.
                 run_elementwise(variant, ne - 2, bs, |ii| {
                     let i = ii + 1;
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         vp.write(i, 1.0);
                         pp.write(i * ne, 0.0);
@@ -359,6 +368,9 @@ impl KernelBase for Adi {
                 // Row sweep: parallel over rows i, recurrence along j.
                 run_elementwise(variant, ne - 2, bs, |ii| {
                     let i = ii + 1;
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         up.write(i * ne, 1.0);
                         pp.write(i * ne, 0.0);
@@ -436,14 +448,22 @@ impl KernelBase for Atax {
                 for j in 0..ne {
                     acc += a[i * ne + j] * x[j];
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { tp.write(i, acc) };
             });
             // y = Aᵀ tmp (column-parallel: strided reads of A)
             run_elementwise(variant, ne, bs, |j| {
                 let mut acc = 0.0;
                 for i in 0..ne {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from; concurrent accesses to it are reads.
                     acc += a[i * ne + j] * unsafe { tp.read(i) };
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { yp.write(j, acc) };
             });
         });
@@ -504,6 +524,9 @@ impl KernelBase for Gesummv {
                     sa += a[i * ne + j] * x[j];
                     sb += b[i * ne + j] * x[j];
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { yp.write(i, alpha * sa + beta * sb) };
             });
         });
@@ -562,6 +585,9 @@ impl KernelBase for Gemver {
             // A = A + u1 v1ᵀ + u2 v2ᵀ
             run_elementwise(variant, ne * ne, bs, |f| {
                 let (i, j) = (f / ne, f % ne);
+                // SAFETY: indices stay within the extents the device pointers/views were
+                // built from, and each parallel iterate touches a disjoint set of output
+                // elements, so writes never alias.
                 unsafe {
                     ap.write(
                         i * ne + j,
@@ -573,16 +599,26 @@ impl KernelBase for Gemver {
             run_elementwise(variant, ne, bs, |i| {
                 let mut acc = z[i];
                 for j in 0..ne {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from; concurrent accesses to it are reads.
                     acc += beta * unsafe { ap.read(j * ne + i) } * yv[j];
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { xp.write(i, acc) };
             });
             // w = alpha A x
             run_elementwise(variant, ne, bs, |i| {
                 let mut acc = 0.0;
                 for j in 0..ne {
+                    // SAFETY: the index is in bounds of the allocation the pointer was built
+                    // from; concurrent accesses to it are reads.
                     acc += alpha * unsafe { ap.read(i * ne + j) * xp.read(j) };
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { wp.write(i, acc) };
             });
         });
@@ -629,17 +665,27 @@ impl KernelBase for Mvt {
             let p1 = DevicePtr::new(&mut x1);
             let p2 = DevicePtr::new(&mut x2);
             run_elementwise(variant, ne, bs, |i| {
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from; concurrent accesses to it are reads.
                 let mut acc = unsafe { p1.read(i) };
                 for j in 0..ne {
                     acc += a[i * ne + j] * y1[j];
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { p1.write(i, acc) };
             });
             run_elementwise(variant, ne, bs, |i| {
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from; concurrent accesses to it are reads.
                 let mut acc = unsafe { p2.read(i) };
                 for j in 0..ne {
                     acc += a[j * ne + i] * y2[j];
                 }
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 unsafe { p2.write(i, acc) };
             });
         });
@@ -702,9 +748,15 @@ impl KernelBase for Fdtd2d {
             let eyp = DevicePtr::new(&mut ey);
             let hzp = DevicePtr::new(&mut hz);
             for t in 0..TSTEPS {
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 run_elementwise(variant, ne, bs, |j| unsafe { eyp.write(j, fict[t]) });
                 run_elementwise(variant, (ne - 1) * ne, bs, |f| {
                     let (i, j) = (1 + f / ne, f % ne);
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         eyp.write(
                             i * ne + j,
@@ -715,6 +767,9 @@ impl KernelBase for Fdtd2d {
                 });
                 run_elementwise(variant, ne * (ne - 1), bs, |f| {
                     let (i, j) = (f / (ne - 1), 1 + f % (ne - 1));
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         exp_.write(
                             i * ne + j,
@@ -725,6 +780,9 @@ impl KernelBase for Fdtd2d {
                 });
                 run_elementwise(variant, (ne - 1) * (ne - 1), bs, |f| {
                     let (i, j) = (f / (ne - 1), f % (ne - 1));
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         hzp.write(
                             i * ne + j,
@@ -800,6 +858,9 @@ impl KernelBase for FloydWarshall {
             for k in 0..ne {
                 run_elementwise(variant, ne * ne, bs, |f| {
                     let (i, j) = (f / ne, f % ne);
+                    // SAFETY: indices stay within the extents the device pointers/views were
+                    // built from, and each parallel iterate touches a disjoint set of output
+                    // elements, so writes never alias.
                     unsafe {
                         let via = pp.read(i * ne + k) + pp.read(k * ne + j);
                         if via < pp.read(i * ne + j) {
@@ -867,6 +928,9 @@ impl KernelBase for Heat3d {
             let i = 1 + f / (inner * inner);
             let j = 1 + (f / inner) % inner;
             let k = 1 + f % inner;
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             unsafe {
                 let c = src.read(idx(i, j, k));
                 let v = 0.125 * (src.read(idx(i + 1, j, k)) - 2.0 * c + src.read(idx(i - 1, j, k)))
@@ -929,6 +993,9 @@ impl KernelBase for Jacobi1d {
             let ap = DevicePtr::new(&mut a);
             let bp = DevicePtr::new(&mut b);
             for _t in 0..TSTEPS {
+                // SAFETY: indices stay within the extents the device pointers/views were
+                // built from, and each parallel iterate touches a disjoint set of output
+                // elements, so writes never alias.
                 run_elementwise(variant, e - 2, bs, |f| unsafe {
                     let i = f + 1;
                     bp.write(
@@ -936,6 +1003,9 @@ impl KernelBase for Jacobi1d {
                         0.33333 * (ap.read(i - 1) + ap.read(i) + ap.read(i + 1)),
                     );
                 });
+                // SAFETY: indices stay within the extents the device pointers/views were
+                // built from, and each parallel iterate touches a disjoint set of output
+                // elements, so writes never alias.
                 run_elementwise(variant, e - 2, bs, |f| unsafe {
                     let i = f + 1;
                     ap.write(
@@ -995,6 +1065,9 @@ impl KernelBase for Jacobi2d {
         let inner = e - 2;
         let step = |src: &DevicePtr<f64>, dst: &DevicePtr<f64>, f: usize| {
             let (i, j) = (1 + f / inner, 1 + f % inner);
+            // SAFETY: indices stay within the extents the device pointers/views were
+            // built from, and each parallel iterate touches a disjoint set of output
+            // elements, so writes never alias.
             unsafe {
                 dst.write(
                     i * e + j,

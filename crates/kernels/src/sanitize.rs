@@ -16,7 +16,8 @@
 
 use crate::{AnalyticMetrics, KernelBase, KernelInfo, RunResult, Tuning, VariantId};
 use gpusim::sanitizer::{Finding, SanitizerScope};
-use std::time::{Duration, Instant};
+use simsched::time::Instant;
+use std::time::Duration;
 
 /// Problem size [`sanitize_all`] uses when the caller does not specify one.
 /// Shadow tracking costs a hash-map operation per instrumented access, so
@@ -188,6 +189,9 @@ pub mod fixtures {
                 out[0] = 0.0;
                 let p = gpusim::DevicePtr::new(&mut out);
                 let bs = tuning.gpu_block_size;
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 let body = |i: usize| unsafe { p.write(0, p.read(0) + x[i]) };
                 match variant {
                     VariantId::BaseSeq => (0..n).for_each(body),
@@ -249,6 +253,9 @@ pub mod fixtures {
                             }
                             let i = t.global_id_x();
                             if i < n {
+                                // SAFETY: the index is in bounds of the allocation the pointer was built
+                                // from, and each parallel iterate writes a distinct element, so writes
+                                // never alias.
                                 unsafe { p.write(i, shared[0] * x[i]) };
                             }
                         });

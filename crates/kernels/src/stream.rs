@@ -65,6 +65,9 @@ pub struct Add;
 impl Add {
     fn raja<P: raja::ExecPolicy>(c: &mut [f64], a: &[f64], b: &[f64]) {
         let cp = DevicePtr::new(c);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         raja::forall::<P>(0..a.len(), |i| unsafe { cp.write(i, a[i] + b[i]) });
     }
 }
@@ -110,6 +113,9 @@ impl KernelBase for Add {
             }
             VariantId::BaseSimGpu => {
                 let cp = DevicePtr::new(&mut c);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 gpusim::launch_1d(n, bs, |i| unsafe { cp.write(i, a[i] + b[i]) });
             }
             VariantId::RajaSeq => Self::raja::<SeqExec>(&mut c, &a, &b),
@@ -133,6 +139,9 @@ pub struct Copy;
 impl Copy {
     fn raja<P: raja::ExecPolicy>(c: &mut [f64], a: &[f64]) {
         let cp = DevicePtr::new(c);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         raja::forall::<P>(0..a.len(), |i| unsafe { cp.write(i, a[i]) });
     }
 }
@@ -175,6 +184,9 @@ impl KernelBase for Copy {
             }
             VariantId::BaseSimGpu => {
                 let cp = DevicePtr::new(&mut c);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 gpusim::launch_1d(n, bs, |i| unsafe { cp.write(i, a[i]) });
             }
             VariantId::RajaSeq => Self::raja::<SeqExec>(&mut c, &a),
@@ -253,6 +265,9 @@ impl KernelBase for Dot {
                                 acc += a[i] * b[i];
                             }
                         });
+                        // SAFETY: the index is in bounds of the allocation the pointer was built
+                        // from, and each parallel iterate writes a distinct element, so writes
+                        // never alias.
                         unsafe { pp.write(bx, acc) };
                     });
                     partials.iter().sum()
@@ -279,6 +294,9 @@ pub struct Mul;
 impl Mul {
     fn raja<P: raja::ExecPolicy>(b: &mut [f64], c: &[f64], alpha: f64) {
         let bp = DevicePtr::new(b);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         raja::forall::<P>(0..c.len(), |i| unsafe { bp.write(i, alpha * c[i]) });
     }
 }
@@ -324,6 +342,9 @@ impl KernelBase for Mul {
             }
             VariantId::BaseSimGpu => {
                 let bp = DevicePtr::new(&mut b);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 gpusim::launch_1d(n, bs, |i| unsafe { bp.write(i, alpha * c[i]) });
             }
             VariantId::RajaSeq => Self::raja::<SeqExec>(&mut b, &c, alpha),
@@ -348,6 +369,9 @@ pub struct Triad;
 impl Triad {
     fn raja<P: raja::ExecPolicy>(a: &mut [f64], b: &[f64], c: &[f64], alpha: f64) {
         let ap = DevicePtr::new(a);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         raja::forall::<P>(0..b.len(), |i| unsafe { ap.write(i, b[i] + alpha * c[i]) });
     }
 }
@@ -394,6 +418,9 @@ impl KernelBase for Triad {
             }
             VariantId::BaseSimGpu => {
                 let ap = DevicePtr::new(&mut a);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 gpusim::launch_1d(n, bs, |i| unsafe { ap.write(i, b[i] + alpha * c[i]) });
             }
             VariantId::RajaSeq => Self::raja::<SeqExec>(&mut a, &b, &c, alpha),

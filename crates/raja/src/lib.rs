@@ -100,6 +100,9 @@ mod tests {
         let n = 1000;
         let mut hits = vec![0u32; n];
         let p = DevicePtr::new(&mut hits);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         forall::<P>(0..n, |i| unsafe { p.write(i, p.read(i) + 1) });
         assert!(hits.iter().all(|&h| h == 1), "every index hit exactly once");
     }
@@ -123,6 +126,9 @@ mod tests {
         let (ni, nj) = (37, 53);
         let mut hits = vec![0u32; ni * nj];
         let p = DevicePtr::new(&mut hits);
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         forall_2d::<P>(0..ni, 0..nj, |i, j| unsafe {
             p.write(i * nj + j, p.read(i * nj + j) + 1)
         });
@@ -140,6 +146,9 @@ mod tests {
         let (ni, nj, nk) = (11, 13, 17);
         let mut hits = vec![0u32; ni * nj * nk];
         let p = DevicePtr::new(&mut hits);
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         forall_3d::<P>(0..ni, 0..nj, 0..nk, |i, j, k| unsafe {
             let idx = (i * nj + j) * nk + k;
             p.write(idx, p.read(idx) + 1)
@@ -158,8 +167,17 @@ mod tests {
     fn empty_range_is_noop() {
         let mut touched = false;
         let p = DevicePtr::new(std::slice::from_mut(&mut touched));
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         forall::<SeqExec>(5..5, |_| unsafe { p.write(0, true) });
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         forall::<ParExec>(5..5, |_| unsafe { p.write(0, true) });
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         forall::<SimGpuExec<128>>(0..0, |_| unsafe { p.write(0, true) });
         assert!(!touched);
     }
@@ -167,7 +185,7 @@ mod tests {
     #[test]
     fn nonzero_range_start_offsets_indices() {
         // SeqExec is ordered, so collecting is deterministic.
-        let seen = std::sync::Mutex::new(Vec::new());
+        let seen = simsched::sync::Mutex::new(Vec::new());
         forall::<SeqExec>(10..15, |i| seen.lock().unwrap().push(i));
         assert_eq!(seen.into_inner().unwrap(), vec![10, 11, 12, 13, 14]);
     }

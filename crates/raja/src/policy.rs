@@ -218,6 +218,9 @@ mod tests {
         let (ni, nj) = (5, 300);
         let mut hits = vec![0u32; ni * nj];
         let p = DevicePtr::new(&mut hits);
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         <SimGpuExec<128>>::forall_2d(0..ni, 0..nj, &|i, j| unsafe {
             p.write(i * nj + j, p.read(i * nj + j) + 1)
         });
@@ -234,7 +237,7 @@ mod tests {
         o: Range<usize>,
         i: Range<usize>,
     ) -> Vec<(usize, usize)> {
-        let out = std::sync::Mutex::new(Vec::new());
+        let out = simsched::sync::Mutex::new(Vec::new());
         P::forall_2d(o, i, &|a, b| out.lock().unwrap().push((a, b)));
         let mut v = out.into_inner().unwrap();
         v.sort_unstable();

@@ -105,6 +105,9 @@ impl<const B: usize> ReducePolicy for SimGpuExec<B> {
                     acc = combine(acc, map(start + i));
                 }
             });
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             unsafe { pp.write(bx, acc) };
         });
         // Stage 2: host combines the block partials (a second kernel /

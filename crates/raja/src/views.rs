@@ -157,6 +157,9 @@ impl<T, const D: usize> View<T, D> {
     {
         let lin = self.layout.index(idx);
         debug_assert!(lin < self.len);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { *self.ptr.add(lin) }
     }
 
@@ -182,6 +185,9 @@ impl<T, const D: usize> View<T, D> {
     {
         let lin = self.layout.index(idx);
         debug_assert!(lin < self.len);
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { *self.ptr.add(lin) = *self.ptr.add(lin) + v };
     }
 }
@@ -195,7 +201,13 @@ pub struct MultiView<T, const N: usize> {
     len: usize,
 }
 
+// SAFETY: the wrapped raw pointer is only dereferenced through unsafe
+// accessors whose contracts require in-bounds, data-race-free access; the
+// wrapper itself holds no shared mutable state.
 unsafe impl<T: Send, const N: usize> Send for MultiView<T, N> {}
+// SAFETY: the wrapped raw pointer is only dereferenced through unsafe
+// accessors whose contracts require in-bounds, data-race-free access; the
+// wrapper itself holds no shared mutable state.
 unsafe impl<T: Sync, const N: usize> Sync for MultiView<T, N> {}
 
 impl<T, const N: usize> MultiView<T, N> {
@@ -294,6 +306,9 @@ mod tests {
     fn view_get_set_roundtrip() {
         let mut data = vec![0.0f64; 12];
         let v = View::new(&mut data, Layout::new([3, 4]));
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         unsafe {
             v.set([2, 1], 42.0);
             assert_eq!(v.get([2, 1]), 42.0);
@@ -305,6 +320,9 @@ mod tests {
     fn view_add_accumulates() {
         let mut data = vec![1.0f64; 4];
         let v = View::new(&mut data, Layout::new([2, 2]));
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         unsafe {
             v.add([1, 1], 2.5);
         }
@@ -323,6 +341,9 @@ mod tests {
         let mut a = vec![0.0f64; 4];
         let mut b = vec![0.0f64; 4];
         let mv = MultiView::new([&mut a, &mut b]);
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         unsafe {
             mv.set(0, 1, 10.0);
             mv.set(1, 1, 20.0);
@@ -339,6 +360,9 @@ mod tests {
     fn view_index_out_of_bounds_is_caught_in_debug() {
         let mut data = vec![0.0f64; 4];
         let v = View::new(&mut data, Layout::new([2, 2]));
+        // SAFETY: the index is in bounds of the allocation the pointer was built
+        // from, and each parallel iterate writes a distinct element, so writes
+        // never alias.
         unsafe { v.set([2, 0], 1.0) };
     }
 
@@ -348,6 +372,9 @@ mod tests {
         let (ni, nj) = (16, 16);
         let mut data = vec![0.0f64; ni * nj];
         let v = View::new(&mut data, Layout::new([ni, nj]));
+        // SAFETY: indices stay within the extents the device pointers/views were
+        // built from, and each parallel iterate touches a disjoint set of output
+        // elements, so writes never alias.
         crate::forall_2d::<ParExec>(0..ni, 0..nj, |i, j| unsafe {
             v.set([i as isize, j as isize], (i * nj + j) as f64);
         });

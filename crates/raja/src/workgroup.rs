@@ -150,8 +150,17 @@ mod tests {
                 DevicePtr::new(&mut c),
             );
             let mut pool = WorkPool::new();
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(0..7, move |i| unsafe { ap.write(i, ap.read(i) + 1) });
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(0..13, move |i| unsafe { bp.write(i, bp.read(i) + 1) });
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(0..29, move |i| unsafe { cp.write(i, cp.read(i) + 1) });
             let group = pool.instantiate();
             assert_eq!(group.total_iterations(), 49);
@@ -171,6 +180,9 @@ mod tests {
             let mut pool = WorkPool::new();
             for buf in bufs.iter_mut() {
                 let p = DevicePtr::new(buf);
+                // SAFETY: the index is in bounds of the allocation the pointer was built
+                // from, and each parallel iterate writes a distinct element, so writes
+                // never alias.
                 pool.enqueue(0..50, move |i| unsafe { p.write(i, 1.0) });
             }
             pool.instantiate().run::<SimGpuExec<128>>();
@@ -185,7 +197,13 @@ mod tests {
         {
             let p = DevicePtr::new(&mut data);
             let mut pool = WorkPool::new();
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(3..6, move |i| unsafe { p.write(i, 7) });
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(8..10, move |i| unsafe { p.write(i, 9) });
             pool.instantiate().run::<SeqExec>();
         }
@@ -203,7 +221,13 @@ mod tests {
         {
             let p = DevicePtr::new(std::slice::from_mut(&mut hit));
             let mut pool = WorkPool::new();
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(5..5, move |_| unsafe { p.write(0, true) });
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(0..1, move |_| unsafe { p.write(0, true) });
             pool.instantiate().run::<SeqExec>();
         }
@@ -216,6 +240,9 @@ mod tests {
         {
             let p = DevicePtr::new(&mut count);
             let mut pool = WorkPool::new();
+            // SAFETY: the index is in bounds of the allocation the pointer was built
+            // from, and each parallel iterate writes a distinct element, so writes
+            // never alias.
             pool.enqueue(0..4, move |i| unsafe { p.write(i, p.read(i) + 1) });
             let group = pool.instantiate();
             group.run::<SeqExec>();

@@ -41,8 +41,9 @@
 //! private points), but the CLI rejects them so typos do not silently
 //! inject nothing.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use simsched::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use simsched::sync::Mutex;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// The failpoint registry: every instrumented call site in the suite, with
@@ -545,7 +546,7 @@ mod tests {
     use super::*;
 
     /// Serialize tests that arm the global state.
-    fn lock() -> std::sync::MutexGuard<'static, ()> {
+    fn lock() -> simsched::sync::MutexGuard<'static, ()> {
         static GATE: Mutex<()> = Mutex::new(());
         GATE.lock().unwrap_or_else(|e| e.into_inner())
     }

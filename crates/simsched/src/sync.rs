@@ -1,0 +1,559 @@
+//! Drop-in `std::sync` wrappers that make synchronization *observable*.
+//!
+//! In a normal build every type here is a passthrough to its `std`
+//! counterpart: the atomics and `Condvar` delegate with `#[inline]`
+//! one-liners, and `Mutex::lock` adds exactly one relaxed atomic load — the
+//! gate for the [`crate::lockorder`] recorder (the `simfault` zero-cost-off
+//! discipline). Compiled with `--cfg simsched`, operations issued by a
+//! thread running inside [`crate::check`] additionally become *scheduling
+//! points*: the thread parks and the model checker decides who runs next,
+//! which is what lets the checker explore interleavings exhaustively.
+//!
+//! The API mirrors `std::sync` (poisoning `LockResult`s included) so the
+//! pool, the trace service, and `simfault` could switch by changing
+//! imports.
+
+// This module IS the sanctioned wrapper over the raw std primitives that
+// clippy.toml bans everywhere else; it must name them to wrap them.
+#![allow(clippy::disallowed_types)]
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::sync::{LockResult, PoisonError};
+use std::time::Duration;
+
+use crate::lockorder;
+
+#[cfg(simsched)]
+use crate::sched;
+
+/// Lazily-assigned stable resource id (mutex/condvar/atomic), `const`-safe.
+struct ResourceId(std::sync::OnceLock<u64>);
+
+impl ResourceId {
+    const fn new() -> ResourceId {
+        ResourceId(std::sync::OnceLock::new())
+    }
+
+    fn get(&self, label: Option<&'static str>) -> u64 {
+        *self.0.get_or_init(|| {
+            let id = crate::next_resource_id();
+            if let Some(label) = label {
+                crate::registry::register(id, label);
+            }
+            id
+        })
+    }
+}
+
+/// A mutual-exclusion lock with the `std::sync::Mutex` API plus a stable
+/// id, an optional diagnostic label, lock-order recording, and (under
+/// `--cfg simsched`) model-checker scheduling points.
+pub struct Mutex<T: ?Sized> {
+    label: Option<&'static str>,
+    id: ResourceId,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create an unlabeled mutex (shows as `lock#N` in diagnostics).
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            label: None,
+            id: ResourceId::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a mutex carrying a diagnostic label — lock-order reports and
+    /// checker traces render it as `label#N`.
+    pub const fn labeled(value: T, label: &'static str) -> Mutex<T> {
+        Mutex {
+            label: Some(label),
+            id: ResourceId::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the underlying data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub(crate) fn resource_id(&self) -> u64 {
+        self.id.get(self.label)
+    }
+
+    /// Acquire the lock, blocking until available. Mirrors
+    /// [`std::sync::Mutex::lock`], including poisoning semantics.
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        #[cfg(simsched)]
+        if sched::in_model() {
+            return self.lock_model();
+        }
+        if lockorder::enabled() {
+            return self.lock_recorded();
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard::new(self, g, false)),
+            Err(p) => Err(PoisonError::new(MutexGuard::new(
+                self,
+                p.into_inner(),
+                false,
+            ))),
+        }
+    }
+
+    /// Attempt the lock without blocking. Mirrors
+    /// [`std::sync::Mutex::try_lock`] except that under the model checker a
+    /// `try_lock` is a scheduling point like any other acquisition.
+    #[inline]
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, std::sync::TryLockError<()>> {
+        #[cfg(simsched)]
+        if sched::in_model() {
+            // Under the checker, whether `try_lock` wins is a scheduling
+            // decision; modeling it as a full acquisition keeps exploration
+            // sound (it only removes the "failed try" interleavings).
+            return self.lock_model().map_err(|_| std::sync::TryLockError::Poisoned(
+                PoisonError::new(()),
+            ));
+        }
+        let recorded = lockorder::enabled();
+        if recorded {
+            lockorder::acquiring(self.resource_id());
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard::new(self, g, recorded)),
+            Err(e) => {
+                if recorded {
+                    lockorder::released(self.resource_id());
+                }
+                match e {
+                    std::sync::TryLockError::Poisoned(p) => {
+                        drop(p);
+                        Err(std::sync::TryLockError::Poisoned(PoisonError::new(())))
+                    }
+                    std::sync::TryLockError::WouldBlock => {
+                        Err(std::sync::TryLockError::WouldBlock)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cold path: acquisition with the lock-order recorder on.
+    #[cold]
+    fn lock_recorded(&self) -> LockResult<MutexGuard<'_, T>> {
+        let id = self.resource_id();
+        lockorder::acquiring(id);
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard::new(self, g, true)),
+            Err(p) => Err(PoisonError::new(MutexGuard::new(self, p.into_inner(), true))),
+        }
+    }
+
+    /// Model-checked acquisition: park at a scheduling point until the
+    /// checker grants this lock, then take the (now uncontended) inner lock.
+    #[cfg(simsched)]
+    fn lock_model(&self) -> LockResult<MutexGuard<'_, T>> {
+        let id = self.resource_id();
+        let recorded = lockorder::enabled();
+        if recorded {
+            lockorder::acquiring(id);
+        }
+        sched::yield_op(sched::Op::Lock { mutex: id });
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard::new(self, g, recorded)),
+            Err(p) => Err(PoisonError::new(MutexGuard::new(
+                self,
+                p.into_inner(),
+                recorded,
+            ))),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("inner", &&self.inner).finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases on drop (recording the release when
+/// the lock-order recorder captured the acquisition).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    recorded: bool,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    fn new(
+        lock: &'a Mutex<T>,
+        inner: std::sync::MutexGuard<'a, T>,
+        recorded: bool,
+    ) -> MutexGuard<'a, T> {
+        MutexGuard {
+            lock,
+            inner: ManuallyDrop::new(inner),
+            recorded,
+        }
+    }
+
+    /// Disassemble without running `Drop` — used by [`Condvar::wait`] which
+    /// must hand the raw `std` guard to the OS wait primitive.
+    fn into_parts(mut self) -> (&'a Mutex<T>, std::sync::MutexGuard<'a, T>, bool) {
+        let lock = self.lock;
+        let recorded = self.recorded;
+        // SAFETY: `self` is forgotten immediately after the take, so the
+        // ManuallyDrop slot is never read (or dropped) again.
+        let inner = unsafe { ManuallyDrop::take(&mut self.inner) };
+        std::mem::forget(self);
+        (lock, inner, recorded)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: drop runs at most once; `inner` was initialized in `new`
+        // and is never taken out except by `into_parts`, which forgets
+        // `self` so this Drop does not run.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        #[cfg(simsched)]
+        if sched::in_model() {
+            sched::op_unlock(self.lock.resource_id());
+        }
+        if self.recorded {
+            lockorder::released(self.lock.resource_id());
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with the `std::sync::Condvar` API. Under the model
+/// checker, waits and notifications are scheduling points, waiting threads
+/// are tracked explicitly, and `wait_timeout`'s timeout becomes an
+/// exploration choice — or is disabled entirely in *strict* mode, where a
+/// protocol that leans on a timeout to paper over a lost wakeup deadlocks
+/// and is reported.
+pub struct Condvar {
+    // Only read under the model checker; passthrough notify/wait never
+    // needs the id.
+    #[cfg_attr(not(simsched), allow(dead_code))]
+    label: Option<&'static str>,
+    #[cfg_attr(not(simsched), allow(dead_code))]
+    id: ResourceId,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create an unlabeled condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            label: None,
+            id: ResourceId::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Create a condition variable carrying a diagnostic label.
+    pub const fn labeled(label: &'static str) -> Condvar {
+        Condvar {
+            label: Some(label),
+            id: ResourceId::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    #[cfg_attr(not(simsched), allow(dead_code))]
+    fn resource_id(&self) -> u64 {
+        self.id.get(self.label)
+    }
+
+    /// Block until notified. Mirrors [`std::sync::Condvar::wait`].
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        #[cfg(simsched)]
+        if sched::in_model() {
+            return Ok(self.wait_model(guard, false).0);
+        }
+        let (lock, inner, recorded) = guard.into_parts();
+        if recorded {
+            // Waiting releases the mutex: the lock-order recorder must not
+            // treat locks taken while we sleep as nested under it.
+            lockorder::released(lock.resource_id());
+        }
+        let result = self.inner.wait(inner);
+        if recorded {
+            lockorder::acquiring(lock.resource_id());
+        }
+        match result {
+            Ok(g) => Ok(MutexGuard::new(lock, g, recorded)),
+            Err(p) => Err(PoisonError::new(MutexGuard::new(
+                lock,
+                p.into_inner(),
+                recorded,
+            ))),
+        }
+    }
+
+    /// Block until notified or `timeout` elapses. Mirrors
+    /// [`std::sync::Condvar::wait_timeout`].
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        #[cfg(simsched)]
+        if sched::in_model() {
+            let (g, timed_out) = self.wait_model(guard, true);
+            return Ok((g, WaitTimeoutResult { timed_out }));
+        }
+        let (lock, inner, recorded) = guard.into_parts();
+        if recorded {
+            lockorder::released(lock.resource_id());
+        }
+        let result = self.inner.wait_timeout(inner, timeout);
+        if recorded {
+            lockorder::acquiring(lock.resource_id());
+        }
+        match result {
+            Ok((g, t)) => Ok((
+                MutexGuard::new(lock, g, recorded),
+                WaitTimeoutResult {
+                    timed_out: t.timed_out(),
+                },
+            )),
+            Err(p) => {
+                let (g, t) = p.into_inner();
+                Err(PoisonError::new((
+                    MutexGuard::new(lock, g, recorded),
+                    WaitTimeoutResult {
+                        timed_out: t.timed_out(),
+                    },
+                )))
+            }
+        }
+    }
+
+    /// Wake one waiting thread (under the checker: the longest-waiting).
+    #[inline]
+    pub fn notify_one(&self) {
+        #[cfg(simsched)]
+        if sched::in_model() {
+            sched::yield_op(sched::Op::NotifyOne {
+                condvar: self.resource_id(),
+            });
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    #[inline]
+    pub fn notify_all(&self) {
+        #[cfg(simsched)]
+        if sched::in_model() {
+            sched::yield_op(sched::Op::NotifyAll {
+                condvar: self.resource_id(),
+            });
+            return;
+        }
+        self.inner.notify_all();
+    }
+
+    /// Model-checked wait: release at a scheduling point, park as a tracked
+    /// waiter, and resume (re-acquiring) when the checker delivers a
+    /// notification — or a timeout/spurious wake, when the exploration
+    /// config allows those transitions.
+    #[cfg(simsched)]
+    fn wait_model<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        has_timeout: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let cv = self.resource_id();
+        let (lock, inner, recorded) = guard.into_parts();
+        let mutex = lock.resource_id();
+        if recorded {
+            lockorder::released(mutex);
+        }
+        sched::yield_op(sched::Op::CvWait {
+            condvar: cv,
+            mutex,
+            has_timeout,
+        });
+        // The checker has marked the mutex released; physically release it
+        // before parking so the next grantee's uncontended-lock invariant
+        // holds.
+        drop(inner);
+        let timed_out = sched::block_on_condvar(cv);
+        if recorded {
+            lockorder::acquiring(mutex);
+        }
+        let g = lock
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        (MutexGuard::new(lock, g, recorded), timed_out)
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+pub mod atomic {
+    //! Shimmed atomics. Passthrough in normal builds (`#[inline]` delegates,
+    //! no gate at all — `fetch_sub` on the pool's `remaining` counter stays
+    //! a bare `lock xadd`); scheduling points under the model checker.
+
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(simsched)]
+    use crate::sched;
+
+    #[cfg(simsched)]
+    use super::ResourceId;
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Shimmed atomic: `std` passthrough normally, a scheduling
+            /// point per operation under the model checker.
+            pub struct $name {
+                inner: $std,
+                #[cfg(simsched)]
+                id: ResourceId,
+            }
+
+            impl $name {
+                /// Create a new atomic.
+                pub const fn new(v: $prim) -> $name {
+                    $name {
+                        inner: <$std>::new(v),
+                        #[cfg(simsched)]
+                        id: ResourceId::new(),
+                    }
+                }
+
+                #[cfg(simsched)]
+                fn yield_point(&self, read_only: bool) {
+                    if sched::in_model() {
+                        sched::yield_op(sched::Op::Atomic {
+                            resource: self.id.get(None),
+                            read_only,
+                        });
+                    }
+                }
+
+                /// Atomic load.
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $prim {
+                    #[cfg(simsched)]
+                    self.yield_point(true);
+                    self.inner.load(order)
+                }
+
+                /// Atomic store.
+                #[inline]
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    #[cfg(simsched)]
+                    self.yield_point(false);
+                    self.inner.store(v, order)
+                }
+
+                /// Atomic swap.
+                #[inline]
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    #[cfg(simsched)]
+                    self.yield_point(false);
+                    self.inner.swap(v, order)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_int {
+        ($name:ident, $std:ty, $prim:ty) => {
+            shim_atomic!($name, $std, $prim);
+
+            impl $name {
+                /// Atomic add; returns the previous value.
+                #[inline]
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    #[cfg(simsched)]
+                    self.yield_point(false);
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract; returns the previous value.
+                #[inline]
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    #[cfg(simsched)]
+                    self.yield_point(false);
+                    self.inner.fetch_sub(v, order)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    shim_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    shim_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    shim_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+}

@@ -1,0 +1,95 @@
+//! Shimmed monotonic clock.
+//!
+//! [`Instant`] is a `std::time::Instant` passthrough in normal builds. Under
+//! the model checker real time would make runs irreproducible (and a
+//! `wait_timeout` would actually sleep), so inside a [`crate::check`] body
+//! `Instant::now` reads a *virtual clock* instead: a per-run counter bumped
+//! on every read, deterministic for a given schedule. One tick renders as
+//! 100ns so trace timestamps stay strictly monotonic and visually distinct.
+
+use std::time::Duration;
+
+/// Nanoseconds per virtual-clock tick under the model checker.
+#[cfg(simsched)]
+const NANOS_PER_TICK: u64 = 100;
+
+/// Shimmed monotonic instant; mirrors the `std::time::Instant` subset the
+/// instrumented crates use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instant {
+    #[cfg(not(simsched))]
+    inner: std::time::Instant,
+    #[cfg(simsched)]
+    repr: Repr,
+}
+
+#[cfg(simsched)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Repr {
+    Real(std::time::Instant),
+    /// Virtual tick inside a model-checked run.
+    Virtual(u64),
+}
+
+impl Instant {
+    /// The current instant (virtual inside a model-checked run).
+    #[inline]
+    pub fn now() -> Instant {
+        #[cfg(simsched)]
+        {
+            if crate::sched::in_model() {
+                return Instant {
+                    repr: Repr::Virtual(crate::sched::virtual_now()),
+                };
+            }
+            // The shim is the one sanctioned wrapper around the raw clock.
+            #[allow(clippy::disallowed_methods)]
+            Instant {
+                repr: Repr::Real(std::time::Instant::now()),
+            }
+        }
+        #[cfg(not(simsched))]
+        {
+            // The shim is the one sanctioned wrapper around the raw clock.
+            #[allow(clippy::disallowed_methods)]
+            Instant {
+                inner: std::time::Instant::now(),
+            }
+        }
+    }
+
+    /// Time elapsed since this instant was captured.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    /// Time between `earlier` and this instant; zero if `earlier` is later
+    /// (matching `saturating_duration_since`, which is what every caller in
+    /// this workspace wants from `duration_since` anyway).
+    #[inline]
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+
+    /// Time between `earlier` and this instant, zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        #[cfg(simsched)]
+        {
+            match (self.repr, earlier.repr) {
+                (Repr::Real(a), Repr::Real(b)) => a.saturating_duration_since(b),
+                (Repr::Virtual(a), Repr::Virtual(b)) => {
+                    Duration::from_nanos(a.saturating_sub(b) * NANOS_PER_TICK)
+                }
+                // Mixed real/virtual instants (captured across a model-run
+                // boundary) have no meaningful distance.
+                _ => Duration::ZERO,
+            }
+        }
+        #[cfg(not(simsched))]
+        {
+            self.inner.saturating_duration_since(earlier.inner)
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Sanity checks of the model checker itself on small hand-built protocols:
+//! races it must find, deadlocks it must report, and determinism it must
+//! keep. Only meaningful under `--cfg simsched` (the verify.sh `simsched`
+//! stage); in a normal build this file compiles to nothing.
+#![cfg(simsched)]
+
+use std::sync::Arc;
+
+use simsched::sync::atomic::{AtomicUsize, Ordering};
+use simsched::sync::{Condvar, Mutex};
+use simsched::{check, Checker, Failure, Mode};
+
+/// Two threads incrementing under a mutex: no failure, multiple schedules,
+/// and the exploration terminates (completeness flag set).
+#[test]
+fn mutex_counter_is_sound() {
+    let report = check(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let c2 = Arc::clone(&counter);
+        let t = simsched::thread::spawn(move || {
+            *c2.lock().unwrap() += 1;
+        });
+        *counter.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+    report.assert_ok();
+    assert!(report.complete, "exploration should exhaust the space");
+    assert!(
+        report.schedules >= 2,
+        "lock order must branch: got {} schedule(s)",
+        report.schedules
+    );
+}
+
+/// A torn read-modify-write (load, then store, as separate atomic ops) is a
+/// real atomicity bug; the checker must find the interleaving where one
+/// increment is lost and surface the body's assertion as a Panic failure.
+#[test]
+fn finds_lost_update_race() {
+    let report = check(|| {
+        let v = Arc::new(AtomicUsize::new(0));
+        let v2 = Arc::clone(&v);
+        let t = simsched::thread::spawn(move || {
+            let cur = v2.load(Ordering::SeqCst);
+            v2.store(cur + 1, Ordering::SeqCst);
+        });
+        let cur = v.load(Ordering::SeqCst);
+        v.store(cur + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(v.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(failure, Failure::Panic { message, .. } if message.contains("lost")),
+        "expected the lost-update assertion, got: {failure}"
+    );
+}
+
+/// The classic ABBA ordering: the checker must drive both threads between
+/// their two acquisitions and report the deadlock with both pending locks.
+#[test]
+fn finds_abba_deadlock() {
+    let report = check(|| {
+        let a = Arc::new(Mutex::labeled((), "abba-a"));
+        let b = Arc::new(Mutex::labeled((), "abba-b"));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = simsched::thread::spawn(move || {
+            let _b = b2.lock().unwrap();
+            let _a = a2.lock().unwrap();
+        });
+        {
+            let _a = a.lock().unwrap();
+            let _b = b.lock().unwrap();
+        }
+        t.join().unwrap();
+    });
+    match report.expect_failure() {
+        Failure::Deadlock { pending, .. } => {
+            let joined = pending.join("\n");
+            assert!(
+                joined.contains("abba-a") && joined.contains("abba-b"),
+                "deadlock report should name both locks:\n{joined}"
+            );
+        }
+        other => panic!("expected a deadlock, got: {other}"),
+    }
+}
+
+/// Strict mode turns a lost wakeup into a deadlock: the setter flips the
+/// flag but never notifies, so the waiter's `wait_timeout` — whose timeout
+/// transitions are disabled — can never be woken.
+#[test]
+fn strict_mode_catches_dropped_notify() {
+    fn body() {
+        let pair = Arc::new((Mutex::labeled(false, "dropped-notify-flag"), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = simsched::thread::spawn(move || {
+            // Deliberately broken: flag set under the lock, notify dropped.
+            *p2.0.lock().unwrap() = true;
+        });
+        {
+            let (flag, cv) = (&pair.0, &pair.1);
+            let mut guard = flag.lock().unwrap();
+            while !*guard {
+                let (g, _) = cv
+                    .wait_timeout(guard, std::time::Duration::from_millis(5))
+                    .unwrap();
+                guard = g;
+            }
+        }
+        t.join().unwrap();
+    }
+    let strict = Checker::new().check(body);
+    assert!(
+        matches!(strict.failure, Some(Failure::Deadlock { .. })),
+        "strict mode must report the dropped notify as a deadlock: {:?}",
+        strict.failure.map(|f| f.to_string())
+    );
+    // Lenient mode explores timeout wakes, but they are budgeted: a
+    // protocol whose only recovery is retry-on-timeout-forever is still
+    // reported (the schedule where the budget runs out before the flag
+    // flips is a deadlock). Bounded checking refuses unbounded-retry
+    // liveness arguments.
+    let lenient = Checker::new().timeouts(true).check(body);
+    assert!(
+        matches!(lenient.failure, Some(Failure::Deadlock { .. })),
+        "lenient mode must still reject the timeout-papered protocol: {:?}",
+        lenient.failure.map(|f| f.to_string())
+    );
+}
+
+/// A notify-correct protocol stays sound in lenient mode too: timeout
+/// transitions fire in some schedules, the predicate loop re-waits, and the
+/// guaranteed notify finishes the job.
+#[test]
+fn guarded_wait_survives_lenient_timeouts() {
+    let report = Checker::new().timeouts(true).check(|| {
+        let pair = Arc::new((Mutex::labeled(false, "lenient-flag"), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = simsched::thread::spawn(move || {
+            *p2.0.lock().unwrap() = true;
+            p2.1.notify_all();
+        });
+        {
+            let mut guard = pair.0.lock().unwrap();
+            while !*guard {
+                let (g, _) = pair
+                    .1
+                    .wait_timeout(guard, std::time::Duration::from_millis(5))
+                    .unwrap();
+                guard = g;
+            }
+        }
+        t.join().unwrap();
+    });
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+/// A predicate-guarded wait with a notify under the lock is sound in strict
+/// mode — the baseline the pool's done/done_cv protocol must meet.
+#[test]
+fn guarded_wait_with_notify_is_sound() {
+    let report = check(|| {
+        let pair = Arc::new((Mutex::labeled(false, "guarded-flag"), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = simsched::thread::spawn(move || {
+            *p2.0.lock().unwrap() = true;
+            p2.1.notify_all();
+        });
+        {
+            let mut guard = pair.0.lock().unwrap();
+            while !*guard {
+                guard = pair.1.wait(guard).unwrap();
+            }
+        }
+        t.join().unwrap();
+    });
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+/// An unguarded wait (no predicate loop) is broken even with the notify
+/// present: if the setter runs first, the notification is lost before the
+/// waiter parks. Strict mode reports the deadlock.
+#[test]
+fn unguarded_wait_is_caught() {
+    let report = check(|| {
+        let pair = Arc::new((Mutex::labeled(false, "unguarded-flag"), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = simsched::thread::spawn(move || {
+            *p2.0.lock().unwrap() = true;
+            p2.1.notify_all();
+        });
+        {
+            // Deliberately broken: waits unconditionally, no predicate.
+            let guard = pair.0.lock().unwrap();
+            let _guard = pair.1.wait(guard).unwrap();
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        matches!(report.failure, Some(Failure::Deadlock { .. })),
+        "unguarded wait must deadlock in some schedule: {:?}",
+        report.failure.map(|f| f.to_string())
+    );
+}
+
+/// Seeded random mode is deterministic: same seed, same exploration.
+#[test]
+fn random_mode_is_deterministic() {
+    fn run(seed: u64) -> (u64, u64) {
+        let report = Checker::new()
+            .mode(Mode::Random {
+                seed,
+                iterations: 50,
+            })
+            .check(|| {
+                let counter = Arc::new(Mutex::new(0u32));
+                let c2 = Arc::clone(&counter);
+                let t = simsched::thread::spawn(move || {
+                    *c2.lock().unwrap() += 1;
+                });
+                *counter.lock().unwrap() += 1;
+                t.join().unwrap();
+            });
+        report.assert_ok();
+        (report.schedules, report.transitions)
+    }
+    assert_eq!(run(0xC0FFEE), run(0xC0FFEE));
+}
+
+/// Sleep sets must prune commuting interleavings: two threads touching
+/// disjoint mutexes have no meaningful orderings, so the explored schedule
+/// count stays small and some runs are pruned.
+#[test]
+fn sleep_sets_prune_independent_ops() {
+    let report = check(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let b2 = Arc::clone(&b);
+        let t = simsched::thread::spawn(move || {
+            *b2.lock().unwrap() += 1;
+        });
+        *a.lock().unwrap() += 1;
+        t.join().unwrap();
+    });
+    report.assert_ok();
+    assert!(report.complete);
+    println!(
+        "disjoint-locks model: {} schedules, {} pruned, {} transitions",
+        report.schedules, report.pruned, report.transitions
+    );
+}

@@ -101,6 +101,10 @@ fn main() {
         println!();
         print!("{}", section.render());
     }
+    if let Some(lock_order) = &report.lock_order {
+        println!();
+        print!("{lock_order}");
+    }
     for path in &report.outputs {
         println!("wrote {}", path.display());
     }

@@ -64,6 +64,17 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         session.enable_event_trace();
     }
 
+    // Lock-order diagnostics: wire simsched's attribution hooks to Caliper
+    // (region context on every recorded edge, `simsched.*` instants on the
+    // event-trace timeline) and start recording before the first kernel so
+    // the graph covers the pool's warm-up acquisitions too.
+    if params.lock_order {
+        simsched::set_context_provider(Some(caliper::current_region_path));
+        simsched::set_instant_sink(Some(caliper::trace::instant_event));
+        simsched::lockorder::reset();
+        simsched::lockorder::enable();
+    }
+
     // Fault injection: (re)install the spec at the start of every run so
     // draw counters reset — each run_suite call (each sweep cell included)
     // replays the identical deterministic fault sequence, interrupted or
@@ -192,6 +203,23 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         section
     });
 
+    // Lock-order findings: stop recording, render the cycle report, and put
+    // the cycle count in the profile globals (before the flush below, so
+    // written profiles carry it and Thicket-side analysis can filter runs
+    // with findings). Hooks are unhooked so a later non-diagnostic run in
+    // this process pays nothing.
+    let lock_order = params.lock_order.then(|| {
+        simsched::lockorder::disable();
+        let cycles = simsched::lockorder::cycle_count();
+        session.set_global("lockorder.cycles", cycles as i64);
+        let text = simsched::lockorder::report().unwrap_or_else(|| {
+            "simsched lock-order analysis: no potential deadlock cycles detected\n".to_string()
+        });
+        simsched::set_context_provider(None);
+        simsched::set_instant_sink(None);
+        text
+    });
+
     let mut outputs = Vec::new();
     if let Some(cm) = &spec_cm {
         if let Some(err) = cm.error() {
@@ -232,6 +260,7 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         profile: session.profile(),
         outputs,
         sanitize,
+        lock_order,
         outcomes,
     }
 }

@@ -60,6 +60,13 @@ pub struct RunParams {
     /// start of every [`crate::run_suite`] call, so each sweep cell replays
     /// the same fault sequence whether or not the sweep was interrupted.
     pub faults: Option<String>,
+    /// Run with the lock-order deadlock analyzer recording every shim mutex
+    /// acquisition (`--lock-order`): potential-deadlock cycles across the
+    /// pool/trace/fault-scope locks are reported after the run with both
+    /// acquisition stacks and Caliper region attribution. Diagnostic mode —
+    /// a backtrace is captured per acquisition, so timings are not
+    /// measurement-grade.
+    pub lock_order: bool,
     /// Watchdog deadline per kernel-variant execution attempt (`--timeout`).
     pub timeout: Option<std::time::Duration>,
     /// Retries allowed per kernel for *transient* failures (`--retries`).
@@ -87,6 +94,7 @@ impl Default for RunParams {
             trace: None,
             trace_folded: None,
             faults: None,
+            lock_order: false,
             timeout: None,
             max_retries: 0,
             retry_backoff: std::time::Duration::from_millis(50),
@@ -264,6 +272,7 @@ impl RunParams {
                     p.trace_folded = Some(std::path::PathBuf::from(value("--trace-folded")?))
                 }
                 "--faults" => p.faults = Some(value("--faults")?),
+                "--lock-order" => p.lock_order = true,
                 "--timeout" => {
                     let secs: f64 = value("--timeout")?
                         .parse()
@@ -330,6 +339,11 @@ impl RunParams {
         }
         if self.trace_folded.is_some() && self.trace.is_none() {
             return Err("--trace-folded requires --trace".to_string());
+        }
+        if self.sweep && self.lock_order {
+            return Err(
+                "--lock-order analyzes a single run; do not combine with --sweep".to_string(),
+            );
         }
         if let Some(spec) = &self.faults {
             // Strict at the CLI: a typoed failpoint name must not silently
@@ -419,6 +433,15 @@ impl RunParams {
                                         failures (default 0)\n\
            --retry-backoff-ms MS        base linear backoff between retries\n\
                                         (default 50)\n\
+         \n\
+         Diagnostics:\n\
+           --lock-order                 record the lock-acquisition order graph\n\
+                                        across the pool, trace, and fault-scope\n\
+                                        locks and report potential-deadlock\n\
+                                        cycles (both acquisition stacks, kernel\n\
+                                        region attribution) after the run;\n\
+                                        captures a backtrace per acquisition, so\n\
+                                        do not combine with timing measurements\n\
          \n\
          Exit codes:\n\
            0 success | 1 internal error | 2 usage | 3 checksum failure |\n\
@@ -542,6 +565,17 @@ mod tests {
         assert!(
             RunParams::parse(&args("--sweep --trace out.trace.json")).is_err(),
             "a sweep is many runs; a trace is one run's timeline"
+        );
+    }
+
+    #[test]
+    fn lock_order_flag_parses_and_rejects_sweep() {
+        assert!(!RunParams::default().lock_order);
+        let p = RunParams::parse(&args("--lock-order")).unwrap();
+        assert!(p.lock_order);
+        assert!(
+            RunParams::parse(&args("--sweep --lock-order")).is_err(),
+            "a sweep is many runs; lock-order analysis reports one run"
         );
     }
 

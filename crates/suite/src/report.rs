@@ -59,6 +59,10 @@ pub struct SuiteReport {
     pub outputs: Vec<std::path::PathBuf>,
     /// Sanitizer results when the run was invoked with `--sanitize`.
     pub sanitize: Option<SanitizeSection>,
+    /// Lock-order analysis when the run was invoked with `--lock-order`:
+    /// the rendered cycle report (both acquisition stacks, region
+    /// attribution) when cycles were found, or a one-line all-clear.
+    pub lock_order: Option<String>,
     /// Per-kernel execution outcomes, one per selected kernel that supports
     /// the variant — including the failed/timed-out ones that have no
     /// [`TimingEntry`].
@@ -333,6 +337,7 @@ mod tests {
             profile: caliper::Profile::default(),
             outputs: vec![],
             sanitize: None,
+            lock_order: None,
             outcomes: vec![],
         };
         assert_eq!(report.to_csv().lines().count(), 3);
@@ -348,6 +353,7 @@ mod tests {
             profile: caliper::Profile::default(),
             outputs: vec![],
             sanitize: None,
+            lock_order: None,
             outcomes: vec![
                 OutcomeRecord {
                     kernel: "A".into(),

@@ -9,14 +9,14 @@
 
 use std::path::Path;
 use std::process::Command;
-use std::sync::Mutex;
+use simsched::sync::Mutex;
 use std::time::Duration;
 
 use suite::{run_suite, KernelOutcome, RunParams, Selection};
 
 static GATE: Mutex<()> = Mutex::new(());
 
-fn gate() -> std::sync::MutexGuard<'static, ()> {
+fn gate() -> simsched::sync::MutexGuard<'static, ()> {
     GATE.lock().unwrap_or_else(|e| e.into_inner())
 }
 

@@ -12,7 +12,7 @@
 //! process-global, so the tests serialize on one lock.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use simsched::sync::Mutex;
 use suite::{run_suite, RunParams, Selection};
 
 static LOCK: Mutex<()> = Mutex::new(());

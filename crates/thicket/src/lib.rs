@@ -798,6 +798,9 @@ mod tests {
                 Thicket::from_profiles(&[ProfileData { globals, records }])
             })
             .collect();
+        // Deliberately real wall-clock: this asserts an actual performance
+        // bound on concat, which a virtual clock would trivialize.
+        #[allow(clippy::disallowed_methods)]
         let start = std::time::Instant::now();
         let combined = Thicket::concat(&cells);
         let elapsed = start.elapsed();

@@ -6,6 +6,10 @@
 //! `sample_size` batches and report the per-iteration mean and min to
 //! stdout. No statistics, plots, or baselines.
 
+// Third-party stand-in: exempt from the workspace simsched-shim lint policy
+// (clippy.toml); benchmark timing must read the real wall clock.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -6,6 +6,10 @@
 //! std lock (a panic while held) is recovered rather than propagated,
 //! matching parking_lot's no-poisoning semantics.
 
+// Third-party stand-in: exempt from the workspace simsched-shim lint policy
+// (clippy.toml); it wraps the raw std primitives by design.
+#![allow(clippy::disallowed_types)]
+
 use std::sync;
 
 /// A mutual-exclusion lock whose `lock` never fails (parking_lot API).

@@ -30,7 +30,7 @@ use std::ops::{Range, RangeInclusive};
 
 mod pool;
 
-pub use pool::{current_num_threads, current_worker_index};
+pub use pool::{current_num_threads, current_worker_index, PoolCore};
 
 // --------------------------------------------------------------- producers
 
@@ -208,6 +208,8 @@ where
         self.base.len()
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> B {
         // SAFETY: same contract as ours.
         (self.f)(unsafe { self.base.produce(i) })
@@ -227,6 +229,8 @@ impl<P: Producer> Producer for Enumerate<P> {
         self.base.len()
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> (usize, P::Item) {
         // SAFETY: same contract as ours.
         (i, unsafe { self.base.produce(i) })
@@ -248,6 +252,8 @@ impl<A: Producer, B: Producer> Producer for Zip<A, B> {
         self.a.len().min(self.b.len())
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> (A::Item, B::Item) {
         // SAFETY: same contract as ours, and `i < min(a.len, b.len)`.
         (unsafe { self.a.produce(i) }, unsafe { self.b.produce(i) })
@@ -457,6 +463,8 @@ impl Producer for RangeProducer {
         self.len
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> usize {
         self.start + i
     }
@@ -519,6 +527,8 @@ impl<T: Send> Producer for VecProducer<T> {
         self.len
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> T {
         // SAFETY: `i < self.len` elements are initialized, and the engine
         // produces each index at most once, so this read does not duplicate.
@@ -548,6 +558,8 @@ impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
         self.s.len()
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> &'a T {
         // SAFETY: `i < len`.
         unsafe { self.s.get_unchecked(i) }
@@ -567,6 +579,8 @@ impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
         self.s.len().div_ceil(self.size)
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> &'a [T] {
         let lo = i * self.size;
         let hi = (lo + self.size).min(self.s.len());
@@ -595,6 +609,8 @@ impl<'a, T: Send> Producer for IterMutProducer<'a, T> {
         self.len
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> &'a mut T {
         // SAFETY: `i < len`, and each index is produced at most once, so the
         // returned borrows never alias.
@@ -621,6 +637,8 @@ impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
         self.len.div_ceil(self.size)
     }
 
+    // SAFETY: unsafe per the `Producer` contract — the caller guarantees
+    // `i < self.len()` and produces each position at most once.
     unsafe fn produce(&self, i: usize) -> &'a mut [T] {
         let lo = i * self.size;
         let hi = (lo + self.size).min(self.len);

@@ -16,11 +16,30 @@
 //! engine never spawns a thread and every call degrades to an in-place
 //! sequential loop on the caller — bitwise-identical to the old sequential
 //! stand-in.
+//!
+//! Concurrency soundness: every lock, condvar, and atomic here goes through
+//! the `simsched` shim — zero-cost passthroughs normally, scheduling points
+//! under the bounded model checker. [`PoolCore`] exists so the checker can
+//! build small-width pools inside a model body and exhaustively explore the
+//! steal/inject, join-counter, poisoning, and shutdown protocols
+//! (`crates/simsched/tests/`). Protocol notes proved out by those models:
+//! the `done` flag is written under its mutex (so the submitter's
+//! predicate-guarded wait cannot lose the final wakeup), and [`shutdown`]
+//! sets its flag while holding the injector lock — the lock an idle worker
+//! holds while deciding to sleep — so no worker can check-then-park around
+//! shutdown. The worker idle wait's `notify_one` (from [`run_segment`]'s
+//! splits) *can* be lost by design; that costs wakeup latency (bounded by
+//! the 5ms timeout), never completion: the submitting caller can always
+//! finish every chunk alone.
+//!
+//! [`shutdown`]: PoolCore::shutdown
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use simsched::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use simsched::sync::{Condvar, Mutex};
 
 /// Target number of chunks per pool thread: enough slack for stealing to
 /// balance uneven chunks without drowning small loops in scheduling overhead.
@@ -38,8 +57,8 @@ thread_local! {
 struct JobSet {
     /// The span function, as a raw pointer because its true lifetime is the
     /// duration of the submitting call. Validity: the submitter blocks in
-    /// [`execute`] until `remaining` reaches zero, and every chunk finishes
-    /// (or is skipped after a panic) before that final decrement.
+    /// [`PoolCore::execute`] until `remaining` reaches zero, and every chunk
+    /// finishes (or is skipped after a panic) before that final decrement.
     run_span: *const (dyn Fn(usize, usize) + Sync),
     /// Total item count.
     len: usize,
@@ -51,7 +70,10 @@ struct JobSet {
     poisoned: AtomicBool,
     /// First panic payload, re-thrown on the submitting thread.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    /// Completion flag + condvar the submitter waits on.
+    /// Completion flag + condvar the submitter waits on. The flag write in
+    /// [`JobSet::run_chunk`] happens under the mutex: the submitter's
+    /// check-then-wait holds the lock across both, so the final notify can
+    /// never fall between its predicate read and its park.
     done: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -103,6 +125,9 @@ struct Shared {
     /// Idle workers sleep here (paired with the injector mutex); woken on
     /// every push, with a timeout as a missed-notification safety net.
     wakeup: Condvar,
+    /// Set under the injector lock by [`PoolCore::shutdown`]; workers exit
+    /// their loop once they observe it.
+    shutdown: AtomicBool,
 }
 
 impl Shared {
@@ -152,9 +177,183 @@ impl Shared {
     }
 }
 
-struct Pool {
+/// A work-stealing pool instance: `width - 1` workers plus the participating
+/// submitter. The process-wide pool is one of these behind a `OnceLock`;
+/// model-checker tests build their own small ones to explore the protocols
+/// exhaustively, which is why this type (unlike upstream rayon's registry)
+/// is public.
+pub struct PoolCore {
     threads: usize,
     shared: Arc<Shared>,
+    workers: Vec<simsched::thread::JoinHandle<()>>,
+}
+
+impl PoolCore {
+    /// Build a pool of the given width (total threads including the
+    /// submitter; width 1 spawns nothing and runs everything inline).
+    pub fn new(threads: usize) -> PoolCore {
+        let threads = threads.max(1);
+        // The submitting thread participates in every job, so spawn one
+        // fewer worker than the configured width.
+        let nworkers = threads - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..nworkers)
+                .map(|_| Mutex::labeled(VecDeque::new(), "rayon.worker_queue"))
+                .collect(),
+            injector: Mutex::labeled(VecDeque::new(), "rayon.injector"),
+            wakeup: Condvar::labeled("rayon.wakeup"),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..nworkers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                simsched::thread::Builder::new()
+                    .name(format!("rayon-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        PoolCore {
+            threads,
+            shared,
+            workers,
+        }
+    }
+
+    /// Pool width (workers plus the participating submitter).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How a parallel call over `len` items will be partitioned: `(nchunks,
+    /// chunk)` with chunk boundaries at multiples of `chunk`. The grid
+    /// depends only on the length, the pool width, and whether the calling
+    /// thread is a pool worker — never on scheduling — so the iterator layer
+    /// can allocate one result slot per chunk and combine them in chunk
+    /// order.
+    pub fn plan(&self, len: usize) -> (usize, usize) {
+        if self.threads <= 1 || len <= 1 || WORKER_INDEX.with(std::cell::Cell::get).is_some() {
+            return (1, len.max(1));
+        }
+        let chunk = len.div_ceil(self.threads * CHUNKS_PER_THREAD).max(1);
+        (len.div_ceil(chunk), chunk)
+    }
+
+    /// Execute `f` over every span of the grid `(nchunks, chunk)` previously
+    /// returned by [`PoolCore::plan`] for the same `len`. Spans are
+    /// `[lo, hi)` item ranges; each is run exactly once, possibly on
+    /// different threads. Blocks until all spans completed; re-throws the
+    /// first panic.
+    pub fn execute(
+        &self,
+        len: usize,
+        nchunks: usize,
+        chunk: usize,
+        f: &(dyn Fn(usize, usize) + Sync),
+    ) {
+        if nchunks <= 1 {
+            f(0, len);
+            return;
+        }
+        // Erase the span function's lifetime; see the field's validity
+        // argument.
+        type SpanFn<'a> = *const (dyn Fn(usize, usize) + Sync + 'a);
+        // SAFETY: the 'static lifetime is a lie confined to this call: the
+        // pointer is dropped with the JobSet, and this function does not
+        // return until every chunk has run (the done/done_cv wait below), so
+        // the pointee outlives every dereference.
+        let run_span = unsafe { std::mem::transmute::<SpanFn<'_>, SpanFn<'static>>(f) };
+        let set = Arc::new(JobSet {
+            run_span,
+            len,
+            chunk,
+            remaining: AtomicUsize::new(nchunks),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::labeled(None, "rayon.jobset.panic"),
+            done: Mutex::labeled(false, "rayon.jobset.done"),
+            done_cv: Condvar::labeled("rayon.jobset.done_cv"),
+        });
+        {
+            // Seed one contiguous segment per thread so every worker has a
+            // starting assignment before stealing begins.
+            let parts = self.threads.min(nchunks);
+            let per = nchunks / parts;
+            let extra = nchunks % parts;
+            let mut start = 0;
+            let mut inj = self.shared.injector.lock().unwrap();
+            for i in 0..parts {
+                let span = per + usize::from(i < extra);
+                inj.push_back(Segment {
+                    set: Arc::clone(&set),
+                    lo: start,
+                    hi: start + span,
+                });
+                start += span;
+            }
+        }
+        self.shared.wakeup.notify_all();
+        // Participate until this job completes (running other jobs' segments
+        // too, if stealing happens to surface them — they also make
+        // progress).
+        loop {
+            if let Some(seg) = self.shared.find_work(None) {
+                self.shared.run_segment(None, seg);
+                continue;
+            }
+            let guard = set.done.lock().unwrap();
+            if *guard {
+                break;
+            }
+            let (guard, _) = set
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+            if *guard {
+                break;
+            }
+        }
+        let payload = set.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Stop and join every worker. The flag is set while holding the
+    /// injector lock — the lock an idle worker holds while deciding to
+    /// sleep — so a worker cannot observe `shutdown == false`, then park
+    /// after the notify: either it sees the flag, or it is already parked
+    /// when `notify_all` fires. (The model checker explores this protocol in
+    /// strict mode, where a lost shutdown wakeup would be a reported
+    /// deadlock.)
+    pub fn shutdown(&mut self) {
+        {
+            let _inj = self.shared.injector.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.wakeup.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Signal shutdown but don't join: under the model checker an
+            // abandoned run unwinds with scheduling points disabled, and a
+            // blocking join here could wait on workers the (now inert)
+            // scheduler will never run. The flag plus the idle-wait timeout
+            // lets them exit on their own.
+            {
+                let _inj = self.shared.injector.lock().unwrap();
+                self.shared.shutdown.store(true, Ordering::Release);
+            }
+            self.shared.wakeup.notify_all();
+        } else {
+            self.shutdown();
+        }
+    }
 }
 
 fn width_from_env() -> usize {
@@ -167,39 +366,26 @@ fn width_from_env() -> usize {
     }
 }
 
-fn pool() -> &'static Pool {
-    static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| {
-        let threads = width_from_env();
-        // The submitting thread participates in every job, so spawn one
-        // fewer worker than the configured width.
-        let workers = threads.saturating_sub(1);
-        let shared = Arc::new(Shared {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            injector: Mutex::new(VecDeque::new()),
-            wakeup: Condvar::new(),
-        });
-        for w in 0..workers {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("rayon-worker-{w}"))
-                .spawn(move || worker_loop(&shared, w))
-                .expect("spawn pool worker");
-        }
-        Pool { threads, shared }
-    })
+fn pool() -> &'static PoolCore {
+    static POOL: OnceLock<PoolCore> = OnceLock::new();
+    POOL.get_or_init(|| PoolCore::new(width_from_env()))
 }
 
 fn worker_loop(shared: &Shared, w: usize) {
     WORKER_INDEX.with(|f| f.set(Some(w)));
     loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
         if let Some(seg) = shared.find_work(Some(w)) {
             shared.run_segment(Some(w), seg);
         } else {
             let guard = shared.injector.lock().unwrap();
-            if guard.is_empty() {
+            if guard.is_empty() && !shared.shutdown.load(Ordering::Relaxed) {
                 // Sleep until a push notifies us; the timeout re-scans the
-                // per-worker queues in case a notification raced past.
+                // per-worker queues in case a notification raced past (a
+                // split's notify_one is allowed to be lost — see module
+                // docs).
                 let _ = shared
                     .wakeup
                     .wait_timeout(guard, Duration::from_millis(5))
@@ -207,6 +393,7 @@ fn worker_loop(shared: &Shared, w: usize) {
             }
         }
     }
+    WORKER_INDEX.with(|f| f.set(None));
 }
 
 /// Number of threads the pool uses (workers plus the participating caller).
@@ -223,83 +410,14 @@ pub fn current_worker_index() -> Option<usize> {
     WORKER_INDEX.with(std::cell::Cell::get)
 }
 
-/// How a parallel call over `len` items will be partitioned: `(nchunks,
-/// chunk)` with chunk boundaries at multiples of `chunk`. The grid depends
-/// only on the length, the pool width, and whether the calling thread is a
-/// pool worker — never on scheduling — so the iterator layer can allocate
-/// one result slot per chunk and combine them in chunk order.
+/// Partition a parallel call over the process-wide pool; see
+/// [`PoolCore::plan`].
 pub(crate) fn plan(len: usize) -> (usize, usize) {
-    let threads = pool().threads;
-    if threads <= 1 || len <= 1 || WORKER_INDEX.with(std::cell::Cell::get).is_some() {
-        return (1, len.max(1));
-    }
-    let chunk = len.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
-    (len.div_ceil(chunk), chunk)
+    pool().plan(len)
 }
 
-/// Execute `f` over every span of the grid `(nchunks, chunk)` previously
-/// returned by [`plan`] for the same `len`. Spans are `[lo, hi)` item
-/// ranges; each is run exactly once, possibly on different threads. Blocks
-/// until all spans completed; re-throws the first panic.
+/// Execute a span function over the process-wide pool; see
+/// [`PoolCore::execute`].
 pub(crate) fn execute(len: usize, nchunks: usize, chunk: usize, f: &(dyn Fn(usize, usize) + Sync)) {
-    if nchunks <= 1 {
-        f(0, len);
-        return;
-    }
-    let p = pool();
-    // Erase the span function's lifetime; see the field's validity argument.
-    type SpanFn<'a> = *const (dyn Fn(usize, usize) + Sync + 'a);
-    let run_span = unsafe { std::mem::transmute::<SpanFn<'_>, SpanFn<'static>>(f) };
-    let set = Arc::new(JobSet {
-        run_span,
-        len,
-        chunk,
-        remaining: AtomicUsize::new(nchunks),
-        poisoned: AtomicBool::new(false),
-        panic: Mutex::new(None),
-        done: Mutex::new(false),
-        done_cv: Condvar::new(),
-    });
-    {
-        // Seed one contiguous segment per thread so every worker has a
-        // starting assignment before stealing begins.
-        let parts = p.threads.min(nchunks);
-        let per = nchunks / parts;
-        let extra = nchunks % parts;
-        let mut start = 0;
-        let mut inj = p.shared.injector.lock().unwrap();
-        for i in 0..parts {
-            let span = per + usize::from(i < extra);
-            inj.push_back(Segment {
-                set: Arc::clone(&set),
-                lo: start,
-                hi: start + span,
-            });
-            start += span;
-        }
-    }
-    p.shared.wakeup.notify_all();
-    // Participate until this job completes (running other jobs' segments
-    // too, if stealing happens to surface them — they also make progress).
-    loop {
-        if let Some(seg) = p.shared.find_work(None) {
-            p.shared.run_segment(None, seg);
-            continue;
-        }
-        let guard = set.done.lock().unwrap();
-        if *guard {
-            break;
-        }
-        let (guard, _) = set
-            .done_cv
-            .wait_timeout(guard, Duration::from_millis(1))
-            .unwrap();
-        if *guard {
-            break;
-        }
-    }
-    let payload = set.panic.lock().unwrap().take();
-    if let Some(payload) = payload {
-        std::panic::resume_unwind(payload);
-    }
+    pool().execute(len, nchunks, chunk, f)
 }

@@ -16,7 +16,7 @@ fn one_thread_runs_in_order_on_the_caller() {
     force_one_thread();
     assert_eq!(rayon::current_num_threads(), 1);
     let me = std::thread::current().id();
-    let order = std::sync::Mutex::new(Vec::new());
+    let order = simsched::sync::Mutex::new(Vec::new());
     (0..1_000usize).into_par_iter().for_each(|i| {
         assert_eq!(std::thread::current().id(), me, "must stay on the caller");
         order.lock().unwrap().push(i);

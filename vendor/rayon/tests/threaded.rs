@@ -7,7 +7,7 @@
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use simsched::sync::Mutex;
 use std::time::Duration;
 
 fn force_threads() {
