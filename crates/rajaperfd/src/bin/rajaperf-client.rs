@@ -1,0 +1,121 @@
+//! The `rajaperf-client` binary: submit one request to a running
+//! `rajaperfd`, stream its events to stdout, and exit with the daemon's
+//! `done.exit_code` (the `SuiteExit` taxonomy — an unreachable daemon is
+//! exit 6, unavailable).
+
+use rajaperfd::protocol::Request;
+use serde_json::Value;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+rajaperf-client - submit requests to a running rajaperfd
+
+USAGE:
+    rajaperf-client [--socket <PATH>] [--id <ID>] <COMMAND>
+
+COMMANDS:
+    run -- <rajaperf args>      Execute a campaign (e.g. run -- --kernels Basic_DAXPY --size 1000)
+    sweep -- <rajaperf args>    Execute a tuning sweep (argv must include --sweep and --sweep-dir)
+    analyze <DIR> [METRIC]      Compose <DIR>'s .cali.json profiles [metric: avg#time.duration]
+    ping                        Liveness probe
+    stats                       Store and queue counters
+    shutdown                    Graceful shutdown: drain in-flight work, then exit
+
+OPTIONS:
+    --socket <PATH>    Daemon socket [default: target/rajaperfd.sock]
+    --id <ID>          Request id echoed on every event [default: cli-<pid>]
+
+Events stream to stdout as JSON lines; the exit code mirrors the daemon's
+done.exit_code (0 success, 2 usage, 5 kernel failures, 6 unavailable).
+";
+
+fn parse(mut args: Vec<String>) -> Result<(PathBuf, Request), String> {
+    let mut socket = PathBuf::from("target/rajaperfd.sock");
+    let mut id = format!("cli-{}", std::process::id());
+    while let Some(flag) = args.first().map(String::as_str) {
+        match flag {
+            "--socket" => {
+                args.remove(0);
+                if args.is_empty() {
+                    return Err("--socket requires a value".into());
+                }
+                socket = PathBuf::from(args.remove(0));
+            }
+            "--id" => {
+                args.remove(0);
+                if args.is_empty() {
+                    return Err("--id requires a value".into());
+                }
+                id = args.remove(0);
+            }
+            _ => break,
+        }
+    }
+    let Some(command) = args.first().cloned() else {
+        return Err("no command given".into());
+    };
+    args.remove(0);
+    let after_separator = |mut rest: Vec<String>| -> Vec<String> {
+        if rest.first().map(String::as_str) == Some("--") {
+            rest.remove(0);
+        }
+        rest
+    };
+    let req = match command.as_str() {
+        "run" => Request::Run {
+            id,
+            argv: after_separator(args),
+        },
+        "sweep" => Request::Sweep {
+            id,
+            argv: after_separator(args),
+        },
+        "analyze" => {
+            let Some(dir) = args.first().cloned() else {
+                return Err("analyze requires a directory".into());
+            };
+            let metric = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "avg#time.duration".to_string());
+            Request::Analyze { id, dir, metric }
+        }
+        "ping" => Request::Ping { id },
+        "stats" => Request::Stats { id },
+        "shutdown" => Request::Shutdown { id },
+        other => return Err(format!("unknown command '{other}'")),
+    };
+    Ok((socket, req))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let (socket, req) = match parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rajaperf-client: {e}\n\n{USAGE}");
+            std::process::exit(suite::SuiteExit::Usage.code());
+        }
+    };
+    // Write events with errors ignored: stdout closing early (`| head`)
+    // must not kill the client before it reads the exit code from `done`.
+    let mut out = std::io::stdout();
+    let response = rajaperfd::submit_with(&socket, &req, &mut |event: &Value| {
+        use std::io::Write;
+        let _ = writeln!(out, "{event}");
+    });
+    match response {
+        Ok(r) => std::process::exit(r.exit_code),
+        Err(e) => {
+            eprintln!(
+                "rajaperf-client: cannot reach daemon at {}: {e}",
+                socket.display()
+            );
+            std::process::exit(suite::SuiteExit::Unavailable.code());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The `rajaperfd` server binary: bind the socket, serve until a client
+//! sends `shutdown`.
+
+use rajaperfd::{Daemon, DaemonConfig};
+
+const USAGE: &str = "\
+rajaperfd - RAJAPerf-rs profiling daemon
+
+USAGE:
+    rajaperfd [OPTIONS]
+
+OPTIONS:
+    --socket <PATH>    Unix socket to listen on [default: target/rajaperfd.sock]
+    --store <PATH>     Content-addressed profile store root [default: target/rajaperfd-store]
+    --queue <N>        Bounded request queue capacity [default: 16]
+    --workers <N>      Worker threads executing requests [default: 2]
+    --help             Print this help
+
+The daemon serves run/sweep/analyze requests (line-delimited JSON, one
+request per connection; see rajaperf-client) until a shutdown request
+arrives, then drains queued and in-flight work and exits.
+";
+
+fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig::default_paths();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag {
+            "--socket" => config.socket = value("--socket")?.into(),
+            "--store" => config.store_dir = value("--store")?.into(),
+            "--queue" => {
+                config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue requires a positive integer".to_string())?;
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers requires a positive integer".to_string())?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rajaperfd: {e}\n\n{USAGE}");
+            std::process::exit(suite::SuiteExit::Usage.code());
+        }
+    };
+    let socket = config.socket.clone();
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rajaperfd: failed to start on {}: {e}", socket.display());
+            std::process::exit(suite::SuiteExit::Internal.code());
+        }
+    };
+    println!(
+        "rajaperfd {} listening on {}",
+        suite::code_version(),
+        daemon.socket().display()
+    );
+    if let Err(e) = daemon.wait() {
+        eprintln!("rajaperfd: shutdown cleanup failed: {e}");
+        std::process::exit(suite::SuiteExit::Internal.code());
+    }
+}

@@ -1,0 +1,129 @@
+//! Client side of the daemon protocol: connect, send one request line,
+//! stream event lines until `done`.
+
+use crate::protocol::Request;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Everything the daemon sent for one request, in arrival order, plus the
+/// exit code from the terminal `done` event.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Every event object, in the order received.
+    pub events: Vec<Value>,
+    /// `done.exit_code`, mirroring the [`suite::SuiteExit`] taxonomy; `1`
+    /// (internal) when the connection ended without a `done` event.
+    pub exit_code: i32,
+}
+
+impl Response {
+    /// The first event of the given `event` kind.
+    pub fn find(&self, event: &str) -> Option<&Value> {
+        self.events
+            .iter()
+            .find(|e| e.get("event").and_then(Value::as_str) == Some(event))
+    }
+
+    /// The `result` event's `report`, if the request produced one.
+    pub fn report(&self) -> Option<&Value> {
+        self.find("result").and_then(|e| e.get("report"))
+    }
+
+    /// Whether the result was served from the store.
+    pub fn cached(&self) -> bool {
+        self.find("result")
+            .and_then(|e| e.get("cached"))
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// The first typed error as `(code, message)`.
+    pub fn error(&self) -> Option<(&str, &str)> {
+        let e = self.find("error")?;
+        Some((
+            e.get("code").and_then(Value::as_str).unwrap_or("internal"),
+            e.get("message").and_then(Value::as_str).unwrap_or(""),
+        ))
+    }
+
+    /// Number of streamed per-kernel `progress` events.
+    pub fn progress_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.get("event").and_then(Value::as_str) == Some("progress"))
+            .count()
+    }
+}
+
+/// Submit `req` over `socket` and collect the full event stream.
+pub fn submit(socket: &Path, req: &Request) -> std::io::Result<Response> {
+    submit_with(socket, req, &mut |_| {})
+}
+
+/// [`submit`], invoking `on_event` as each event line arrives — the
+/// streaming interface the CLI uses to tail progress live.
+pub fn submit_with(
+    socket: &Path,
+    req: &Request,
+    on_event: &mut dyn FnMut(&Value),
+) -> std::io::Result<Response> {
+    let mut stream = UnixStream::connect(socket)?;
+    let mut line = req.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+
+    let mut events = Vec::new();
+    let mut exit_code = 1; // internal, unless a `done` event says otherwise
+    for read in BufReader::new(stream).lines() {
+        let text = read?;
+        if text.trim().is_empty() {
+            continue;
+        }
+        let Ok(event) = serde_json::from_str::<Value>(&text) else {
+            continue;
+        };
+        on_event(&event);
+        let done = event.get("event").and_then(Value::as_str) == Some("done");
+        if done {
+            exit_code = event
+                .get("exit_code")
+                .and_then(Value::as_i64)
+                .unwrap_or(1) as i32;
+        }
+        events.push(event);
+        if done {
+            break;
+        }
+    }
+    Ok(Response { events, exit_code })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn response_accessors_read_the_stream() {
+        let r = Response {
+            events: vec![
+                json!({"event": "accepted", "id": "x", "queue_depth": 0}),
+                json!({"event": "started", "id": "x"}),
+                json!({"event": "progress", "id": "x", "kernel": "k", "index": 1, "total": 2}),
+                json!({"event": "progress", "id": "x", "kernel": "j", "index": 2, "total": 2}),
+                json!({"event": "result", "id": "x", "cached": true, "report": json!({"ok": 1})}),
+                json!({"event": "error", "id": "x", "code": "kernel_failures", "message": "m"}),
+                json!({"event": "done", "id": "x", "exit_code": 5}),
+            ],
+            exit_code: 5,
+        };
+        assert_eq!(r.progress_count(), 2);
+        assert!(r.cached());
+        assert_eq!(r.report().unwrap()["ok"].as_i64(), Some(1));
+        assert_eq!(r.error(), Some(("kernel_failures", "m")));
+        assert!(r.find("pong").is_none());
+    }
+}

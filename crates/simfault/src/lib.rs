@@ -355,6 +355,59 @@ pub fn set_observer(observer: Option<Observer>) {
     *observer_slot().lock().unwrap() = observer;
 }
 
+fn owner_slot() -> &'static Mutex<Option<String>> {
+    static OWNER: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    OWNER.get_or_init(|| Mutex::new(None))
+}
+
+/// Exclusive claim on the process-global fault state, released (and the
+/// state [`disarm`]ed) on drop. Cooperative: concurrent users — daemon
+/// requests, primarily — must [`acquire`] before [`install`]ing so one
+/// request's injected faults can never leak into another's execution. The
+/// one-shot CLI, which owns its whole process, installs directly.
+#[must_use = "dropping the ownership immediately disarms and releases it"]
+#[derive(Debug)]
+pub struct FaultOwnership {
+    owner: String,
+}
+
+impl FaultOwnership {
+    /// The label this claim was acquired under.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+}
+
+impl Drop for FaultOwnership {
+    fn drop(&mut self) {
+        disarm();
+        *owner_slot().lock().unwrap() = None;
+    }
+}
+
+/// Claim exclusive ownership of the global fault state under `owner` (e.g.
+/// a daemon request id). Fails — naming the current holder, so the caller
+/// can produce a useful "busy" error — when another claim is live.
+pub fn acquire(owner: &str) -> Result<FaultOwnership, String> {
+    let mut slot = owner_slot().lock().unwrap();
+    match &*slot {
+        Some(current) => Err(format!(
+            "fault injection is exclusively owned by '{current}'"
+        )),
+        None => {
+            *slot = Some(owner.to_string());
+            Ok(FaultOwnership {
+                owner: owner.to_string(),
+            })
+        }
+    }
+}
+
+/// The label of the live [`FaultOwnership`] claim, if any.
+pub fn current_owner() -> Option<String> {
+    owner_slot().lock().unwrap().clone()
+}
+
 /// Evaluate failpoint `name`: `Some(fault)` when an armed entry fires.
 /// Costs one relaxed load when disarmed.
 #[inline]
@@ -695,6 +748,27 @@ mod tests {
         let msg = err.downcast_ref::<String>().expect("string payload");
         assert!(msg.starts_with("simfault: injected panic"), "{msg}");
         disarm();
+    }
+
+    #[test]
+    fn ownership_is_exclusive_and_released_on_drop() {
+        let _g = lock();
+        let claim = acquire("request-1").unwrap();
+        assert_eq!(claim.owner(), "request-1");
+        assert_eq!(current_owner().as_deref(), Some("request-1"));
+        install_spec("p=err:1.0").unwrap();
+        assert!(armed());
+        // A second claimant is refused and told who holds the state.
+        let err = acquire("request-2").unwrap_err();
+        assert!(err.contains("request-1"), "{err}");
+        // Dropping the claim disarms *and* releases: the next request can
+        // never observe the previous request's faults.
+        drop(claim);
+        assert!(!armed(), "drop must disarm");
+        assert_eq!(current_owner(), None);
+        let claim2 = acquire("request-2").unwrap();
+        assert!(fail_point("p").is_ok(), "previous spec is gone");
+        drop(claim2);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Build-script fingerprint for the content-addressed caches.
+//!
+//! Sweep cells and daemon store entries must never be served across a code
+//! change: a profile measured by an older binary silently answering for a
+//! rebuilt one is a stale-cache bug (the regression PR 7 fixes). The
+//! fingerprint baked in here — the git commit when available, else the
+//! crate version alone — is folded into every cache key via
+//! [`suite::code_version`].
+
+use std::process::Command;
+
+fn git_fingerprint() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short=16", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let hash = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if hash.is_empty() {
+        None
+    } else {
+        Some(hash)
+    }
+}
+
+fn main() {
+    // An explicit env override wins (lets CI pin a fingerprint); then the
+    // git commit; then a constant that at least still varies with the crate
+    // version through code_version()'s "<version>+<fingerprint>" format.
+    println!("cargo:rerun-if-env-changed=RAJAPERF_BUILD_FINGERPRINT");
+    let fp = std::env::var("RAJAPERF_BUILD_FINGERPRINT")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .or_else(git_fingerprint)
+        .unwrap_or_else(|| "unversioned".to_string());
+    println!("cargo:rustc-env=RAJAPERF_BUILD_FINGERPRINT={fp}");
+    // Rebuilding after a commit must refresh the fingerprint: track the git
+    // HEAD files when they exist (harmless when they do not).
+    for probe in ["../../.git/HEAD", "../../.git/index"] {
+        if std::path::Path::new(probe).exists() {
+            println!("cargo:rerun-if-changed={probe}");
+        }
+    }
+}

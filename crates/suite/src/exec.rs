@@ -174,12 +174,20 @@ fn attempt(
             // scope label is process-global precisely so the spawned
             // attempt still sees the runner's per-kernel scope.
             let (tx, rx) = std::sync::mpsc::channel();
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("watchdog:{}", kernel.info().name))
                 .spawn(move || {
                     let _ = tx.send(guarded());
-                })
-                .expect("spawning a watchdog thread cannot fail");
+                });
+            // Spawn can genuinely fail under resource exhaustion (EAGAIN when
+            // the process is out of threads) — exactly when a daemon is
+            // under load. Contain it as this kernel's failure, not a
+            // process-wide panic.
+            if let Err(e) = spawned {
+                return Err(AttemptFailure::Panic(format!(
+                    "watchdog thread spawn failed: {e}"
+                )));
+            }
             match rx.recv_timeout(limit) {
                 Ok(r) => r,
                 Err(_) => Err(AttemptFailure::Timeout(limit)),
@@ -243,6 +251,9 @@ pub enum SuiteExit {
     /// One or more kernels failed or timed out (partial-failure: the rest
     /// of the selection still completed and reported).
     KernelFailures,
+    /// The service refused the request — daemon queue full or shutting
+    /// down. Retryable by the client; nothing was executed.
+    Unavailable,
 }
 
 impl SuiteExit {
@@ -255,6 +266,7 @@ impl SuiteExit {
             SuiteExit::ChecksumFailure => 3,
             SuiteExit::SanitizerFindings => 4,
             SuiteExit::KernelFailures => 5,
+            SuiteExit::Unavailable => 6,
         }
     }
 
@@ -314,6 +326,7 @@ mod tests {
         assert_eq!(SuiteExit::ChecksumFailure.code(), 3);
         assert_eq!(SuiteExit::SanitizerFindings.code(), 4);
         assert_eq!(SuiteExit::KernelFailures.code(), 5);
+        assert_eq!(SuiteExit::Unavailable.code(), 6);
     }
 
     #[test]

@@ -28,6 +28,37 @@ pub use params::{RunParams, Selection};
 pub use sweep::{run_sweep, SweepCell, SweepSummary};
 pub use report::{CheckStatus, ChecksumReport, SanitizeSection, SuiteReport, TimingEntry};
 
+/// Identity of the code that produced a measurement: the crate version plus
+/// the build-script fingerprint (the git commit when the build had one).
+/// Folded into every content-addressed cache key — sweep cells and daemon
+/// store entries — so a profile measured by an older binary is never
+/// silently served after a rebuild.
+pub fn code_version() -> &'static str {
+    concat!(
+        env!("CARGO_PKG_VERSION"),
+        "+",
+        env!("RAJAPERF_BUILD_FINGERPRINT")
+    )
+}
+
+/// One per-kernel progress notification from [`run_suite_observed`]:
+/// emitted after each kernel-variant execution completes (passed, failed,
+/// or timed out), with its position in the selection. The daemon streams
+/// these to clients as `progress` events.
+#[derive(Debug, Clone)]
+pub struct KernelProgress {
+    /// Full kernel name.
+    pub kernel: String,
+    /// 1-based position within the kernels this run executes.
+    pub index: usize,
+    /// Number of selected kernels that support the run's variant.
+    pub total: usize,
+    /// Outcome label (`PASSED`, `RETRIED(n)`, `FAILED`, `TIMEOUT`).
+    pub outcome: String,
+    /// Wall time of this kernel's execution attempt(s), seconds.
+    pub time_s: f64,
+}
+
 /// Fault observer installed while `--faults` is armed: each fired fault
 /// lands in the event trace as an instant marker (`simfault.<point>.<mode>`),
 /// so a traced faulty run shows *where* in the timeline injections hit.
@@ -40,12 +71,30 @@ fn fault_trace_observer(point: &str, mode: &str) {
 /// Execute the suite described by `params`, producing a report and (if
 /// configured) Caliper output files.
 pub fn run_suite(params: &RunParams) -> SuiteReport {
+    run_suite_observed(params, None)
+}
+
+/// [`run_suite`] with an optional per-kernel progress observer, called after
+/// each kernel-variant execution with its [`KernelProgress`]. The daemon
+/// uses this to stream progress events to clients while a request runs.
+pub fn run_suite_observed(
+    params: &RunParams,
+    progress: Option<&dyn Fn(&KernelProgress)>,
+) -> SuiteReport {
     let session = caliper::Session::new();
     adiak::init();
     adiak::value("variant", params.variant.name());
     adiak::value("tuning", format!("block_{}", params.tuning.gpu_block_size));
     adiak::value("size_factor", params.size_factor);
     adiak::value_categorized("suite", "RAJAPerf-rs", adiak::Category::General);
+    // Adiak is process-global; under the daemon several runs annotate
+    // concurrently and would read each other's metadata at flush time. The
+    // same values set directly on the (private) session override the Adiak
+    // snapshot in the profile, so each run's profile stays self-consistent.
+    session.set_global("variant", params.variant.name());
+    session.set_global("tuning", format!("block_{}", params.tuning.gpu_block_size));
+    session.set_global("size_factor", params.size_factor);
+    session.set_global("suite", "RAJAPerf-rs");
 
     // Event trace: switch collection on before the first region so the
     // timeline covers the whole run — whether requested via `--trace` or a
@@ -97,12 +146,15 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
 
     let mut entries = Vec::new();
     let mut outcomes = Vec::new();
+    let executable: Vec<&'static dyn kernels::KernelBase> = params
+        .selected_kernels()
+        .into_iter()
+        .filter(|k| k.info().variants.contains(&params.variant))
+        .collect();
+    let total = executable.len();
     let _suite_region = session.region("RAJAPerf");
-    for kernel in params.selected_kernels() {
+    for (idx, kernel) in executable.into_iter().enumerate() {
         let info = kernel.info();
-        if !info.variants.contains(&params.variant) {
-            continue;
-        }
         let n = params.problem_size(&info);
         let reps = params.reps(&info);
         let _group = session.region(info.group.name());
@@ -113,6 +165,18 @@ pub fn run_suite(params: &RunParams) -> SuiteReport {
         let (outcome, result) =
             exec::execute_guarded(kernel, params.variant, n, reps, &params.tuning, &policy);
         drop(scope);
+        if let Some(observer) = progress {
+            observer(&KernelProgress {
+                kernel: info.name.to_string(),
+                index: idx + 1,
+                total,
+                outcome: outcome.label(),
+                time_s: result
+                    .as_ref()
+                    .map(|r| r.time.as_secs_f64())
+                    .unwrap_or(0.0),
+            });
+        }
         session.set_metric("ProblemSize", n as f64);
         session.set_metric("Reps", reps as f64);
         if let exec::KernelOutcome::Passed { retries: r @ 1.. } = outcome {
@@ -385,17 +449,19 @@ pub fn checksum_report(reports: &[SuiteReport]) -> ChecksumReport {
 /// Run one kernel across a sweep of GPU block-size tunings under a device
 /// variant (the paper's §II-C "find optimal configurations ... by tuning
 /// various execution parameters, such as GPU thread-block sizes").
-/// Returns `(block_size, seconds-per-rep)` pairs in sweep order.
+/// Returns `(block_size, seconds-per-rep)` pairs in sweep order, or an
+/// error naming the unknown kernel — a user-supplied name must surface as
+/// a usage error, not a panic.
 pub fn run_tuning_sweep(
     kernel_name: &str,
     variant: VariantId,
     n: usize,
     reps: usize,
     block_sizes: &[usize],
-) -> Vec<(usize, f64)> {
-    let kernel = kernels::find(kernel_name)
-        .unwrap_or_else(|| panic!("unknown kernel '{kernel_name}'"));
-    block_sizes
+) -> Result<Vec<(usize, f64)>, String> {
+    let kernel =
+        kernels::find(kernel_name).ok_or_else(|| format!("unknown kernel '{kernel_name}'"))?;
+    Ok(block_sizes
         .iter()
         .map(|&bs| {
             let tuning = kernels::Tuning {
@@ -404,7 +470,7 @@ pub fn run_tuning_sweep(
             let r = kernel.execute(variant, n, reps, &tuning);
             (bs, r.time_per_rep())
         })
-        .collect()
+        .collect())
 }
 
 impl SuiteReport {
@@ -503,10 +569,52 @@ mod tests {
             4096,
             1,
             &[64, 256, 1024],
-        );
+        )
+        .unwrap();
         assert_eq!(sweep.len(), 3);
         assert_eq!(sweep[0].0, 64);
         assert!(sweep.iter().all(|&(_, t)| t > 0.0));
+    }
+
+    #[test]
+    fn tuning_sweep_reports_unknown_kernel_instead_of_panicking() {
+        // Regression: an unknown (user-supplied) kernel name used to panic.
+        let err =
+            run_tuning_sweep("Stream_TRIADD", VariantId::RajaSimGpu, 64, 1, &[64]).unwrap_err();
+        assert!(err.contains("Stream_TRIADD"), "{err}");
+    }
+
+    #[test]
+    fn code_version_carries_version_and_fingerprint() {
+        let v = code_version();
+        assert!(v.starts_with(env!("CARGO_PKG_VERSION")), "{v}");
+        assert!(v.contains('+'), "version+fingerprint format: {v}");
+        assert!(!v.ends_with('+'), "fingerprint must be non-empty: {v}");
+    }
+
+    #[test]
+    fn progress_observer_sees_every_executed_kernel() {
+        use std::sync::Mutex as StdMutex;
+        // Plain std Mutex is fine here: test-local accumulation, not a
+        // checked concurrency protocol.
+        #[allow(clippy::disallowed_types)]
+        static SEEN: StdMutex<Vec<(String, usize, usize, String)>> = StdMutex::new(Vec::new());
+        SEEN.lock().unwrap().clear();
+        let observer = |p: &KernelProgress| {
+            SEEN.lock()
+                .unwrap()
+                .push((p.kernel.clone(), p.index, p.total, p.outcome.clone()));
+        };
+        let report = run_suite_observed(&small_params(), Some(&observer));
+        let seen = SEEN.lock().unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(report.entries.len(), 3);
+        assert!(seen.iter().all(|(_, _, total, _)| *total == 3));
+        assert_eq!(
+            seen.iter().map(|(_, i, _, _)| *i).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(seen.iter().all(|(_, _, _, o)| o == "PASSED"));
     }
 
     #[test]
@@ -660,6 +768,58 @@ mod tests {
         };
         let s3 = run_sweep(&p3).unwrap();
         assert!(s3.cells.iter().all(|c| !c.cached));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_cells_from_another_build_are_not_reused() {
+        // Regression: the cell key omitted the code version, so cells cached
+        // by an older binary were silently reused after a rebuild. Simulate
+        // the older binary by doctoring the recorded key's code_version —
+        // exactly what a fingerprint change looks like on disk.
+        let dir = std::env::temp_dir().join(format!("rajaperf_sweep_fp_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let p = RunParams {
+            selection: Selection::Kernels(vec!["Stream_TRIAD".into()]),
+            explicit_size: Some(1000),
+            explicit_reps: Some(1),
+            sweep: true,
+            sweep_dir: Some(dir.clone()),
+            ..RunParams::default()
+        };
+        let s1 = run_sweep(&p).unwrap();
+        assert!(s1.cells.iter().all(|c| !c.cached));
+
+        let cells_dir = dir.join("cells");
+        for entry in std::fs::read_dir(&cells_dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut v: serde_json::Value =
+                serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            let serde_json::Value::Object(obj) = &mut v else {
+                panic!("cell record is an object");
+            };
+            let Some(serde_json::Value::Object(key)) = obj.get_mut("key") else {
+                panic!("cell record has an object key");
+            };
+            let recorded = key.get("code_version").unwrap().as_str().unwrap();
+            assert_eq!(recorded, code_version(), "cells record the live build");
+            key.insert(
+                "code_version".to_string(),
+                serde_json::Value::String("0.0.0+older-build".into()),
+            );
+            std::fs::write(&path, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+        }
+
+        // Every cell now claims another build produced it: all must re-run.
+        let s2 = run_sweep(&p).unwrap();
+        assert!(
+            s2.cells.iter().all(|c| !c.cached),
+            "stale-build cells must miss, not hit: {}",
+            s2.render()
+        );
+        // And once re-recorded by this build, they hit again.
+        let s3 = run_sweep(&p).unwrap();
+        assert!(s3.cells.iter().all(|c| c.cached), "{}", s3.render());
         std::fs::remove_dir_all(&dir).ok();
     }
 

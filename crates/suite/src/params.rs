@@ -1,7 +1,7 @@
 //! Run parameters and command-line parsing (the suite's "wide variety of
 //! command line options", §II-A).
 
-use kernels::{Feature, KernelBase, KernelInfo, Tuning, VariantId};
+use kernels::{Feature, Group, KernelBase, KernelInfo, Tuning, VariantId};
 
 /// Which kernels to run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +15,52 @@ pub enum Selection {
     /// Kernels exercising a RAJA feature (`sort`, `scan`, `reduction`,
     /// `atomic`, `view`, `workgroup`, `mpi`).
     Features(Vec<String>),
+    /// Union of several selections — what `--groups Stream --kernels
+    /// Basic_DAXPY` means. A kernel matched by more than one member still
+    /// runs once: selection is a single filter pass over the registry, so
+    /// membership, not match count, decides inclusion.
+    Union(Vec<Selection>),
+}
+
+impl Selection {
+    /// Whether this selection includes `info`. Registry order is preserved
+    /// by the caller's filter pass; overlap across `Union` members cannot
+    /// duplicate a kernel.
+    fn matches(&self, info: &KernelInfo) -> bool {
+        match self {
+            Selection::All => true,
+            Selection::Kernels(names) => names.iter().any(|n| n == info.name),
+            Selection::Groups(groups) => groups
+                .iter()
+                .any(|g| g.eq_ignore_ascii_case(info.group.name())),
+            Selection::Features(feats) => feats.iter().any(|f| {
+                info.features
+                    .iter()
+                    .any(|kf| feature_matches(kf, &f.to_ascii_lowercase()))
+            }),
+            Selection::Union(parts) => parts.iter().any(|p| p.matches(info)),
+        }
+    }
+
+    /// Explicitly-named kernels (recursing through `Union`) — the only way
+    /// `Fixture_*` positive controls join a selection.
+    fn explicit_kernel_names(&self) -> Vec<&str> {
+        match self {
+            Selection::Kernels(names) => names.iter().map(String::as_str).collect(),
+            Selection::Union(parts) => {
+                let mut out: Vec<&str> = Vec::new();
+                for p in parts {
+                    for n in p.explicit_kernel_names() {
+                        if !out.contains(&n) {
+                            out.push(n);
+                        }
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// Parameters of one suite run (one variant, one tuning — one profile).
@@ -109,6 +155,59 @@ fn faulty_fixtures() -> &'static [Box<dyn KernelBase>] {
     FIXTURES.get_or_init(kernels::faulty::all)
 }
 
+/// Feature names accepted by `--features`, matching [`feature_matches`].
+const FEATURE_NAMES: &[&str] = &[
+    "sort",
+    "scan",
+    "reduction",
+    "atomic",
+    "view",
+    "forall",
+    "kernel",
+    "workgroup",
+    "mpi",
+];
+
+/// Strict at the CLI: a typoed kernel, group, or feature name must not
+/// silently select nothing (the same policy `--faults` applies to
+/// failpoint names).
+fn validate_selection(sel: &Selection) -> Result<(), String> {
+    match sel {
+        Selection::All => Ok(()),
+        Selection::Kernels(names) => {
+            for n in names {
+                let known = kernels::find(n).is_some()
+                    || faulty_fixtures().iter().any(|k| k.info().name == n.as_str());
+                if !known {
+                    return Err(format!("unknown kernel '{n}' (try --list)"));
+                }
+            }
+            Ok(())
+        }
+        Selection::Groups(groups) => {
+            for g in groups {
+                if !Group::all().iter().any(|kg| kg.name().eq_ignore_ascii_case(g)) {
+                    let known: Vec<&str> = Group::all().iter().map(|kg| kg.name()).collect();
+                    return Err(format!("unknown group '{g}'; known: {}", known.join(", ")));
+                }
+            }
+            Ok(())
+        }
+        Selection::Features(feats) => {
+            for f in feats {
+                if !FEATURE_NAMES.contains(&f.to_ascii_lowercase().as_str()) {
+                    return Err(format!(
+                        "unknown feature '{f}'; known: {}",
+                        FEATURE_NAMES.join(" ")
+                    ));
+                }
+            }
+            Ok(())
+        }
+        Selection::Union(parts) => parts.iter().try_for_each(validate_selection),
+    }
+}
+
 fn feature_matches(f: &Feature, name: &str) -> bool {
     matches!(
         (f, name),
@@ -141,29 +240,18 @@ impl RunParams {
             .map(|k| k.as_ref())
             .filter(|k| {
                 let info = k.info();
-                let included = match &self.selection {
-                    Selection::All => true,
-                    Selection::Kernels(names) => names.iter().any(|n| n == info.name),
-                    Selection::Groups(groups) => {
-                        groups.iter().any(|g| g.eq_ignore_ascii_case(info.group.name()))
-                    }
-                    Selection::Features(feats) => feats.iter().any(|f| {
-                        info.features
-                            .iter()
-                            .any(|kf| feature_matches(kf, &f.to_ascii_lowercase()))
-                    }),
-                };
-                included && !self.exclude.iter().any(|n| n == info.name)
+                self.selection.matches(&info) && !self.exclude.iter().any(|n| n == info.name)
             })
             .collect();
-        if let Selection::Kernels(names) = &self.selection {
+        let explicit = self.selection.explicit_kernel_names();
+        if !explicit.is_empty() {
             selected.extend(
                 faulty_fixtures()
                     .iter()
                     .map(|k| k.as_ref())
                     .filter(|k| {
                         let name = k.info().name;
-                        names.iter().any(|n| n == name)
+                        explicit.contains(&name)
                             && !self.exclude.iter().any(|n| n == name)
                     }),
             );
@@ -196,6 +284,31 @@ impl RunParams {
     /// `--caliper SPEC`.
     pub fn parse(args: &[String]) -> Result<RunParams, String> {
         let mut p = RunParams::default();
+        // Selection flags accumulate across the whole command line:
+        // `--groups Stream --kernels Basic_DAXPY` is a union (the old
+        // behavior silently kept only the last flag), and names dedupe
+        // order-preservingly so `--kernels a,a` or an overlap between
+        // repeated flags cannot select a name twice.
+        let mut kernel_names: Vec<String> = Vec::new();
+        let mut group_names: Vec<String> = Vec::new();
+        let mut feature_names: Vec<String> = Vec::new();
+        fn push_unique(acc: &mut Vec<String>, csv: &str, fold_case: bool) -> bool {
+            let mut saw_name = false;
+            for part in csv.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                saw_name = true;
+                let dup = acc.iter().any(|p| {
+                    if fold_case {
+                        p.eq_ignore_ascii_case(part)
+                    } else {
+                        p == part
+                    }
+                });
+                if !dup {
+                    acc.push(part.to_string());
+                }
+            }
+            saw_name
+        }
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -205,17 +318,19 @@ impl RunParams {
             };
             match arg.as_str() {
                 "--kernels" => {
-                    p.selection =
-                        Selection::Kernels(value("--kernels")?.split(',').map(str::to_string).collect())
+                    if !push_unique(&mut kernel_names, &value("--kernels")?, false) {
+                        return Err("--kernels requires at least one kernel name".to_string());
+                    }
                 }
                 "--groups" => {
-                    p.selection =
-                        Selection::Groups(value("--groups")?.split(',').map(str::to_string).collect())
+                    if !push_unique(&mut group_names, &value("--groups")?, true) {
+                        return Err("--groups requires at least one group name".to_string());
+                    }
                 }
                 "--features" => {
-                    p.selection = Selection::Features(
-                        value("--features")?.split(',').map(str::to_string).collect(),
-                    )
+                    if !push_unique(&mut feature_names, &value("--features")?, true) {
+                        return Err("--features requires at least one feature name".to_string());
+                    }
                 }
                 "--exclude-kernels" => {
                     p.exclude = value("--exclude-kernels")?
@@ -296,6 +411,21 @@ impl RunParams {
                 other => return Err(format!("unknown option '{other}' (try --help)")),
             }
         }
+        let mut parts: Vec<Selection> = Vec::new();
+        if !kernel_names.is_empty() {
+            parts.push(Selection::Kernels(kernel_names));
+        }
+        if !group_names.is_empty() {
+            parts.push(Selection::Groups(group_names));
+        }
+        if !feature_names.is_empty() {
+            parts.push(Selection::Features(feature_names));
+        }
+        p.selection = match parts.len() {
+            0 => Selection::All,
+            1 => parts.remove(0),
+            _ => Selection::Union(parts),
+        };
         p.validate()?;
         Ok(p)
     }
@@ -304,6 +434,7 @@ impl RunParams {
     /// or produce meaningless output (a zero block size trips the launch
     /// config assert; a zero size runs and prints an all-zero row).
     fn validate(&self) -> Result<(), String> {
+        validate_selection(&self.selection)?;
         if self.tuning.gpu_block_size == 0 {
             return Err("--gpu-block-size must be >= 1".to_string());
         }
@@ -379,6 +510,8 @@ impl RunParams {
            --features F[,F...]          run kernels using a RAJA feature\n\
                                         (sort scan reduction atomic view workgroup mpi)\n\
            --exclude-kernels NAME[,..]  exclude kernels by name\n\
+           (selection flags combine as a union and dedupe repeated names;\n\
+           unknown kernel/group/feature names are usage errors)\n\
          \n\
          Execution:\n\
            --variant NAME               Base_Seq | RAJA_Seq | Base_Par | RAJA_Par |\n\
@@ -446,7 +579,8 @@ impl RunParams {
          Exit codes:\n\
            0 success | 1 internal error | 2 usage | 3 checksum failure |\n\
            4 sanitizer findings | 5 kernel failures (partial failure: the\n\
-           rest of the selection completed and reported)\n\
+           rest of the selection completed and reported) | 6 unavailable\n\
+           (daemon queue full or shutting down)\n\
          \n\
          Environment:\n\
            RAYON_NUM_THREADS            thread-pool width for Par variants and\n\
@@ -605,6 +739,59 @@ mod tests {
         assert!(RunParams::parse(&args("--timeout -1")).is_err());
         // Sanitizer expects hazard-free execution; injection contradicts it.
         assert!(RunParams::parse(&args("--sanitize --faults gpusim.launch=err")).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_selections_dedupe() {
+        // Regression: `--kernels X,X` kept the duplicate name, and a later
+        // selection flag silently replaced an earlier one.
+        let p = RunParams::parse(&args("--kernels Stream_TRIAD,Stream_TRIAD")).unwrap();
+        assert_eq!(p.selection, Selection::Kernels(vec!["Stream_TRIAD".to_string()]));
+        assert_eq!(p.selected_kernels().len(), 1);
+        // Repeated flags merge (order-preserving) instead of replacing.
+        let p = RunParams::parse(&args(
+            "--kernels Stream_TRIAD --kernels Stream_TRIAD,Basic_DAXPY",
+        ))
+        .unwrap();
+        assert_eq!(
+            p.selection,
+            Selection::Kernels(vec!["Stream_TRIAD".to_string(), "Basic_DAXPY".to_string()])
+        );
+        // Overlapping --groups + --kernels union; the overlap (Stream_TRIAD
+        // is in group Stream) still runs once.
+        let p = RunParams::parse(&args("--groups Stream --kernels Stream_TRIAD,Basic_DAXPY"))
+            .unwrap();
+        let names: Vec<&str> = p.selected_kernels().iter().map(|k| k.info().name).collect();
+        assert_eq!(
+            names.iter().filter(|n| **n == "Stream_TRIAD").count(),
+            1,
+            "overlap must not double-run: {names:?}"
+        );
+        assert_eq!(names.len(), 6, "5 Stream kernels + Basic_DAXPY: {names:?}");
+        // Group dedupe folds case, matching group matching.
+        let p = RunParams::parse(&args("--groups stream,Stream")).unwrap();
+        assert_eq!(p.selected_kernels().len(), 5);
+    }
+
+    #[test]
+    fn unknown_selection_names_are_rejected() {
+        let err = RunParams::parse(&args("--kernels Stream_TRAID")).unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
+        let err = RunParams::parse(&args("--groups Steam")).unwrap_err();
+        assert!(err.contains("unknown group"), "{err}");
+        assert!(err.contains("Stream"), "lists the groups: {err}");
+        let err = RunParams::parse(&args("--features sorting")).unwrap_err();
+        assert!(err.contains("unknown feature"), "{err}");
+        // Fixtures stay addressable by their explicit names.
+        assert!(RunParams::parse(&args("--kernels Fixture_PANIC")).is_ok());
+    }
+
+    #[test]
+    fn union_selection_keeps_fixtures_explicit_only() {
+        let p = RunParams::parse(&args("--groups Stream --kernels Fixture_PANIC")).unwrap();
+        let names: Vec<&str> = p.selected_kernels().iter().map(|k| k.info().name).collect();
+        assert!(names.contains(&"Fixture_PANIC"), "{names:?}");
+        assert_eq!(names.len(), 6, "5 Stream kernels + the named fixture");
     }
 
     #[test]

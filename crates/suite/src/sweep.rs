@@ -10,8 +10,10 @@
 //!
 //! Cells are cached: each run writes a `cells/<cell>.json` record whose
 //! `key` captures exactly what was executed — (kernel, size, reps) for every
-//! selected kernel, the variant, the block-size tuning, and the fault spec
-//! (a cell computed under injection must never satisfy a fault-free sweep).
+//! selected kernel, the variant, the block-size tuning, the fault spec
+//! (a cell computed under injection must never satisfy a fault-free sweep),
+//! and the build fingerprint ([`crate::code_version`]), so cells cached by
+//! an older binary are re-run after a rebuild instead of silently reused.
 //! Re-running a sweep after an interruption (or with an unchanged
 //! configuration) reuses any cell whose key matches and whose profile file
 //! still exists, and re-executes the rest.
@@ -142,6 +144,11 @@ fn cell_key(base: &RunParams, variant: VariantId, block_size: usize) -> Value {
         })
         .collect();
     json!({
+        // A cell measured by an older build must never answer for a rebuilt
+        // binary: kernels, the scheduler, or the timing path may all have
+        // changed. Folding the build fingerprint into the key turns "stale
+        // cache after rebuild" into an ordinary miss.
+        "code_version": crate::code_version(),
         "variant": variant.name(),
         "gpu_block_size": block_size,
         "kernels": Value::Array(kernel_keys),

@@ -22,7 +22,8 @@ fn main() {
             "  {:>10} {:>14} {:>12} {:>14}",
             "block", "time/rep (s)", "occupancy", "limited by"
         );
-        let sweep = suite::run_tuning_sweep(name, VariantId::RajaSimGpu, n, reps, &block_sizes);
+        let sweep = suite::run_tuning_sweep(name, VariantId::RajaSimGpu, n, reps, &block_sizes)
+            .expect("registry kernel names are known");
         // MAT_MAT_SHARED's device kernel stages three 16x16 f64 tiles.
         let shared_bytes = if name == "Basic_MAT_MAT_SHARED" {
             3 * 16 * 16 * 8

@@ -171,4 +171,42 @@ echo "$ANALYZE_ERR" | grep -q "1 of 2 profile(s) skipped" \
     || { echo "verify: FAIL — analyzer skip count wrong: $ANALYZE_ERR" >&2; exit 1; }
 echo "analyze: truncated profile skipped with warning, composition continued"
 
+echo "== daemon: rajaperfd smoke (run, store hit, graceful shutdown) =="
+DAEMON=target/release/rajaperfd
+CLIENT=target/release/rajaperf-client
+DAEMON_DIR="$SWEEP_DIR/daemon-smoke"
+mkdir -p "$DAEMON_DIR"
+DSOCK="$DAEMON_DIR/d.sock"
+"$DAEMON" --socket "$DSOCK" --store "$DAEMON_DIR/store" --workers 2 &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+    [[ -S "$DSOCK" ]] && break
+    sleep 0.1
+done
+"$CLIENT" --socket "$DSOCK" ping | grep -q '"event":"pong"' \
+    || { echo "verify: FAIL — daemon did not answer ping" >&2; exit 1; }
+RUN1=$("$CLIENT" --socket "$DSOCK" run -- --kernels Basic_DAXPY --size 100000 --reps 2)
+echo "$RUN1" | grep -q '"event":"progress"' \
+    || { echo "verify: FAIL — daemon run streamed no progress events" >&2; exit 1; }
+echo "$RUN1" | grep -q '"cached":false' \
+    || { echo "verify: FAIL — first daemon run should not be cached" >&2; exit 1; }
+ls "$DAEMON_DIR"/store/objects/*/*.json >/dev/null 2>&1 \
+    || { echo "verify: FAIL — no object persisted in the profile store" >&2; exit 1; }
+RUN2=$("$CLIENT" --socket "$DSOCK" run -- --kernels Basic_DAXPY --size 100000 --reps 2)
+echo "$RUN2" | grep -q '"cached":true' \
+    || { echo "verify: FAIL — identical request not served from the store" >&2; exit 1; }
+if echo "$RUN2" | grep -q '"event":"progress"'; then
+    echo "verify: FAIL — store hit re-executed kernels (progress events seen)" >&2
+    exit 1
+fi
+"$CLIENT" --socket "$DSOCK" shutdown >/dev/null
+wait "$DAEMON_PID"
+[[ ! -S "$DSOCK" ]] || { echo "verify: FAIL — socket file left behind after shutdown" >&2; exit 1; }
+echo "daemon: run streamed, store hit replayed without re-execution, clean shutdown"
+
+# Daemon latency perf budget: median-of-3 round-trips against wall-clock
+# thresholds (3x under CI=true) — catches service-layer stalls, not µs drift.
+echo "== daemon: latency budget (cargo test --release -p rajaperfd --test latency_budget) =="
+cargo test --release -p rajaperfd --test latency_budget
+
 echo "verify: OK"
