@@ -1,0 +1,200 @@
+//! Criterion bench: the Thicket analysis engine at corpus scale.
+//!
+//! The paper's §IV pipeline is Thicket composing and aggregating many
+//! Caliper profiles; `rajaperfd` corpora run orders of magnitude beyond the
+//! 12-cell sweeps, so the dataframe itself must scale. These benches time
+//! the corpus-shaped operations — streaming ingest, concat, metadata
+//! groupby, statsframe aggregation, and Ward linkage over per-profile
+//! features — on deterministic synthetic corpora of 10k–1M profiles.
+//!
+//! `scripts/bench.sh <label> thicket` snapshots the results into
+//! `BENCH_thicket.json` (pre/post pairs across PRs are the committed perf
+//! trajectory); `scripts/verify.sh` smoke-runs the harness with `--test`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::BTreeMap;
+use std::time::Duration;
+use thicket::{ProfileData, Stat, Thicket};
+
+/// SplitMix64: deterministic value stream, no external RNG crate.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const VARIANTS: [&str; 6] = [
+    "Base_Seq",
+    "RAJA_Seq",
+    "Base_Par",
+    "RAJA_Par",
+    "Base_SimGpu",
+    "RAJA_SimGpu",
+];
+const FAMILIES: [&str; 2] = ["Stream", "Basic"];
+const KERNELS_PER_FAMILY: usize = 2;
+const METRICS: [&str; 2] = ["avg#time.duration", "Bytes/Rep"];
+
+/// One synthetic profile: the shape a sweep cell produces — run metadata
+/// (variant, block size) plus one record per kernel leaf with two metric
+/// columns. Values are a pure function of `i`.
+fn synth_profile(i: usize) -> ProfileData {
+    let mut rng = i as u64 ^ 0xD1F7_BEEF;
+    let mut globals = BTreeMap::new();
+    globals.insert(
+        "variant".to_string(),
+        serde_json::json!(VARIANTS[i % VARIANTS.len()]),
+    );
+    globals.insert(
+        "gpu_block_size".to_string(),
+        serde_json::json!(64 << (i % 4)),
+    );
+    let mut records = Vec::with_capacity(FAMILIES.len() * KERNELS_PER_FAMILY);
+    for family in FAMILIES {
+        for k in 0..KERNELS_PER_FAMILY {
+            let mut metrics = BTreeMap::new();
+            for m in METRICS {
+                let v = (splitmix(&mut rng) % 1_000_000) as f64 / 1e6 + 1e-6;
+                metrics.insert(m.to_string(), v);
+            }
+            records.push((
+                vec!["RAJAPerf".to_string(), format!("{family}_K{k}")],
+                metrics,
+            ));
+        }
+    }
+    ProfileData { globals, records }
+}
+
+fn synth_corpus(n: usize) -> Vec<ProfileData> {
+    (0..n).map(synth_profile).collect()
+}
+
+/// Deterministic feature points for the linkage benches: `d`-dimensional
+/// tuples clustered loosely around 4 blob centres.
+fn synth_points(n: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut rng = 0xFEED_5EED_u64;
+    (0..n)
+        .map(|i| {
+            let centre = (i % 4) as f64 * 10.0;
+            (0..d)
+                .map(|_| centre + (splitmix(&mut rng) % 1000) as f64 / 500.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thicket_ingest");
+    group.sample_size(2).warm_up_time(Duration::ZERO);
+    for n in [10_000usize, 100_000] {
+        let corpus = synth_corpus(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("profiles", n), &corpus, |b, corpus| {
+            b.iter(|| Thicket::from_profiles(corpus));
+        });
+    }
+    // 1M profiles are generated inside the loop (streaming shape: profiles
+    // arrive one at a time and are ingested incrementally, never all
+    // resident as parsed JSON).
+    let n = 1_000_000usize;
+    group.sample_size(1);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("stream_gen", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut t = Thicket::default();
+            for i in 0..n {
+                t.ingest(&synth_profile(i));
+            }
+            t
+        });
+    });
+    group.finish();
+}
+
+fn bench_concat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thicket_concat");
+    group.sample_size(2).warm_up_time(Duration::ZERO);
+    // 100 sweep-cell-sized thickets of 1k profiles each.
+    let cells: Vec<Thicket> = (0..100)
+        .map(|cell| {
+            let profiles: Vec<ProfileData> =
+                (0..1000).map(|i| synth_profile(cell * 1000 + i)).collect();
+            Thicket::from_profiles(&profiles)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_with_input(BenchmarkId::new("cells", "100x1k"), &cells, |b, cells| {
+        b.iter(|| Thicket::concat(cells));
+    });
+    group.finish();
+}
+
+fn bench_groupby_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thicket_groupby_stats");
+    group.sample_size(1).warm_up_time(Duration::ZERO);
+    for n in [10_000usize, 100_000] {
+        let t = Thicket::from_profiles(&synth_corpus(n));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("groupby", n), &t, |b, t| {
+            b.iter(|| {
+                let groups = t.groupby("variant");
+                assert_eq!(groups.len(), VARIANTS.len());
+                groups
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stats", n), &t, |b, t| {
+            b.iter(|| {
+                let mut t = t.clone();
+                for m in METRICS {
+                    t.stats(m, Stat::Mean);
+                    t.stats(m, Stat::Std);
+                }
+                t
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tkt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thicket_tkt");
+    group.sample_size(2).warm_up_time(Duration::ZERO);
+    let n = 100_000usize;
+    let t = Thicket::from_profiles(&synth_corpus(n));
+    let path = std::env::temp_dir().join(format!("thicket_bench_{}.tkt", std::process::id()));
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("write", n), &t, |b, t| {
+        b.iter(|| t.write_tkt(&path).expect("snapshot writes"));
+    });
+    group.bench_with_input(BenchmarkId::new("read", n), &path, |b, path| {
+        b.iter(|| Thicket::read_tkt(path).expect("snapshot reopens"));
+    });
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
+fn bench_linkage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thicket_linkage");
+    group.sample_size(1).warm_up_time(Duration::ZERO);
+    for n in [1000usize, 2000] {
+        let points = synth_points(n, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ward", n), &points, |b, points| {
+            b.iter(|| hierclust::linkage(points, hierclust::Linkage::Ward));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_concat,
+    bench_groupby_stats,
+    bench_tkt,
+    bench_linkage
+);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Corpus-scale smoke for the columnar Thicket engine, wired into
+//! `scripts/verify.sh`: synthesize ~50k profiles, stream them through the
+//! incremental ingester, run the parallel groupby + stats path, extract
+//! per-profile features and cluster them, and enforce a CI-scaled
+//! wall-clock budget (same convention as `latency_budget.rs`).
+//!
+//! Every aggregate folds into a deterministic FNV digest printed on the
+//! last line; verify.sh runs the binary under `RAYON_NUM_THREADS=1` and
+//! `=4` and diffs the digests, proving the parallel aggregation is
+//! bitwise-deterministic across thread widths.
+//!
+//! ```text
+//! corpus_smoke [N_PROFILES]    # default 50000
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use thicket::{IngestSession, ProfileData, Stat};
+
+const VARIANTS: [&str; 6] = [
+    "Base_Seq",
+    "Lambda_Seq",
+    "RAJA_Seq",
+    "Base_SimGpu",
+    "Lambda_SimGpu",
+    "RAJA_SimGpu",
+];
+const FAMILIES: [&str; 2] = ["Stream", "Basic"];
+const KERNELS_PER_FAMILY: usize = 2;
+const METRICS: [&str; 2] = ["avg#time.duration", "Bytes/Rep"];
+
+/// SplitMix64: deterministic synthetic metric values.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One synthetic profile, shaped like a sweep cell's Caliper export.
+fn synth_profile(i: usize) -> ProfileData {
+    let mut s = 0x5EED_0000u64 ^ (i as u64);
+    let mut globals = BTreeMap::new();
+    globals.insert(
+        "variant".to_string(),
+        serde_json::Value::String(VARIANTS[i % VARIANTS.len()].to_string()),
+    );
+    globals.insert(
+        "gpu_block_size".to_string(),
+        serde_json::Value::from((64u64 << (i % 4)) as f64),
+    );
+    let mut records = Vec::new();
+    for family in FAMILIES {
+        for k in 0..KERNELS_PER_FAMILY {
+            let mut metrics = BTreeMap::new();
+            for m in METRICS {
+                metrics.insert(m.to_string(), unit(&mut s) * 1e-3);
+            }
+            records.push((
+                vec!["RAJAPerf".to_string(), format!("{family}_K{k}")],
+                metrics,
+            ));
+        }
+    }
+    ProfileData { globals, records }
+}
+
+/// Budget scaling, the repo's performance-test convention: shared CI
+/// runners are noisy (3×) and debug builds run unoptimized (10×).
+fn scaled(base: Duration) -> Duration {
+    let mut budget = base;
+    if std::env::var("CI").is_ok_and(|v| v == "true" || v == "1") {
+        budget *= 3;
+    }
+    if cfg!(debug_assertions) {
+        budget *= 10;
+    }
+    budget
+}
+
+/// Fold a 64-bit word into the running FNV-1a digest.
+fn fold(digest: &mut u64, word: u64) {
+    for b in word.to_le_bytes() {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn fold_str(digest: &mut u64, s: &str) {
+    for b in s.as_bytes() {
+        *digest ^= *b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("N_PROFILES must be an integer"))
+        .unwrap_or(50_000);
+    let budget = scaled(Duration::from_secs(120));
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+
+    // Wall-clock by design: this smoke exists to catch order-of-magnitude
+    // engine regressions, which a virtual clock would hide.
+    #[allow(clippy::disallowed_methods)]
+    let t0 = std::time::Instant::now();
+
+    // 1. Streaming ingest through the incremental session.
+    let mut session = IngestSession::new();
+    for i in 0..n {
+        session.ingest(&synth_profile(i));
+    }
+    let tk = session.finish();
+    #[allow(clippy::disallowed_methods)]
+    let t_ingest = t0.elapsed();
+    assert_eq!(tk.profiles.len(), n);
+    fold(&mut digest, tk.profiles.len() as u64);
+    fold(&mut digest, tk.nodes.len() as u64);
+
+    // 2. Parallel groupby + stats: Mean and Std of both metrics per group.
+    #[allow(clippy::disallowed_methods)]
+    let t1 = std::time::Instant::now();
+    let groups = tk.groupby("variant");
+    assert_eq!(groups.len(), VARIANTS.len());
+    for (value, mut sub) in groups {
+        fold_str(&mut digest, &value);
+        fold(&mut digest, sub.profiles.len() as u64);
+        for metric in METRICS {
+            for stat in [Stat::Mean, Stat::Std] {
+                let col = sub.stats(metric, stat);
+                for nid in 0..sub.nodes.len() {
+                    if let Some(v) = sub.stat_value(&col, nid) {
+                        fold(&mut digest, v.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    #[allow(clippy::disallowed_methods)]
+    let t_groupby = t1.elapsed();
+
+    // 3. Cluster the corpus: per-profile kernel-family features, Ward
+    // linkage over a deterministic stride sample (linkage is O(m²)), and
+    // silhouette-guided cluster-count selection.
+    #[allow(clippy::disallowed_methods)]
+    let t2 = std::time::Instant::now();
+    let fm = thicket::kernel_family_features(&tk, METRICS[0]);
+    let sample_cap = 2000usize;
+    let stride = fm.points.len().div_ceil(sample_cap).max(1);
+    let mut points: Vec<Vec<f64>> = fm.points.iter().step_by(stride).cloned().collect();
+    hierclust::standardize(&mut points);
+    let link = hierclust::linkage(&points, hierclust::Linkage::Ward);
+    let sel = hierclust::select_clusters(&points, &link, 2, 6);
+    fold(&mut digest, points.len() as u64);
+    fold(&mut digest, sel.k as u64);
+    for &l in &sel.labels {
+        fold(&mut digest, l as u64);
+    }
+    for (k, s) in &sel.scores {
+        fold(&mut digest, *k as u64);
+        fold(&mut digest, s.to_bits());
+    }
+    #[allow(clippy::disallowed_methods)]
+    let t_cluster = t2.elapsed();
+
+    #[allow(clippy::disallowed_methods)]
+    let total = t0.elapsed();
+    println!(
+        "corpus_smoke: profiles={n} nodes={} ingest={:.2}s groupby+stats={:.2}s cluster={:.2}s (k={}, sample={}) total={:.2}s budget={:.0}s",
+        tk.nodes.len(),
+        t_ingest.as_secs_f64(),
+        t_groupby.as_secs_f64(),
+        t_cluster.as_secs_f64(),
+        sel.k,
+        points.len(),
+        total.as_secs_f64(),
+        budget.as_secs_f64(),
+    );
+    println!("corpus_smoke: digest={digest:016x}");
+    if total > budget {
+        eprintln!(
+            "corpus_smoke: FAIL — {:.2}s exceeds the {:.0}s budget",
+            total.as_secs_f64(),
+            budget.as_secs_f64()
+        );
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,17 @@ fn main() {
         ca.num_clusters()
     ));
     out.push_str(&ca.linkage.dendrogram_text(&labels));
+    let sel = ca.silhouette_selection(2, 8);
+    out.push_str(&format!(
+        "\nsilhouette-guided selection over k=2..8: best k={} (threshold {:.4}), scores {}\n",
+        sel.k,
+        sel.threshold,
+        sel.scores
+            .iter()
+            .map(|(k, s)| format!("k={k}:{s:.4}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
     print!("{out}");
     rajaperf_bench::save_output("fig6_dendrogram.txt", &out);
 }

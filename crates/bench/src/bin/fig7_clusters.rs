@@ -60,6 +60,20 @@ fn main() {
             .collect();
         out.push_str(&format!("c{i} ({}): {}\n", members.len(), members.join(", ")));
     }
+    let sel = ca.silhouette_selection(2, 8);
+    out.push_str(&format!(
+        "\nSilhouette check: best k over 2..8 is {} (score {:.4}); the paper's k={} cut scores {:.4}\n",
+        sel.k,
+        sel.scores
+            .iter()
+            .find(|(sk, _)| *sk == sel.k)
+            .map_or(f64::NAN, |(_, s)| *s),
+        k,
+        sel.scores
+            .iter()
+            .find(|(sk, _)| *sk == k)
+            .map_or(f64::NAN, |(_, s)| *s),
+    ));
     print!("{out}");
     rajaperf_bench::save_output("fig7_clusters.txt", &out);
 }

@@ -18,11 +18,22 @@
 //!   of first appearance;
 //! * [`LinkageResult::dendrogram_text`] renders the merge tree for Fig. 6.
 //!
-//! Complexity is the textbook O(n³)/O(n²) — ample for a 60–80 kernel suite.
+//! For the 60–80 kernel suite the textbook Lance–Williams matrix algorithm
+//! (O(n³) time / O(n²) space) is ample and is kept for every linkage; Ward
+//! on larger inputs (corpus-scale profile clustering) dispatches to an
+//! O(n²)-time, O(n)-space nearest-neighbor-chain over cluster centroids,
+//! which produces the same dendrogram (NN-chain is exact for reducible
+//! linkages, and Ward is reducible).
 
 pub mod quality;
 
-pub use quality::silhouette_score;
+pub use quality::{sampled_silhouette, select_clusters, silhouette_score, KSelection};
+
+/// Above this many observations, [`linkage`] with [`Linkage::Ward`] uses the
+/// nearest-neighbor-chain algorithm. At or below it, the Lance–Williams
+/// matrix path runs instead so that historical small-input merge orders
+/// (including tie resolution) are preserved bit-for-bit.
+pub const NN_CHAIN_THRESHOLD: usize = 128;
 
 /// Linkage update strategies (a subset of scipy's).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,16 +82,32 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 
 /// Compute the hierarchical clustering of `points` under `method`.
 ///
+/// Ward linkage on more than [`NN_CHAIN_THRESHOLD`] observations runs the
+/// O(n²) nearest-neighbor-chain ([`nn_chain_ward`]); everything else runs
+/// the Lance–Williams distance-matrix recurrence.
+///
 /// # Panics
 /// Panics on an empty input or ragged point dimensions.
 pub fn linkage(points: &[Vec<f64>], method: Linkage) -> LinkageResult {
-    let n = points.len();
-    assert!(n > 0, "linkage needs at least one observation");
+    check_points(points);
+    if method == Linkage::Ward && points.len() > NN_CHAIN_THRESHOLD {
+        return nn_chain_ward(points);
+    }
+    linkage_matrix(points, method)
+}
+
+fn check_points(points: &[Vec<f64>]) {
+    assert!(!points.is_empty(), "linkage needs at least one observation");
     let dim = points[0].len();
     assert!(
         points.iter().all(|p| p.len() == dim),
         "all observations must share a dimension"
     );
+}
+
+/// Lance–Williams matrix agglomeration (all linkage methods).
+fn linkage_matrix(points: &[Vec<f64>], method: Linkage) -> LinkageResult {
+    let n = points.len();
     // Active cluster bookkeeping. Cluster ids: 0..n are singletons; merges
     // create n+step. `dist` stores *squared* distances for Ward (the
     // Lance–Williams recurrence for Ward is exact on squared distances),
@@ -159,6 +186,134 @@ pub fn linkage(points: &[Vec<f64>], method: Linkage) -> LinkageResult {
         for row in &mut dist {
             row.swap_remove(bj);
         }
+    }
+    LinkageResult { n, merges }
+}
+
+/// Ward linkage via the nearest-neighbor-chain algorithm: O(n²·d) time and
+/// O(n·d) space, no distance matrix.
+///
+/// Ward's inter-cluster distance has a closed centroid form,
+/// d²(A, B) = 2·|A|·|B| / (|A| + |B|) · ‖c_A − c_B‖², so clusters can be
+/// represented by (centroid, size) alone. The chain repeatedly extends to a
+/// nearest neighbour until it finds a reciprocal nearest pair, which is
+/// merged immediately — valid for any *reducible* linkage (merging two
+/// clusters never brings the merged cluster closer to a third than the
+/// nearer of its parts was), which Ward is. Merges therefore come out in
+/// chain order, not height order; a stable sort by height plus a scipy-style
+/// union-find relabel restores the canonical `(a, b, distance, size)` rows
+/// with new clusters numbered `n + step` in sorted order. The stable sort
+/// keeps a child merge ahead of its equal-height parent because the child is
+/// always recorded first and Ward heights are monotone along any root path.
+pub fn nn_chain_ward(points: &[Vec<f64>]) -> LinkageResult {
+    check_points(points);
+    let n = points.len();
+    // Per-slot cluster state; a merge collapses into the smaller slot id and
+    // retires the other. `rep` is a representative observation index used to
+    // identify the cluster during the final relabel.
+    let mut centroid: Vec<Vec<f64>> = points.to_vec();
+    let mut size: Vec<f64> = vec![1.0; n];
+    let mut active: Vec<bool> = vec![true; n];
+    let mut rep: Vec<usize> = (0..n).collect();
+    let ward_d2 = |a: usize, b: usize, centroid: &[Vec<f64>], size: &[f64]| {
+        let s: f64 = centroid[a]
+            .iter()
+            .zip(&centroid[b])
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        2.0 * size[a] * size[b] / (size[a] + size[b]) * s
+    };
+
+    // Raw merges in chain order: (rep_a, rep_b, distance, merged size).
+    let mut raw: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(n.saturating_sub(1));
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..n.saturating_sub(1) {
+        if chain.is_empty() {
+            let first = active
+                .iter()
+                .position(|&a| a)
+                .expect("an active cluster remains");
+            chain.push(first);
+        }
+        loop {
+            let a = *chain.last().expect("chain is non-empty");
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            // Seed the argmin with the previous chain element so that on
+            // exact distance ties the chain terminates (reciprocity wins)
+            // instead of cycling.
+            let (mut best, mut best_j) = match prev {
+                Some(p) => (ward_d2(a, p, &centroid, &size), p),
+                None => (f64::INFINITY, usize::MAX),
+            };
+            for (j, &alive) in active.iter().enumerate() {
+                if !alive || j == a || Some(j) == prev {
+                    continue;
+                }
+                let d = ward_d2(a, j, &centroid, &size);
+                // Strict < : on ties the previous chain element (the seed)
+                // wins, guaranteeing termination; among other candidates the
+                // smallest index wins, keeping the walk deterministic.
+                if d < best {
+                    best = d;
+                    best_j = j;
+                }
+            }
+            if Some(best_j) == prev {
+                // Reciprocal nearest neighbours: merge a and best_j.
+                chain.pop();
+                chain.pop();
+                let (x, y) = (a, best_j);
+                let keep = x.min(y);
+                let drop_slot = x.max(y);
+                let merged = size[x] + size[y];
+                let c: Vec<f64> = centroid[x]
+                    .iter()
+                    .zip(&centroid[y])
+                    .map(|(cx, cy)| (size[x] * cx + size[y] * cy) / merged)
+                    .collect();
+                centroid[keep] = c;
+                raw.push((rep[x], rep[y], best.sqrt(), merged as usize));
+                rep[keep] = rep[x].min(rep[y]);
+                size[keep] = merged;
+                active[drop_slot] = false;
+                break;
+            }
+            chain.push(best_j);
+        }
+    }
+
+    // Canonicalize: stable-sort by height, then relabel clusters in merge
+    // order with a union-find over representative observations.
+    let mut order: Vec<usize> = (0..raw.len()).collect();
+    order.sort_by(|&i, &j| raw[i].2.total_cmp(&raw[j].2));
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    // cluster_id[root observation] = current cluster id of that root's set.
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(raw.len());
+    for (step, &mi) in order.iter().enumerate() {
+        let (ra, rb, d, sz) = raw[mi];
+        let fa = find(&mut parent, ra);
+        let fb = find(&mut parent, rb);
+        let (ca, cb) = (cluster_id[fa], cluster_id[fb]);
+        merges.push(Merge {
+            a: ca.min(cb),
+            b: ca.max(cb),
+            distance: d,
+            size: sz,
+        });
+        parent[fb] = fa;
+        cluster_id[fa] = n + step;
     }
     LinkageResult { n, merges }
 }
@@ -406,5 +561,104 @@ mod tests {
         assert_eq!(l.fcluster(10.0), vec![0]);
         let text = l.dendrogram_text(&["only".to_string()]);
         assert!(text.contains("only"));
+    }
+
+    /// SplitMix64: deterministic, well-mixed synthetic coordinates.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| (splitmix(&mut s) >> 11) as f64 / (1u64 << 53) as f64 * 10.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nn_chain_matches_matrix_ward() {
+        for seed in [1u64, 42, 1234] {
+            let pts = random_points(60, 5, seed);
+            let matrix = linkage_matrix(&pts, Linkage::Ward);
+            let chain = nn_chain_ward(&pts);
+            assert_eq!(matrix.merges.len(), chain.merges.len());
+            for (m, c) in matrix.merges.iter().zip(&chain.merges) {
+                assert_eq!((m.a, m.b, m.size), (c.a, c.b, c.size), "seed {seed}");
+                assert!(
+                    (m.distance - c.distance).abs() <= 1e-9 * m.distance.max(1.0),
+                    "seed {seed}: matrix {} vs chain {}",
+                    m.distance,
+                    c.distance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nn_chain_dispatches_above_threshold_and_recovers_blobs() {
+        // Four well-separated blobs of 50 points each: n = 200 takes the
+        // NN-chain path through the public `linkage` entry point.
+        let centers = [[0.0, 0.0], [20.0, 0.0], [0.0, 20.0], [20.0, 20.0]];
+        let mut s = 7u64;
+        let mut pts = Vec::new();
+        for c in &centers {
+            for _ in 0..50 {
+                let jx = (splitmix(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+                let jy = (splitmix(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+                pts.push(vec![c[0] + jx, c[1] + jy]);
+            }
+        }
+        let l = linkage(&pts, Linkage::Ward);
+        assert_eq!(l.merges.len(), pts.len() - 1);
+        for w in l.merges.windows(2) {
+            assert!(w[1].distance >= w[0].distance, "sorted heights");
+        }
+        let t = l.threshold_for_clusters(4);
+        let labels = l.fcluster(t);
+        assert_eq!(labels.iter().copied().max().unwrap() + 1, 4);
+        // Every blob lands in one cluster.
+        for blob in 0..4 {
+            let first = labels[blob * 50];
+            assert!(
+                labels[blob * 50..(blob + 1) * 50].iter().all(|&l| l == first),
+                "blob {blob} split across clusters"
+            );
+        }
+    }
+
+    #[test]
+    fn nn_chain_survives_duplicate_points() {
+        // Distance-zero ties: the chain must terminate and report the
+        // duplicate merges at height 0 first.
+        let mut pts = vec![vec![1.0, 1.0]; 5];
+        pts.extend(vec![vec![9.0, 9.0]; 5]);
+        let l = nn_chain_ward(&pts);
+        assert_eq!(l.merges.len(), 9);
+        assert_eq!(l.merges[0].distance, 0.0);
+        for w in l.merges.windows(2) {
+            assert!(w[1].distance >= w[0].distance);
+        }
+        let labels = l.fcluster(l.threshold_for_clusters(2));
+        assert_eq!(labels.iter().copied().max().unwrap() + 1, 2);
+        assert!(labels[..5].iter().all(|&x| x == labels[0]));
+        assert!(labels[5..].iter().all(|&x| x == labels[5]));
+    }
+
+    #[test]
+    fn nn_chain_singleton_and_pair() {
+        let l = nn_chain_ward(&[vec![3.0]]);
+        assert!(l.merges.is_empty());
+        let l = nn_chain_ward(&[vec![0.0], vec![4.0]]);
+        assert_eq!(l.merges.len(), 1);
+        assert_eq!((l.merges[0].a, l.merges[0].b), (0, 1));
+        assert!((l.merges[0].distance - 4.0).abs() < 1e-12);
     }
 }

@@ -112,6 +112,94 @@ pub fn silhouette_score(points: &[Vec<f64>], labels: &[usize]) -> f64 {
     total / n as f64
 }
 
+/// Cap on observations entering a silhouette evaluation inside
+/// [`select_clusters`]; above it a deterministic stride sample keeps the
+/// O(n²) silhouette affordable at corpus scale.
+pub const SILHOUETTE_SAMPLE_CAP: usize = 2048;
+
+/// Outcome of silhouette-guided cluster-count selection.
+#[derive(Debug, Clone)]
+pub struct KSelection {
+    /// Chosen number of flat clusters.
+    pub k: usize,
+    /// Cut height that produces `k` clusters (feed to `fcluster`).
+    pub threshold: f64,
+    /// Flat labels at the chosen cut, one per observation.
+    pub labels: Vec<usize>,
+    /// `(k, silhouette)` for every candidate count actually evaluated,
+    /// ascending in `k`.
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Pick the cluster count in `kmin..=kmax` with the best (sampled)
+/// silhouette, breaking ties toward fewer clusters. Candidate counts the
+/// dendrogram cannot realise exactly are evaluated at the count their cut
+/// does realise, once. Mirrors how the paper's threshold 1.4 was validated
+/// by inspection, but quantified.
+///
+/// # Panics
+/// Panics if `points` and `link` disagree on the number of observations or
+/// the range is empty or starts below 2.
+pub fn select_clusters(
+    points: &[Vec<f64>],
+    link: &crate::LinkageResult,
+    kmin: usize,
+    kmax: usize,
+) -> KSelection {
+    assert_eq!(points.len(), link.n, "one point per observation");
+    assert!(kmin >= 2 && kmin <= kmax, "need a k range starting at >= 2");
+    let mut best: Option<(f64, usize, f64, Vec<usize>)> = None;
+    let mut scores = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for k in kmin..=kmax.min(link.n) {
+        let threshold = link.threshold_for_clusters(k);
+        let labels = link.fcluster(threshold);
+        let actual = labels.iter().copied().max().map_or(0, |m| m + 1);
+        if actual < 2 || !seen.insert(actual) {
+            continue;
+        }
+        let s = sampled_silhouette(points, &labels, SILHOUETTE_SAMPLE_CAP);
+        scores.push((actual, s));
+        let better = match &best {
+            None => true,
+            Some((bs, bk, _, _)) => s > *bs || (s == *bs && actual < *bk),
+        };
+        if better {
+            best = Some((s, actual, threshold, labels));
+        }
+    }
+    scores.sort_by_key(|&(k, _)| k);
+    let (_, k, threshold, labels) = best.unwrap_or_else(|| {
+        // Degenerate dendrogram (e.g. all points identical): every cut is
+        // one cluster. Report that honestly.
+        (0.0, 1, f64::INFINITY, vec![0; link.n])
+    });
+    KSelection {
+        k,
+        threshold,
+        labels,
+        scores,
+    }
+}
+
+/// Silhouette over a deterministic stride sample of at most `cap`
+/// observations: index 0, then every ⌈n/cap⌉-th point. Exact (delegates to
+/// [`silhouette_score`]) when `n <= cap`. Stride sampling keeps the result
+/// reproducible across runs and thread counts.
+pub fn sampled_silhouette(points: &[Vec<f64>], labels: &[usize], cap: usize) -> f64 {
+    assert_eq!(points.len(), labels.len());
+    assert!(cap >= 2, "a silhouette needs at least two observations");
+    let n = points.len();
+    if n <= cap {
+        return silhouette_score(points, labels);
+    }
+    let stride = n.div_ceil(cap);
+    let idx: Vec<usize> = (0..n).step_by(stride).collect();
+    let pts: Vec<Vec<f64>> = idx.iter().map(|&i| points[i].clone()).collect();
+    let labs: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+    silhouette_score(&pts, &labs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +254,51 @@ mod tests {
         let with_singleton = vec![0, 0, 0, 1, 1, 2];
         let s = silhouette_score(&pts, &with_singleton);
         assert!(s.is_finite());
+    }
+
+    #[test]
+    fn select_clusters_finds_the_true_blob_count() {
+        // Two obvious blobs: silhouette must peak at k = 2 across 2..=5.
+        let pts = blobs();
+        let l = linkage(&pts, Linkage::Ward);
+        let sel = select_clusters(&pts, &l, 2, 5);
+        assert_eq!(sel.k, 2, "scores: {:?}", sel.scores);
+        assert_eq!(l.fcluster(sel.threshold), sel.labels);
+        assert!(sel.scores.iter().any(|&(k, _)| k == 2));
+        assert!(sel.scores.windows(2).all(|w| w[0].0 < w[1].0), "ascending k");
+    }
+
+    #[test]
+    fn select_clusters_on_identical_points_degrades_gracefully() {
+        let pts = vec![vec![1.0, 1.0]; 4];
+        let l = linkage(&pts, Linkage::Ward);
+        let sel = select_clusters(&pts, &l, 2, 4);
+        // All merges at height 0: any cut is either n singletons or one
+        // cluster, so candidates collapse. Just require consistency.
+        assert_eq!(sel.labels.len(), 4);
+        assert!(sel.k >= 1);
+    }
+
+    #[test]
+    fn sampled_silhouette_matches_exact_below_cap_and_approximates_above() {
+        let pts = blobs();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let exact = silhouette_score(&pts, &labels);
+        assert_eq!(sampled_silhouette(&pts, &labels, 2048), exact);
+        // Blow the corpus up past the cap; the strided estimate must stay
+        // close to the exact score for such clean clusters.
+        let mut big = Vec::new();
+        let mut big_labels = Vec::new();
+        for rep in 0..200 {
+            for (p, &l) in pts.iter().zip(&labels) {
+                let mut q = p.clone();
+                q[0] += (rep % 7) as f64 * 1e-3;
+                big.push(q);
+                big_labels.push(l);
+            }
+        }
+        let approx = sampled_silhouette(&big, &big_labels, 64);
+        assert!((approx - exact).abs() < 0.05, "approx {approx} exact {exact}");
     }
 
     #[test]

@@ -16,7 +16,9 @@ USAGE:
 COMMANDS:
     run -- <rajaperf args>      Execute a campaign (e.g. run -- --kernels Basic_DAXPY --size 1000)
     sweep -- <rajaperf args>    Execute a tuning sweep (argv must include --sweep and --sweep-dir)
-    analyze <DIR> [METRIC]      Compose <DIR>'s .cali.json profiles [metric: avg#time.duration]
+    analyze <DIR|store> [METRIC]  Compose <DIR>'s .cali.json profiles, or 'store'
+                                  to stream every profile out of the daemon's
+                                  content-addressed store [metric: avg#time.duration]
     ping                        Liveness probe
     stats                       Store and queue counters
     shutdown                    Graceful shutdown: drain in-flight work, then exit

@@ -109,11 +109,14 @@ pub enum Request {
         /// CLI arguments including the sweep flags.
         argv: Vec<String>,
     },
-    /// Thicket composition over `dir`'s `.cali.json` profiles.
+    /// Thicket composition over `dir`'s `.cali.json` profiles, or over the
+    /// daemon's content-addressed store when `dir` is the literal `store`.
+    /// Results are cached in the store under a key that folds in the build
+    /// and columnar-engine versions plus the corpus content fingerprints.
     Analyze {
         /// Client-chosen request id.
         id: String,
-        /// Directory of profiles to compose.
+        /// Directory of profiles to compose, or `store`.
         dir: String,
         /// Metric column for the statsframe.
         metric: String,

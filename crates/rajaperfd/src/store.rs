@@ -94,15 +94,36 @@ impl ProfileStore {
     /// The object file a hash addresses. Objects shard on the first two hex
     /// digits so no single directory grows unboundedly.
     pub fn object_path(&self, hash: &str) -> PathBuf {
+        self.path_in("objects", hash)
+    }
+
+    /// The file a hash addresses in the *derived* space — records computed
+    /// from stored objects (e.g. cached analyze results). Derived records
+    /// live outside `objects/` so corpus enumeration never sees them: an
+    /// analysis caching its own result must not change the corpus it is
+    /// keyed on.
+    pub fn derived_path(&self, hash: &str) -> PathBuf {
+        self.path_in("derived", hash)
+    }
+
+    fn path_in(&self, space: &str, hash: &str) -> PathBuf {
         let shard = hash.get(..2).unwrap_or("00");
-        self.root.join("objects").join(shard).join(format!("{hash}.json"))
+        self.root.join(space).join(shard).join(format!("{hash}.json"))
     }
 
     /// Look up the record stored under `key`. Returns the record only when
     /// it parses *and* its embedded key matches `key` byte for byte; a
     /// non-parsing file is quarantined first.
     pub fn get(&self, key: &Value) -> Option<Value> {
-        let path = self.object_path(&Self::key_hash(key));
+        self.get_at(self.object_path(&Self::key_hash(key)), key)
+    }
+
+    /// [`ProfileStore::get`] against the derived space.
+    pub fn get_derived(&self, key: &Value) -> Option<Value> {
+        self.get_at(self.derived_path(&Self::key_hash(key)), key)
+    }
+
+    fn get_at(&self, path: PathBuf, key: &Value) -> Option<Value> {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
@@ -136,6 +157,19 @@ impl ProfileStore {
     /// Store `record` under `key`, embedding the key in the record (the
     /// read-side integrity check). Returns the object's hash.
     pub fn put(&self, key: &Value, record: Value) -> io::Result<String> {
+        let hash = Self::key_hash(key);
+        self.put_at(self.object_path(&hash), key, record)?;
+        Ok(hash)
+    }
+
+    /// [`ProfileStore::put`] against the derived space.
+    pub fn put_derived(&self, key: &Value, record: Value) -> io::Result<String> {
+        let hash = Self::key_hash(key);
+        self.put_at(self.derived_path(&hash), key, record)?;
+        Ok(hash)
+    }
+
+    fn put_at(&self, path: PathBuf, key: &Value, record: Value) -> io::Result<()> {
         let mut obj = match record {
             Value::Object(m) => m,
             other => {
@@ -146,14 +180,12 @@ impl ProfileStore {
         };
         obj.insert("key".to_string(), key.clone());
         let record = Value::Object(obj);
-        let hash = Self::key_hash(key);
-        let path = self.object_path(&hash);
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
         caliper::write_atomic(&path, record.to_string().as_bytes())?;
         self.stores.fetch_add(1, Ordering::Relaxed);
-        Ok(hash)
+        Ok(())
     }
 
     /// Move a corrupt object into `quarantine/`, uniquifying on collision.
@@ -216,6 +248,22 @@ mod tests {
         assert_eq!(rec["profile"]["x"].as_i64(), Some(1));
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn derived_space_is_separate_from_objects() {
+        let store = temp_store("derived");
+        let key = json!({"kind": "analyze", "metric": "t"});
+        assert!(store.get_derived(&key).is_none());
+        store.put_derived(&key, json!({"report": 42})).unwrap();
+        let rec = store.get_derived(&key).expect("derived record hits");
+        assert_eq!(rec["report"].as_i64(), Some(42));
+        // The same key misses in the object space, and no file appears
+        // under objects/ — corpus enumeration never sees derived records.
+        assert!(store.get(&key).is_none());
+        assert!(!store.object_path(&ProfileStore::key_hash(&key)).exists());
+        assert!(store.derived_path(&ProfileStore::key_hash(&key)).exists());
         std::fs::remove_dir_all(store.root()).ok();
     }
 

@@ -3,8 +3,13 @@
 //! analysis workflow.
 //!
 //! ```text
-//! rajaperf-analyze <dir> [--groupby KEY] [--metric COLUMN] [--tree] [--csv]
+//! rajaperf-analyze <dir|file.tkt> [--groupby KEY] [--metric COLUMN]
+//!                  [--tree] [--csv] [--save-tkt FILE]
 //! ```
+//!
+//! The input is either a directory of `.cali.json` profiles or a chunked
+//! columnar `.tkt` snapshot written by a previous `--save-tkt` run —
+//! reopening a snapshot skips JSON parsing entirely.
 //!
 //! Corrupt or truncated profiles (e.g. torn by a mid-write kill) are skipped
 //! with a warning rather than aborting the composition; the exit codes match
@@ -17,7 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" {
         eprintln!(
-            "usage: rajaperf-analyze <profile-dir> [--groupby KEY] [--metric COLUMN] [--tree] [--csv]"
+            "usage: rajaperf-analyze <profile-dir|file.tkt> [--groupby KEY] [--metric COLUMN] [--tree] [--csv] [--save-tkt FILE]"
         );
         if args.is_empty() {
             SuiteExit::Usage.exit();
@@ -29,6 +34,7 @@ fn main() {
     let mut metric = "avg#time.duration".to_string();
     let mut show_tree = false;
     let mut show_csv = false;
+    let mut save_tkt: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -40,6 +46,7 @@ fn main() {
             }
             "--tree" => show_tree = true,
             "--csv" => show_csv = true,
+            "--save-tkt" => save_tkt = it.next().cloned(),
             other => {
                 eprintln!("unknown option {other}");
                 SuiteExit::Usage.exit();
@@ -47,38 +54,50 @@ fn main() {
         }
     }
 
-    // Collect every *.cali.json profile in the directory; ingestion itself
-    // tolerates (and reports) unreadable or malformed files.
-    let mut paths = Vec::new();
-    let entries = match std::fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", dir.display());
+    let mut tk = if dir.is_file() && dir.extension().is_some_and(|e| e == "tkt") {
+        // Reopen a columnar snapshot: no JSON parsing, no re-composition.
+        match Thicket::read_tkt(dir) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", dir.display());
+                SuiteExit::Internal.exit();
+            }
+        }
+    } else {
+        // Collect every *.cali.json profile in the directory; ingestion
+        // itself tolerates (and reports) unreadable or malformed files.
+        let mut paths = Vec::new();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", dir.display());
+                SuiteExit::Internal.exit();
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.to_string_lossy().ends_with(".cali.json") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        let (tk, stats) = Thicket::from_files(&paths);
+        for (path, reason) in &stats.skipped {
+            eprintln!("warning: skipping {}: {reason}", path.display());
+        }
+        if stats.warnings() > 0 {
+            eprintln!(
+                "warning: {} of {} profile(s) skipped as unreadable or malformed",
+                stats.warnings(),
+                paths.len()
+            );
+        }
+        if stats.ingested == 0 {
+            eprintln!("no usable .cali.json profiles found in {}", dir.display());
             SuiteExit::Internal.exit();
         }
+        tk
     };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.to_string_lossy().ends_with(".cali.json") {
-            paths.push(path);
-        }
-    }
-    paths.sort();
-    let (mut tk, stats) = Thicket::from_files(&paths);
-    for (path, reason) in &stats.skipped {
-        eprintln!("warning: skipping {}: {reason}", path.display());
-    }
-    if stats.warnings() > 0 {
-        eprintln!(
-            "warning: {} of {} profile(s) skipped as unreadable or malformed",
-            stats.warnings(),
-            paths.len()
-        );
-    }
-    if stats.ingested == 0 {
-        eprintln!("no usable .cali.json profiles found in {}", dir.display());
-        SuiteExit::Internal.exit();
-    }
     println!(
         "composed {} profiles, {} call-tree nodes, {} metric columns",
         tk.profiles.len(),
@@ -118,5 +137,12 @@ fn main() {
     }
     if show_csv {
         print!("{}", tk.to_csv());
+    }
+    if let Some(out) = save_tkt {
+        if let Err(e) = tk.write_tkt(std::path::Path::new(&out)) {
+            eprintln!("cannot write {out}: {e}");
+            SuiteExit::Internal.exit();
+        }
+        println!("\nsaved columnar snapshot to {out}");
     }
 }

@@ -593,11 +593,11 @@ mod tests {
     }
 
     #[test]
+    // Plain std Mutex is fine here: test-local accumulation, not a checked
+    // concurrency protocol.
+    #[allow(clippy::disallowed_types)]
     fn progress_observer_sees_every_executed_kernel() {
         use std::sync::Mutex as StdMutex;
-        // Plain std Mutex is fine here: test-local accumulation, not a
-        // checked concurrency protocol.
-        #[allow(clippy::disallowed_types)]
         static SEEN: StdMutex<Vec<(String, usize, usize, String)>> = StdMutex::new(Vec::new());
         SEEN.lock().unwrap().clear();
         let observer = |p: &KernelProgress| {

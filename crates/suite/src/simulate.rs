@@ -145,6 +145,14 @@ impl ClusterAnalysis {
         self.labels.iter().copied().max().map_or(0, |m| m + 1)
     }
 
+    /// Silhouette-guided cluster-count selection over `kmin..=kmax`,
+    /// quantifying the paper's by-inspection threshold choice. Does not
+    /// change `labels`/`threshold`; callers report it as an annotation.
+    pub fn silhouette_selection(&self, kmin: usize, kmax: usize) -> hierclust::KSelection {
+        let points: Vec<Vec<f64>> = self.sims.iter().map(cluster_tuple).collect();
+        hierclust::select_clusters(&points, &self.linkage, kmin, kmax)
+    }
+
     /// Mean TMA tuple per cluster (Fig. 7 middle table, first five columns).
     pub fn cluster_tma_means(&self) -> Vec<[f64; 5]> {
         let k = self.num_clusters();

@@ -1,0 +1,146 @@
+//! Per-profile feature extraction for corpus-scale clustering.
+//!
+//! The paper clusters *kernels* by top-down tuples (Fig. 6); the Thicket
+//! kernel-similarity follow-on (McKinsey et al.) clusters across whole
+//! corpora. To cluster thousands of *profiles* we reduce each profile to a
+//! fixed-length feature vector: summary statistics of one metric column per
+//! kernel family (the leaf-name prefix before the first `_`, e.g. `Stream`
+//! from `Stream_TRIAD`). The extraction is a single scan over the columnar
+//! frame, so it stays O(rows) no matter how many profiles the corpus holds.
+
+use crate::{id32, Thicket};
+use std::collections::BTreeMap;
+
+/// A profiles × features matrix ready for `hierclust` (standardize with
+/// `hierclust::standardize`, then feed `hierclust::linkage`).
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    /// Profile ids, one per row of `points` (ascending).
+    pub profiles: Vec<usize>,
+    /// Feature names, one per column of `points` (`"<family>:mean"` /
+    /// `"<family>:max"`).
+    pub names: Vec<String>,
+    /// The feature vectors.
+    pub points: Vec<Vec<f64>>,
+}
+
+/// Extract per-profile features from `column`: for every kernel family
+/// observed in the call tree, the mean and max of the column's values over
+/// that family's nodes. Profiles that never observed a family get 0.0 for
+/// its features (documented sentinel: clustering distances treat absence as
+/// zero cost).
+pub fn kernel_family_features(t: &Thicket, column: &str) -> FeatureMatrix {
+    // Family per node, and the ordered family universe.
+    let mut family_ids: BTreeMap<String, usize> = BTreeMap::new();
+    let node_family: Vec<String> = t
+        .nodes
+        .iter()
+        .map(|n| {
+            let leaf = n.name();
+            leaf.split('_').next().unwrap_or(leaf).to_string()
+        })
+        .collect();
+    for fam in &node_family {
+        let next = family_ids.len();
+        family_ids.entry(fam.clone()).or_insert(next);
+    }
+    // BTreeMap iteration is sorted by name; re-id families in sorted order
+    // so feature columns are deterministic and readable.
+    let families: Vec<String> = family_ids.keys().cloned().collect();
+    let fam_rank: BTreeMap<&str, usize> = families
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.as_str(), i))
+        .collect();
+    let node_fam: Vec<usize> = node_family.iter().map(|f| fam_rank[f.as_str()]).collect();
+
+    let profiles = t.profiles.clone();
+    let prof_rank: std::collections::HashMap<u32, usize> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (id32(p), i))
+        .collect();
+
+    // One accumulator cell per (profile, family): sum, count, max.
+    let nf = families.len();
+    let mut sum = vec![0.0f64; profiles.len() * nf];
+    let mut count = vec![0usize; profiles.len() * nf];
+    let mut max = vec![f64::NEG_INFINITY; profiles.len() * nf];
+
+    let fv = t.frame_view();
+    if let Some(col) = fv.columns().get(column) {
+        for (pos, &(nid, pid)) in fv.rows().iter().enumerate() {
+            let Some(v) = col.get(pos) else { continue };
+            let cell = prof_rank[&pid] * nf + node_fam[nid as usize];
+            sum[cell] += v;
+            count[cell] += 1;
+            if v > max[cell] {
+                max[cell] = v;
+            }
+        }
+    }
+
+    let mut names = Vec::with_capacity(nf * 2);
+    for f in &families {
+        names.push(format!("{f}:mean"));
+        names.push(format!("{f}:max"));
+    }
+    let points: Vec<Vec<f64>> = (0..profiles.len())
+        .map(|pi| {
+            let mut row = Vec::with_capacity(nf * 2);
+            for fi in 0..nf {
+                let cell = pi * nf + fi;
+                if count[cell] > 0 {
+                    row.push(sum[cell] / count[cell] as f64);
+                    row.push(max[cell]);
+                } else {
+                    row.push(0.0);
+                    row.push(0.0);
+                }
+            }
+            row
+        })
+        .collect();
+
+    FeatureMatrix {
+        profiles,
+        names,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProfileData;
+
+    fn profile(stream_t: f64, basic_t: f64) -> ProfileData {
+        let mut records = Vec::new();
+        for (leaf, v) in [("Stream_TRIAD", stream_t), ("Stream_ADD", stream_t * 2.0), ("Basic_DAXPY", basic_t)] {
+            let mut metrics = std::collections::BTreeMap::new();
+            metrics.insert("t".to_string(), v);
+            records.push((vec!["RAJAPerf".to_string(), leaf.to_string()], metrics));
+        }
+        ProfileData {
+            globals: Default::default(),
+            records,
+        }
+    }
+
+    #[test]
+    fn features_summarize_per_family() {
+        let t = Thicket::from_profiles(&[profile(1.0, 10.0), profile(3.0, 30.0)]);
+        let fm = kernel_family_features(&t, "t");
+        assert_eq!(fm.profiles, vec![0, 1]);
+        // Families sorted: Basic, Stream (no record carries the bare root
+        // path, so no root node — and no root family — exists).
+        assert_eq!(
+            fm.names,
+            vec!["Basic:mean", "Basic:max", "Stream:mean", "Stream:max"]
+        );
+        // Profile 0: Basic mean/max 10; Stream values {1, 2} => mean 1.5
+        // max 2.
+        assert_eq!(fm.points[0], vec![10.0, 10.0, 1.5, 2.0]);
+        assert_eq!(fm.points[1], vec![30.0, 30.0, 4.5, 6.0]);
+    }
+}

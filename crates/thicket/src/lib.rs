@@ -20,11 +20,38 @@
 //! * [`Thicket::tree`] — text rendering of the call tree annotated with a
 //!   metric, Thicket/Hatchet's `tree()`.
 //!
-//! The dataframe is column-oriented over `f64` metrics, which is what every
-//! analysis in the paper consumes.
+//! The performance dataframe is stored **columnar** (see [`columnar`]'s
+//! module docs): a single sorted node-major row index shared by dense
+//! per-column value vectors with validity bitmaps. Aggregations are
+//! contiguous per-node slice scans parallelized over the vendored `rayon`
+//! pool with deterministic chunk-ordered combines, selections are
+//! profile-mask gathers, and [`Thicket::ingest`] appends to a pending chunk
+//! that is compacted geometrically — so corpora of 10⁵–10⁶ profiles (the
+//! `rajaperfd` store scale) stay interactive. [`Thicket::write_tkt`] /
+//! [`Thicket::read_tkt`] persist the composed dataframe in a chunked binary
+//! format so a corpus is parsed from Caliper JSON once, not per query.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+mod columnar;
+mod features;
+mod tkt;
+
+use columnar::Frame;
+use rayon::IntoParallelIterator;
+
+pub use features::{kernel_family_features, FeatureMatrix};
+
+/// Version tag of the analysis engine, for cache keys that must not serve
+/// results computed by a different engine (e.g. `rajaperfd`'s analyze
+/// cache). Bump on any change that can alter analysis output.
+pub const ENGINE_VERSION: &str = "columnar-1";
+
+/// Group label under which [`Thicket::groupby`] collects profiles whose
+/// metadata lacks the grouping key (they are partitioned, not dropped).
+pub const MISSING_GROUP: &str = "(missing)";
 
 /// A node of the unified call graph.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,13 +75,17 @@ pub type RowKey = (usize, usize);
 pub struct Thicket {
     /// Unified call-graph nodes; `node id` = index.
     pub nodes: Vec<Node>,
-    /// Profile ids, in ingestion order. Values are opaque labels.
+    /// Profile ids, in ingestion order (always ascending: ids are allocated
+    /// `max + 1` and filters keep subsequences).
     pub profiles: Vec<usize>,
-    /// Metric columns: name → (row key → value). Sparse: a profile that
-    /// never visited a node simply has no entry.
-    pub columns: BTreeMap<String, BTreeMap<RowKey, f64>>,
+    /// The columnar performance dataframe (metric columns over the sorted
+    /// `(node, profile)` row index).
+    frame: Frame,
     /// Per-profile metadata (from profile globals): profile → key → value.
-    pub metadata: BTreeMap<usize, BTreeMap<String, serde_json::Value>>,
+    /// Each record is behind an `Arc` so selections (`groupby`, filters,
+    /// clones) share it instead of deep-copying — at corpus scale the
+    /// metadata copy, not the frame gather, dominated selection cost.
+    pub metadata: BTreeMap<usize, Arc<BTreeMap<String, serde_json::Value>>>,
     /// Aggregated statistics per node: column → node → value. Filled by
     /// [`Thicket::stats`].
     pub statsframe: BTreeMap<String, BTreeMap<usize, f64>>,
@@ -197,16 +228,78 @@ impl IngestStats {
 /// serializable data, and an index field would leak into its JSON form.
 type PathIndex = std::collections::HashMap<Vec<String>, usize>;
 
+/// Narrow a node/profile id into the frame's `u32` row space.
+pub(crate) fn id32(id: usize) -> u32 {
+    u32::try_from(id).expect("thicket node/profile ids exceed the u32 row space")
+}
+
+/// A streaming ingestion session: wraps a [`Thicket`] with the transient
+/// path index so per-profile ingest is O(records), not O(nodes) re-indexing
+/// per call. This is the corpus entry point — `rajaperfd` analyze requests
+/// and [`Thicket::from_files`] feed profiles through one of these as they
+/// arrive, and [`IngestSession::finish`] compacts the result.
+pub struct IngestSession {
+    thicket: Thicket,
+    index: PathIndex,
+}
+
+impl IngestSession {
+    /// Start from an empty thicket.
+    pub fn new() -> IngestSession {
+        IngestSession::from_thicket(Thicket::default())
+    }
+
+    /// Resume ingestion into an existing thicket (e.g. one reopened from a
+    /// `.tkt` file).
+    pub fn from_thicket(thicket: Thicket) -> IngestSession {
+        let index = thicket.build_path_index();
+        IngestSession { thicket, index }
+    }
+
+    /// Ingest one profile.
+    pub fn ingest(&mut self, p: &ProfileData) {
+        self.thicket.ingest_indexed(&mut self.index, p);
+    }
+
+    /// Profiles ingested so far (including any the session started with).
+    pub fn len(&self) -> usize {
+        self.thicket.profiles.len()
+    }
+
+    /// True when no profiles have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.thicket.profiles.is_empty()
+    }
+
+    /// The thicket under construction (reads see all ingested data; bulk
+    /// scans are cheaper after [`IngestSession::finish`]).
+    pub fn thicket(&self) -> &Thicket {
+        &self.thicket
+    }
+
+    /// Compact and return the thicket.
+    pub fn finish(mut self) -> Thicket {
+        let nnodes = self.thicket.nodes.len();
+        self.thicket.frame.compact(nnodes);
+        self.thicket
+    }
+}
+
+impl Default for IngestSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Thicket {
     /// Ingest profiles, unioning their call trees. Each profile gets the
     /// next free profile id.
     pub fn from_profiles(profiles: &[ProfileData]) -> Thicket {
-        let mut t = Thicket::default();
-        let mut index = t.build_path_index();
+        let mut s = IngestSession::new();
         for p in profiles {
-            t.ingest_indexed(&mut index, p);
+            s.ingest(p);
         }
-        t
+        s.finish()
     }
 
     /// Ingest profile files, skipping (not dying on) any that are
@@ -215,23 +308,26 @@ impl Thicket {
     /// quarantined or torn cells. Returns the thicket built from the intact
     /// files plus an [`IngestStats`] listing every skipped file and why.
     pub fn from_files<P: AsRef<std::path::Path>>(paths: &[P]) -> (Thicket, IngestStats) {
-        let mut t = Thicket::default();
-        let mut index = t.build_path_index();
+        let mut s = IngestSession::new();
         let mut stats = IngestStats::default();
         for p in paths {
             let p = p.as_ref();
             match ProfileData::read_file(p) {
                 Ok(data) => {
-                    t.ingest_indexed(&mut index, &data);
+                    s.ingest(&data);
                     stats.ingested += 1;
                 }
                 Err(e) => stats.skipped.push((p.to_path_buf(), e.to_string())),
             }
         }
-        (t, stats)
+        (s.finish(), stats)
     }
 
-    /// Add one profile to this thicket.
+    /// Add one profile to this thicket. Appends land in the frame's pending
+    /// chunk; compaction is amortized (geometric trigger), so calling this
+    /// in a loop streams N profiles in O(N) total merge work. For long
+    /// sessions prefer [`IngestSession`], which also amortizes the path
+    /// index.
     pub fn ingest(&mut self, p: &ProfileData) {
         let mut index = self.build_path_index();
         self.ingest_indexed(&mut index, p);
@@ -240,22 +336,26 @@ impl Thicket {
     fn ingest_indexed(&mut self, index: &mut PathIndex, p: &ProfileData) {
         let pid = self.next_profile_id();
         self.profiles.push(pid);
-        self.metadata.insert(pid, p.globals.clone());
+        self.metadata.insert(pid, Arc::new(p.globals.clone()));
+        let pid = id32(pid);
         for (path, metrics) in &p.records {
-            let nid = self.node_id_or_insert(index, path);
-            for (col, &val) in metrics {
-                self.columns
-                    .entry(col.clone())
-                    .or_default()
-                    .insert((nid, pid), val);
-            }
+            let nid = id32(self.node_id_or_insert(index, path));
+            self.frame.append(nid, pid, metrics);
+        }
+        if self.frame.should_compact() {
+            self.frame.compact(self.nodes.len());
         }
     }
 
-    /// Smallest unused profile id. `max + 1`, not `len`: ids stay unique
+    /// Smallest unused profile id. `last + 1`, not `len`: ids stay unique
     /// even after [`Thicket::filter_metadata`] leaves the set non-contiguous.
+    /// Every constructor appends ids in ascending order and every filter
+    /// keeps a subsequence, so the last element is the max — asserted in
+    /// debug builds because streaming ingest calls this once per profile
+    /// and an O(n) max-scan here made ingest quadratic.
     fn next_profile_id(&self) -> usize {
-        self.profiles.iter().copied().max().map_or(0, |m| m + 1)
+        debug_assert!(self.profiles.windows(2).all(|w| w[0] < w[1]));
+        self.profiles.last().map_or(0, |m| m + 1)
     }
 
     /// Index the current node set by path.
@@ -279,6 +379,30 @@ impl Thicket {
         id
     }
 
+    /// A fully-compacted view of the frame: borrowed when nothing is
+    /// pending, else a compacted clone. Bulk scans use this so they only
+    /// ever walk the sorted base.
+    pub(crate) fn frame_view(&self) -> std::borrow::Cow<'_, Frame> {
+        self.frame.compacted(self.nodes.len())
+    }
+
+    /// Construct from parts (the `.tkt` reader).
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        profiles: Vec<usize>,
+        frame: Frame,
+        metadata: BTreeMap<usize, Arc<BTreeMap<String, serde_json::Value>>>,
+        statsframe: BTreeMap<String, BTreeMap<usize, f64>>,
+    ) -> Thicket {
+        Thicket {
+            nodes,
+            profiles,
+            frame,
+            metadata,
+            statsframe,
+        }
+    }
+
     /// Node id of a call path, if present.
     pub fn node_id(&self, path: &[&str]) -> Option<usize> {
         self.nodes.iter().position(|n| {
@@ -293,126 +417,139 @@ impl Thicket {
 
     /// Metric value at (node, profile).
     pub fn value(&self, column: &str, node: usize, profile: usize) -> Option<f64> {
-        self.columns.get(column)?.get(&(node, profile)).copied()
+        let (n, p) = (u32::try_from(node).ok()?, u32::try_from(profile).ok()?);
+        self.frame.value(column, n, p)
     }
 
     /// All values of `column` at `node` across profiles (profile order).
     pub fn node_values(&self, column: &str, node: usize) -> Vec<(usize, f64)> {
-        let Some(col) = self.columns.get(column) else {
+        let Ok(n) = u32::try_from(node) else {
             return Vec::new();
         };
-        self.profiles
-            .iter()
-            .filter_map(|&p| col.get(&(node, p)).map(|&v| (p, v)))
+        self.frame
+            .node_values(column, n)
+            .into_iter()
+            .map(|(p, v)| (p as usize, v))
             .collect()
     }
 
     /// Compose thickets into one (Thicket's `concat_thickets`): profiles are
     /// renumbered; call trees are unioned. Linear in the total data volume:
-    /// node ids map through a per-thicket vector and every column's sparse
-    /// entries are copied directly, instead of the old per-profile ×
-    /// per-node × per-column probing.
+    /// node ids map through a per-thicket vector and each input frame is
+    /// bulk-appended column-by-column, then everything is merge-sorted once.
     pub fn concat(thickets: &[Thicket]) -> Thicket {
         let mut out = Thicket::default();
         let mut index = PathIndex::new();
         for t in thickets {
             // This thicket's node id → out's node id (node id = index).
-            let node_map: Vec<usize> = t
+            let node_map: Vec<u32> = t
                 .nodes
                 .iter()
-                .map(|n| out.node_id_or_insert(&mut index, &n.path))
+                .map(|n| id32(out.node_id_or_insert(&mut index, &n.path)))
                 .collect();
-            let mut prof_map: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut prof_map: std::collections::HashMap<u32, u32> =
+                std::collections::HashMap::with_capacity(t.profiles.len());
             for (next_pid, &pid) in (out.next_profile_id()..).zip(t.profiles.iter()) {
                 out.profiles.push(next_pid);
                 if let Some(md) = t.metadata.get(&pid) {
                     out.metadata.insert(next_pid, md.clone());
                 }
-                prof_map.insert(pid, next_pid);
+                prof_map.insert(id32(pid), id32(next_pid));
             }
-            for (col, data) in &t.columns {
-                let out_col = out.columns.entry(col.clone()).or_default();
-                for (&(nid, pid), &v) in data {
-                    if let Some(&new_pid) = prof_map.get(&pid) {
-                        out_col.insert((node_map[nid], new_pid), v);
-                    }
-                }
-            }
+            let fv = t.frame_view();
+            out.frame.append_frame(&fv, &node_map, &prof_map);
         }
+        out.frame.compact(out.nodes.len());
         out
     }
 
     /// Keep only profiles whose metadata satisfies `pred` (Thicket's
     /// `filter_metadata`). Node set is preserved; orphaned values dropped.
-    pub fn filter_metadata(&self, pred: impl Fn(&BTreeMap<String, serde_json::Value>) -> bool) -> Thicket {
+    /// Profiles without a metadata record are dropped (use
+    /// [`Thicket::groupby`] to partition those under [`MISSING_GROUP`]).
+    pub fn filter_metadata(
+        &self,
+        pred: impl Fn(&BTreeMap<String, serde_json::Value>) -> bool,
+    ) -> Thicket {
         let keep: Vec<usize> = self
             .profiles
             .iter()
             .copied()
-            .filter(|p| self.metadata.get(p).map(&pred).unwrap_or(false))
+            .filter(|p| self.metadata.get(p).map(|md| pred(md)).unwrap_or(false))
             .collect();
-        let mut out = Thicket {
-            nodes: self.nodes.clone(),
-            profiles: keep.clone(),
-            ..Default::default()
-        };
-        for &p in &keep {
+        self.select_profiles(&keep)
+    }
+
+    /// Sub-thicket of the given profile ids (ascending). The frame gather
+    /// is a chunk-parallel profile-mask selection.
+    fn select_profiles(&self, keep: &[usize]) -> Thicket {
+        let mask_len = self.profiles.iter().copied().max().map_or(0, |m| m + 1);
+        let mut mask = vec![false; mask_len];
+        for &p in keep {
+            mask[p] = true;
+        }
+        let fv = self.frame_view();
+        let frame = fv.select_profiles(&mask, self.nodes.len());
+        let mut metadata = BTreeMap::new();
+        for &p in keep {
             if let Some(md) = self.metadata.get(&p) {
-                out.metadata.insert(p, md.clone());
+                metadata.insert(p, md.clone());
             }
         }
-        for (col, data) in &self.columns {
-            let filtered: BTreeMap<RowKey, f64> = data
-                .iter()
-                .filter(|((_, p), _)| keep.contains(p))
-                .map(|(&k, &v)| (k, v))
-                .collect();
-            if !filtered.is_empty() {
-                out.columns.insert(col.clone(), filtered);
-            }
+        Thicket {
+            nodes: self.nodes.clone(),
+            profiles: keep.to_vec(),
+            frame,
+            metadata,
+            statsframe: BTreeMap::new(),
         }
-        out
     }
 
     /// Partition profiles by the string value of a metadata key (Thicket's
-    /// `groupby`). Profiles missing the key are dropped. Groups are returned
-    /// in sorted key order.
+    /// `groupby`). Profiles whose metadata lacks the key are grouped under
+    /// [`MISSING_GROUP`] — every profile lands in exactly one group. Groups
+    /// are returned in sorted key order.
     pub fn groupby(&self, key: &str) -> Vec<(String, Thicket)> {
-        let mut values: Vec<String> = self
-            .profiles
-            .iter()
-            .filter_map(|p| self.metadata.get(p))
-            .filter_map(|md| md.get(key))
-            .map(json_to_string)
-            .collect();
-        values.sort();
-        values.dedup();
-        values
+        let mut parts: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for &p in &self.profiles {
+            let label = self
+                .metadata
+                .get(&p)
+                .and_then(|md| md.get(key))
+                .map(json_to_string)
+                .unwrap_or_else(|| MISSING_GROUP.to_string());
+            parts.entry(label).or_default().push(p);
+        }
+        parts
             .into_iter()
-            .map(|v| {
-                let group = self.filter_metadata(|md| {
-                    md.get(key).map(json_to_string).as_deref() == Some(v.as_str())
-                });
-                (v, group)
+            .map(|(label, pids)| {
+                let group = self.select_profiles(&pids);
+                (label, group)
             })
             .collect()
     }
 
     /// Aggregate `column` across profiles for every node, storing the result
     /// in the statsframe as `"<column>_<stat>"` and returning the column
-    /// name. NaN is stored for nodes with no observations.
+    /// name. NaN is stored for nodes with no observations. Nodes are
+    /// aggregated in parallel over the rayon pool; each node's values are
+    /// reduced sequentially in profile order and results are collected in
+    /// node order, so the statsframe is bitwise-identical for any
+    /// `RAYON_NUM_THREADS`.
     pub fn stats(&mut self, column: &str, stat: Stat) -> String {
+        self.frame.compact(self.nodes.len());
         let out_name = format!("{column}_{}", stat.name());
-        let mut result = BTreeMap::new();
-        for nid in 0..self.nodes.len() {
-            let mut vals: Vec<f64> = self
-                .node_values(column, nid)
-                .into_iter()
-                .map(|(_, v)| v)
-                .collect();
-            result.insert(nid, stat.apply(&mut vals));
-        }
-        self.statsframe.insert(out_name.clone(), result);
+        let nnodes = self.nodes.len();
+        let frame = &self.frame;
+        let vals: Vec<f64> = (0..nnodes)
+            .into_par_iter()
+            .map(|nid| {
+                let mut vs = frame.node_column_values(column, id32(nid));
+                stat.apply(&mut vs)
+            })
+            .collect();
+        self.statsframe
+            .insert(out_name.clone(), vals.into_iter().enumerate().collect());
         out_name
     }
 
@@ -424,13 +561,14 @@ impl Thicket {
     /// Render the call tree annotated with a metric column's mean across
     /// profiles (Hatchet/Thicket `tree()`).
     pub fn tree(&self, column: &str) -> String {
+        let f = self.frame_view();
         // Order nodes by path for a stable depth-first-looking listing.
         let mut order: Vec<usize> = (0..self.nodes.len()).collect();
         order.sort_by(|&a, &b| self.nodes[a].path.cmp(&self.nodes[b].path));
         let mut out = String::new();
         for nid in order {
             let node = &self.nodes[nid];
-            let vals = self.node_values(column, nid);
+            let vals = f.node_values(column, id32(nid));
             let mean = if vals.is_empty() {
                 f64::NAN
             } else {
@@ -454,60 +592,52 @@ impl Thicket {
     /// counterpart of [`Thicket::filter_metadata`]).
     pub fn filter_nodes(&self, pattern: &str) -> Thicket {
         let keep = self.query_nodes(pattern);
-        let mut out = Thicket {
-            profiles: self.profiles.clone(),
-            metadata: self.metadata.clone(),
-            ..Default::default()
-        };
-        let mut remap = std::collections::BTreeMap::new();
+        let mut remap: Vec<Option<u32>> = vec![None; self.nodes.len()];
+        let mut nodes = Vec::with_capacity(keep.len());
         for &nid in &keep {
-            remap.insert(nid, out.nodes.len());
-            out.nodes.push(self.nodes[nid].clone());
+            remap[nid] = Some(id32(nodes.len()));
+            nodes.push(self.nodes[nid].clone());
         }
-        for (col, data) in &self.columns {
-            let filtered: BTreeMap<RowKey, f64> = data
-                .iter()
-                .filter_map(|(&(n, p), &v)| remap.get(&n).map(|&nn| ((nn, p), v)))
-                .collect();
-            if !filtered.is_empty() {
-                out.columns.insert(col.clone(), filtered);
-            }
+        let fv = self.frame_view();
+        let frame = fv.select_nodes(&remap, nodes.len());
+        Thicket {
+            nodes,
+            profiles: self.profiles.clone(),
+            frame,
+            metadata: self.metadata.clone(),
+            statsframe: BTreeMap::new(),
         }
-        out
     }
 
     /// Names of every metric column.
     pub fn column_names(&self) -> Vec<&str> {
-        self.columns.keys().map(String::as_str).collect()
+        self.frame.column_names()
     }
 
     /// Serialize the performance dataframe as CSV: one row per
-    /// (node, profile) with every metric column.
+    /// (node, profile) with every metric column. Fields containing `,`,
+    /// `"`, or newlines are RFC-4180 quoted (quotes doubled); numeric
+    /// fields never need quoting.
     pub fn to_csv(&self) -> String {
-        let cols: Vec<&String> = self.columns.keys().collect();
+        let f = self.frame_view();
+        let cols: Vec<&String> = f.columns().keys().collect();
         let mut out = String::from("node,profile");
         for c in &cols {
             out.push(',');
-            out.push_str(c);
+            out.push_str(&csv_escape(c));
         }
         out.push('\n');
-        for (nid, node) in self.nodes.iter().enumerate() {
-            for &pid in &self.profiles {
-                let has_data = cols
-                    .iter()
-                    .any(|c| self.columns[*c].contains_key(&(nid, pid)));
-                if !has_data {
-                    continue;
+        for (pos, &(nid, pid)) in f.rows().iter().enumerate() {
+            out.push_str(&csv_escape(&self.nodes[nid as usize].path.join("/")));
+            out.push(',');
+            out.push_str(&pid.to_string());
+            for c in &cols {
+                out.push(',');
+                if let Some(v) = f.columns()[*c].get(pos) {
+                    out.push_str(&format!("{v:e}"));
                 }
-                out.push_str(&format!("{},{}", node.path.join("/"), pid));
-                for c in &cols {
-                    out.push(',');
-                    if let Some(v) = self.columns[*c].get(&(nid, pid)) {
-                        out.push_str(&format!("{v:e}"));
-                    }
-                }
-                out.push('\n');
             }
+            out.push('\n');
         }
         out
     }
@@ -518,23 +648,34 @@ impl Thicket {
     /// out. Nodes without data are skipped.
     pub fn heatmap(&self, column: &str) -> String {
         const SHADES: &[u8] = b".:-=+*%#";
-        let mut out = format!("heatmap of {column} (columns = profiles {:?})\n", self.profiles);
+        let f = self.frame_view();
+        let mut out = format!(
+            "heatmap of {column} (columns = profiles {:?})\n",
+            self.profiles
+        );
         for nid in 0..self.nodes.len() {
-            let vals = self.node_values(column, nid);
+            let vals = f.node_values(column, id32(nid));
             if vals.is_empty() {
                 continue;
             }
             let lo = vals.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
-            let hi = vals.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+            let hi = vals
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::NEG_INFINITY, f64::max);
             let mut cells = String::new();
+            let mut cur = 0usize;
             for &p in &self.profiles {
-                match self.value(column, nid, p) {
-                    Some(v) => {
-                        let frac = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
-                        let idx = (frac * (SHADES.len() - 1) as f64).round() as usize;
-                        cells.push(SHADES[idx.min(SHADES.len() - 1)] as char);
-                    }
-                    None => cells.push(' '),
+                while cur < vals.len() && (vals[cur].0 as usize) < p {
+                    cur += 1;
+                }
+                if cur < vals.len() && vals[cur].0 as usize == p {
+                    let v = vals[cur].1;
+                    let frac = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+                    let idx = (frac * (SHADES.len() - 1) as f64).round() as usize;
+                    cells.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+                } else {
+                    cells.push(' ');
                 }
             }
             out.push_str(&format!("{cells}  {}\n", self.nodes[nid].path.join("/")));
@@ -544,11 +685,7 @@ impl Thicket {
 
     /// Number of (node, profile) rows carrying at least one metric.
     pub fn row_count(&self) -> usize {
-        let mut rows: std::collections::HashSet<RowKey> = std::collections::HashSet::new();
-        for data in self.columns.values() {
-            rows.extend(data.keys().copied());
-        }
-        rows.len()
+        self.frame_view().rows().len()
     }
 }
 
@@ -556,6 +693,25 @@ fn json_to_string(v: &serde_json::Value) -> String {
     match v {
         serde_json::Value::String(s) => s.clone(),
         other => other.to_string(),
+    }
+}
+
+/// RFC-4180 field quoting: wrap in double quotes when the field contains a
+/// comma, quote, or line break, doubling any embedded quotes.
+fn csv_escape(field: &str) -> std::borrow::Cow<'_, str> {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut s = String::with_capacity(field.len() + 2);
+        s.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                s.push('"');
+            }
+            s.push(ch);
+        }
+        s.push('"');
+        std::borrow::Cow::Owned(s)
+    } else {
+        std::borrow::Cow::Borrowed(field)
     }
 }
 
@@ -638,6 +794,32 @@ mod tests {
         assert_eq!(groups[0].1.profiles.len(), 1);
         assert_eq!(groups[1].0, "RAJA_Seq");
         assert_eq!(groups[1].1.profiles.len(), 2);
+    }
+
+    /// Regression: profiles whose metadata lacks the groupby key used to be
+    /// silently dropped from every group; they now land in the
+    /// `"(missing)"` sentinel group, so groupby is a partition.
+    #[test]
+    fn groupby_missing_key_lands_in_sentinel_group() {
+        let mut no_variant = profile("ignored", 5.0);
+        no_variant.globals.clear();
+        let t = Thicket::from_profiles(&[
+            profile("RAJA_Seq", 1.0),
+            no_variant,
+            profile("Base_Seq", 2.0),
+        ]);
+        let groups = t.groupby("variant");
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, MISSING_GROUP, "'(' sorts before letters");
+        assert_eq!(groups[0].1.profiles, vec![1]);
+        let nid = groups[0].1.node_by_name("TRIAD").unwrap();
+        assert_eq!(
+            groups[0].1.value("avg#time.duration", nid, 1),
+            Some(5.0),
+            "sentinel group keeps its data"
+        );
+        let total: usize = groups.iter().map(|(_, g)| g.profiles.len()).sum();
+        assert_eq!(total, t.profiles.len(), "groupby partitions every profile");
     }
 
     #[test]
@@ -732,6 +914,66 @@ mod tests {
         assert!(!t.column_names().is_empty());
     }
 
+    /// A minimal RFC-4180 line parser for the round-trip assertions: splits
+    /// one record into fields, honoring quoted fields with doubled quotes.
+    fn parse_csv_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(ch) = chars.next() {
+            if quoted {
+                if ch == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                } else {
+                    cur.push(ch);
+                }
+            } else {
+                match ch {
+                    '"' => quoted = true,
+                    ',' => fields.push(std::mem::take(&mut cur)),
+                    _ => cur.push(ch),
+                }
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    /// Regression: node paths and column names containing CSV metacharacters
+    /// used to be emitted raw, corrupting the table shape. They are now
+    /// RFC-4180 quoted and survive a parse round-trip.
+    #[test]
+    fn csv_quotes_special_fields_round_trip() {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("weird,col\"name".to_string(), 2.5);
+        let p = ProfileData {
+            globals: BTreeMap::new(),
+            records: vec![(
+                vec!["RAJA,Perf".into(), "TRIAD \"fused\"".into()],
+                metrics,
+            )],
+        };
+        let t = Thicket::from_profiles(&[p]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = parse_csv_line(lines.next().unwrap());
+        assert_eq!(header, vec!["node", "profile", "weird,col\"name"]);
+        let row = parse_csv_line(lines.next().unwrap());
+        assert_eq!(row[0], "RAJA,Perf/TRIAD \"fused\"");
+        assert_eq!(row[1], "0");
+        assert_eq!(row[2].parse::<f64>().unwrap(), 2.5);
+        // Every record still has the header's field count.
+        for line in csv.lines().skip(1) {
+            assert_eq!(parse_csv_line(line).len(), header.len());
+        }
+    }
+
     #[test]
     fn corrupt_profile_json_is_an_error_not_a_panic() {
         assert!(ProfileData::from_caliper_json("{not json").is_err());
@@ -770,6 +1012,28 @@ mod tests {
         assert_eq!(t.profiles, vec![0, 2]);
         t.ingest(&profile("new", 4.0));
         assert_eq!(t.profiles, vec![0, 2, 3], "max+1 allocation, not len");
+    }
+
+    /// Streaming ingest through an [`IngestSession`] must land in the same
+    /// observable state as bulk [`Thicket::from_profiles`].
+    #[test]
+    fn ingest_session_matches_bulk_ingest() {
+        let ps: Vec<ProfileData> = (0..7)
+            .map(|i| profile(["a", "b"][i % 2], i as f64))
+            .collect();
+        let bulk = Thicket::from_profiles(&ps);
+        let mut s = IngestSession::new();
+        for p in &ps {
+            s.ingest(p);
+        }
+        assert_eq!(s.len(), 7);
+        // Reads through the session see pending data already.
+        let nid = s.thicket().node_by_name("TRIAD").unwrap();
+        assert_eq!(s.thicket().value("avg#time.duration", nid, 6), Some(6.0));
+        let streamed = s.finish();
+        assert_eq!(streamed.to_csv(), bulk.to_csv());
+        assert_eq!(streamed.profiles, bulk.profiles);
+        assert_eq!(streamed.heatmap("avg#time.duration"), bulk.heatmap("avg#time.duration"));
     }
 
     /// Perf regression: concat used to re-scan the node list per record

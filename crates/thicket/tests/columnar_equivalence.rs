@@ -1,0 +1,261 @@
+//! Property tests: the columnar engine is observation-equivalent to the
+//! row-oriented semantics it replaced. A tiny in-test reference model (a
+//! map of `(path, profile) -> metric -> value` with last-write-wins
+//! inserts, exactly what the old per-column `BTreeMap` did) is driven with
+//! the same randomized profiles; every observable — `value`, `node_values`,
+//! `stats`, `groupby`, `filter_metadata`, `row_count`, the `.tkt`
+//! round-trip — must agree across bulk ingestion, streaming ingestion, and
+//! concat composition.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use thicket::{IngestSession, ProfileData, Stat, Thicket, MISSING_GROUP};
+
+const PATHS: [&str; 4] = ["Stream_K0", "Stream_K1", "Basic_K0", "Basic_K1"];
+const METRICS: [&str; 2] = ["t", "b"];
+const VARIANTS: [&str; 3] = ["v0", "v1", "v2"];
+
+/// One synthetic record: a leaf path, and a value per selected metric.
+#[derive(Debug, Clone)]
+struct RecSpec {
+    path: usize,
+    values: Vec<(usize, i32)>,
+}
+
+/// One synthetic profile: optional variant metadata plus records.
+#[derive(Debug, Clone)]
+struct ProfileSpec {
+    variant: Option<usize>,
+    records: Vec<RecSpec>,
+}
+
+fn profile_data(spec: &ProfileSpec) -> ProfileData {
+    let mut globals = BTreeMap::new();
+    if let Some(v) = spec.variant {
+        globals.insert(
+            "variant".to_string(),
+            serde_json::Value::String(VARIANTS[v].to_string()),
+        );
+    }
+    let records = spec
+        .records
+        .iter()
+        .map(|r| {
+            let mut metrics = BTreeMap::new();
+            for &(m, v) in &r.values {
+                metrics.insert(METRICS[m].to_string(), v as f64);
+            }
+            (
+                vec!["RAJAPerf".to_string(), PATHS[r.path].to_string()],
+                metrics,
+            )
+        })
+        .collect();
+    ProfileData { globals, records }
+}
+
+/// The row-oriented reference: `(path, profile) -> metric -> value`,
+/// applied record by record with per-metric overwrite — the old engine's
+/// `BTreeMap::insert` semantics.
+#[derive(Debug, Default)]
+struct RefModel {
+    cells: BTreeMap<(String, usize), BTreeMap<String, f64>>,
+    variants: BTreeMap<usize, Option<usize>>,
+}
+
+impl RefModel {
+    fn build(specs: &[ProfileSpec]) -> RefModel {
+        let mut model = RefModel::default();
+        for (pid, spec) in specs.iter().enumerate() {
+            model.variants.insert(pid, spec.variant);
+            for rec in &spec.records {
+                if rec.values.is_empty() {
+                    continue; // metric-less records never materialize a row
+                }
+                let cell = model
+                    .cells
+                    .entry((PATHS[rec.path].to_string(), pid))
+                    .or_default();
+                for &(m, v) in &rec.values {
+                    cell.insert(METRICS[m].to_string(), v as f64);
+                }
+            }
+        }
+        model
+    }
+
+    /// Values of `metric` under `path`, profile-ascending — the reference
+    /// for `node_values` and the aggregation input order for `stats`.
+    fn node_values(&self, path: &str, metric: &str) -> Vec<(usize, f64)> {
+        self.cells
+            .iter()
+            .filter(|((p, _), _)| p == path)
+            .filter_map(|((_, pid), ms)| ms.get(metric).map(|&v| (*pid, v)))
+            .collect()
+    }
+
+    fn profiles(&self) -> Vec<usize> {
+        self.variants.keys().copied().collect()
+    }
+}
+
+/// Canonical observation dump keyed by node path (node *ids* may differ
+/// across composition orders; observations may not).
+fn dump(t: &Thicket) -> BTreeMap<(String, String), Vec<(usize, u64)>> {
+    let mut out = BTreeMap::new();
+    for (nid, node) in t.nodes.iter().enumerate() {
+        for col in t.column_names() {
+            let vals: Vec<(usize, u64)> = t
+                .node_values(col, nid)
+                .into_iter()
+                .map(|(p, v)| (p, v.to_bits()))
+                .collect();
+            if !vals.is_empty() {
+                out.insert((node.path.join("/"), col.to_string()), vals);
+            }
+        }
+    }
+    out
+}
+
+fn rec_spec() -> impl Strategy<Value = RecSpec> {
+    (
+        0..PATHS.len(),
+        prop::collection::vec((0..METRICS.len(), -100i32..100), 0..3),
+    )
+        .prop_map(|(path, values)| RecSpec { path, values })
+}
+
+fn profile_spec() -> impl Strategy<Value = ProfileSpec> {
+    (
+        prop::option::of(0..VARIANTS.len()),
+        prop::collection::vec(rec_spec(), 0..5),
+    )
+        .prop_map(|(variant, records)| ProfileSpec { variant, records })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn columnar_engine_matches_row_oriented_reference(
+        specs in prop::collection::vec(profile_spec(), 1..10),
+        split in 0usize..10,
+    ) {
+        let data: Vec<ProfileData> = specs.iter().map(profile_data).collect();
+        let model = RefModel::build(&specs);
+
+        // Three composition routes, one answer.
+        let bulk = Thicket::from_profiles(&data);
+        let mut session = IngestSession::new();
+        for p in &data {
+            session.ingest(p);
+        }
+        let streamed = session.finish();
+        let split = split.min(data.len());
+        let concatenated = Thicket::concat(&[
+            Thicket::from_profiles(&data[..split]),
+            Thicket::from_profiles(&data[split..]),
+        ]);
+        let d = dump(&bulk);
+        prop_assert_eq!(&d, &dump(&streamed), "streaming ingest diverged");
+        prop_assert_eq!(&d, &dump(&concatenated), "concat composition diverged");
+
+        // Observations match the reference model cell for cell.
+        prop_assert_eq!(bulk.profiles.clone(), model.profiles());
+        let mut expected_rows = 0usize;
+        for (nid, node) in bulk.nodes.iter().enumerate() {
+            let path = node.name().to_string();
+            let mut node_has_row = vec![];
+            for metric in METRICS {
+                let expect = model.node_values(&path, metric);
+                prop_assert_eq!(
+                    bulk.node_values(metric, nid).iter().map(|&(p, v)| (p, v.to_bits())).collect::<Vec<_>>(),
+                    expect.iter().map(|&(p, v)| (p, v.to_bits())).collect::<Vec<_>>(),
+                    "node_values({}, {})", metric, &path
+                );
+                for &(pid, v) in &expect {
+                    prop_assert_eq!(bulk.value(metric, nid, pid), Some(v));
+                    node_has_row.push(pid);
+                }
+            }
+            node_has_row.sort_unstable();
+            node_has_row.dedup();
+            expected_rows += node_has_row.len();
+        }
+        prop_assert_eq!(bulk.row_count(), expected_rows);
+
+        // Parallel stats reduce in the model's profile order.
+        let mut stats_t = bulk.clone();
+        for (stat, reduce) in [
+            (Stat::Mean, (|vs: &[f64]| vs.iter().sum::<f64>() / vs.len() as f64) as fn(&[f64]) -> f64),
+            (Stat::Max, |vs: &[f64]| vs.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+        ] {
+            let col = stats_t.stats("t", stat);
+            for (nid, node) in bulk.nodes.iter().enumerate() {
+                let vals: Vec<f64> = model
+                    .node_values(node.name(), "t")
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
+                let got = stats_t.stat_value(&col, nid);
+                if vals.is_empty() {
+                    prop_assert!(got.is_none() || got.is_some_and(f64::is_nan));
+                } else {
+                    prop_assert_eq!(got.map(f64::to_bits), Some(reduce(&vals).to_bits()));
+                }
+            }
+        }
+
+        // groupby partitions every profile exactly once, missing-keyed
+        // profiles under the sentinel, and each group is the filtered dump.
+        let groups = bulk.groupby("variant");
+        let mut seen = 0usize;
+        for (label, group) in &groups {
+            let expect_pids: Vec<usize> = model
+                .variants
+                .iter()
+                .filter(|(_, v)| match v {
+                    Some(i) => VARIANTS[*i] == label.as_str(),
+                    None => label == MISSING_GROUP,
+                })
+                .map(|(p, _)| *p)
+                .collect();
+            prop_assert_eq!(&group.profiles, &expect_pids, "group {}", label);
+            seen += group.profiles.len();
+            for ((path, col), vals) in dump(group) {
+                let expect: Vec<(usize, u64)> = model
+                    .node_values(path.rsplit('/').next().unwrap(), &col)
+                    .into_iter()
+                    .filter(|(p, _)| expect_pids.contains(p))
+                    .map(|(p, v)| (p, v.to_bits()))
+                    .collect();
+                prop_assert_eq!(vals, expect, "group {} {}/{}", label, path, col);
+            }
+        }
+        prop_assert_eq!(seen, bulk.profiles.len(), "groupby must partition");
+
+        // filter_metadata keeps exactly the matching profiles.
+        let filtered = bulk.filter_metadata(|md| {
+            md.get("variant").and_then(|v| v.as_str()) == Some("v1")
+        });
+        let expect_pids: Vec<usize> = model
+            .variants
+            .iter()
+            .filter(|(_, v)| **v == Some(1))
+            .map(|(p, _)| *p)
+            .collect();
+        prop_assert_eq!(&filtered.profiles, &expect_pids);
+
+        // The on-disk snapshot preserves every observation bit for bit.
+        let path = std::env::temp_dir().join(format!(
+            "thicket_prop_{}_{split}.tkt",
+            std::process::id()
+        ));
+        bulk.write_tkt(&path).expect("snapshot writes");
+        let reopened = Thicket::read_tkt(&path).expect("snapshot reopens");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&d, &dump(&reopened), "tkt round-trip diverged");
+        prop_assert_eq!(&bulk.metadata, &reopened.metadata);
+    }
+}

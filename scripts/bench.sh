@@ -1,23 +1,31 @@
 #!/usr/bin/env bash
-# Snapshot the gpusim launch-overhead benchmarks into BENCH_gpusim.json.
+# Snapshot a Criterion bench into its committed BENCH_*.json trajectory.
 #
-#   scripts/bench.sh <label>          # e.g. scripts/bench.sh pre-pr3
+#   scripts/bench.sh <label> [bench]   # bench: launch (default) | thicket
 #
-# Runs crates/bench/benches/launch.rs in release mode with CRITERION_JSON
-# pointed at a scratch file, then appends one snapshot object
+#   scripts/bench.sh pre-pr3           # gpusim launch overhead -> BENCH_gpusim.json
+#   scripts/bench.sh post-pr8 thicket  # thicket corpus engine  -> BENCH_thicket.json
+#
+# Runs the selected bench in release mode with CRITERION_JSON pointed at a
+# scratch file, then appends one snapshot object
 #   {"label", "git", "threads", "utc", "entries": [{label, mean_ns, min_ns}...]}
-# to the top-level array in BENCH_gpusim.json (created on first use). The
-# file is committed so the perf trajectory across PRs is recorded.
+# to the top-level array in the bench's BENCH_*.json (created on first use).
+# The files are committed so the perf trajectory across PRs is recorded.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LABEL="${1:?usage: scripts/bench.sh <snapshot-label>}"
-OUT="BENCH_gpusim.json"
+LABEL="${1:?usage: scripts/bench.sh <snapshot-label> [launch|thicket]}"
+BENCH="${2:-launch}"
+case "$BENCH" in
+    launch)  OUT="BENCH_gpusim.json" ;;
+    thicket) OUT="BENCH_thicket.json" ;;
+    *) echo "bench.sh: unknown bench '$BENCH' (expected launch or thicket)" >&2; exit 2 ;;
+esac
 SCRATCH="$(mktemp)"
 trap 'rm -f "$SCRATCH"' EXIT
 
-echo "== bench: cargo bench --bench launch (label: $LABEL) =="
-CRITERION_JSON="$SCRATCH" cargo bench -p rajaperf-bench --bench launch
+echo "== bench: cargo bench --bench $BENCH (label: $LABEL, out: $OUT) =="
+CRITERION_JSON="$SCRATCH" cargo bench -p rajaperf-bench --bench "$BENCH"
 
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 THREADS="${RAYON_NUM_THREADS:-$(nproc)}"

@@ -204,6 +204,25 @@ wait "$DAEMON_PID"
 [[ ! -S "$DSOCK" ]] || { echo "verify: FAIL — socket file left behind after shutdown" >&2; exit 1; }
 echo "daemon: run streamed, store hit replayed without re-execution, clean shutdown"
 
+# Corpus-scale columnar engine smoke: 50k synthetic profiles through
+# streaming ingest, parallel groupby+stats, and feature clustering, under a
+# CI-scaled wall-clock budget (the binary exits 1 when over). Run at two
+# rayon widths and compare digests: the parallel aggregation must be
+# bitwise-deterministic across thread counts.
+echo "== corpus: columnar thicket smoke (50k profiles, 1 vs 4 threads) =="
+SMOKE1=$(RAYON_NUM_THREADS=1 target/release/corpus_smoke 50000)
+echo "$SMOKE1" | head -1
+SMOKE4=$(RAYON_NUM_THREADS=4 target/release/corpus_smoke 50000)
+DIGEST1=$(echo "$SMOKE1" | grep "digest=")
+DIGEST4=$(echo "$SMOKE4" | grep "digest=")
+if [[ -z "$DIGEST1" || "$DIGEST1" != "$DIGEST4" ]]; then
+    echo "verify: FAIL — corpus digests diverged across thread widths:" >&2
+    echo "  1 thread:  $DIGEST1" >&2
+    echo "  4 threads: $DIGEST4" >&2
+    exit 1
+fi
+echo "corpus: budget met at both widths, $DIGEST1 reproduced bitwise"
+
 # Daemon latency perf budget: median-of-3 round-trips against wall-clock
 # thresholds (3x under CI=true) — catches service-layer stalls, not µs drift.
 echo "== daemon: latency budget (cargo test --release -p rajaperfd --test latency_budget) =="

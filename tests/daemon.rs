@@ -257,6 +257,67 @@ fn shutdown_drains_in_flight_and_queued_work() {
 }
 
 #[test]
+fn analyze_streams_store_profiles_and_caches_the_result() {
+    let (daemon, root) = start_daemon("analyze", 8, 2);
+    let socket = daemon.socket().to_path_buf();
+
+    // Two runs seed the store with two profile-bearing objects.
+    for (id, kernel) in [("a-run1", "Basic_DAXPY"), ("a-run2", "Stream_TRIAD")] {
+        let resp = rajaperfd::submit(
+            &socket,
+            &run_request(id, &["--kernels", kernel, "--size", "1000", "--reps", "2"]),
+        )
+        .unwrap();
+        assert_eq!(resp.exit_code, 0, "{id}");
+    }
+
+    let analyze = |id: &str| {
+        rajaperfd::submit(
+            &socket,
+            &Request::Analyze {
+                id: id.to_string(),
+                dir: "store".to_string(),
+                metric: "avg#time.duration".to_string(),
+            },
+        )
+        .unwrap()
+    };
+    let first = analyze("a-first");
+    assert_eq!(first.exit_code, 0, "{:?}", first.error());
+    assert!(!first.cached(), "first analysis computes");
+    let report = first.report().expect("analysis reports");
+    assert_eq!(report["profiles"].as_i64(), Some(2), "both stored profiles composed");
+    assert!(report["table"].as_array().is_some_and(|t| !t.is_empty()));
+
+    // Same corpus, same metric: replayed from the store, byte-identical.
+    let second = analyze("a-second");
+    assert_eq!(second.exit_code, 0);
+    assert!(second.cached(), "repeat analysis is served from the store");
+    assert_eq!(
+        second.report().map(Value::to_string),
+        first.report().map(Value::to_string),
+        "cached analysis is byte-identical"
+    );
+
+    // Growing the corpus changes the key: a third run makes it a miss.
+    let resp = rajaperfd::submit(
+        &socket,
+        &run_request("a-run3", &["--kernels", "Basic_MULADDSUB", "--size", "1000", "--reps", "2"]),
+    )
+    .unwrap();
+    assert_eq!(resp.exit_code, 0);
+    let third = analyze("a-third");
+    assert!(!third.cached(), "a grown corpus recomputes");
+    // Cached analyses live in the store's derived space, outside objects/,
+    // so the corpus grew by exactly the one new run profile.
+    let r3 = third.report().expect("recomputed report");
+    assert_eq!(r3["profiles"].as_i64(), Some(3));
+    assert_eq!(r3["skipped"].as_i64(), Some(0));
+
+    shutdown_and_wait(daemon, &root);
+}
+
+#[test]
 fn daemon_results_match_direct_execution() {
     // The daemon is a transport, not a different runner: the entries it
     // reports for a campaign must match run_suite's own output for the

@@ -369,6 +369,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Result<Value, Error> {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(std::sync::Arc::new)
+    }
+}
+
 macro_rules! impl_tuples {
     ($(($($n:tt $t:ident),+);)*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -596,13 +608,24 @@ pub mod text {
                             _ => return Err(self.err("unknown string escape")),
                         }
                     }
-                    Some(_) => {
+                    Some(b) if b < 0x80 => {
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                    Some(b) => {
                         // Consume one UTF-8 scalar (the input is a &str, so
-                        // byte boundaries are valid).
-                        let rest = &self.bytes[self.pos..];
-                        let s = std::str::from_utf8(rest)
+                        // byte boundaries are valid). Decode only this
+                        // scalar's bytes — validating the whole remaining
+                        // input per character makes parsing quadratic.
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let end = (self.pos + len).min(self.bytes.len());
+                        let s = std::str::from_utf8(&self.bytes[self.pos..end])
                             .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                        let ch = s.chars().next().unwrap();
+                        let ch = s.chars().next().ok_or_else(|| self.err("invalid UTF-8 in string"))?;
                         out.push(ch);
                         self.pos += ch.len_utf8();
                     }
