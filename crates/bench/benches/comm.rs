@@ -1,0 +1,54 @@
+//! Criterion bench: simcomm halo exchange and rank scaling.
+//!
+//! The paper's §IV ablation studies the HALO exchange kernels under
+//! message fusion; this harness times the rank-decomposed exchange driver
+//! (`kernels::comm`) end to end — pack, simcomm send/recv, unpack — so the
+//! committed trajectory (`BENCH_comm.json`, via `scripts/bench.sh <label>
+//! comm`) records both the fused-vs-unfused packing gap and how the
+//! exchange scales as the 1-D rank decomposition widens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernels::comm::{run_exchange_decomposed, NUM_VARS};
+use kernels::VariantId;
+use std::time::Duration;
+
+const BLOCK: usize = 256;
+const REPS: usize = 4;
+
+/// Problem size giving a 16³ interior grid per `geometry` (n is total
+/// elements across `NUM_VARS` variables).
+const N: usize = NUM_VARS * 16 * 16 * 16;
+
+fn halo_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_exchange");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .throughput(Throughput::Elements(N as u64));
+    for fused in [false, true] {
+        let label = if fused { "fused" } else { "per_direction" };
+        group.bench_with_input(BenchmarkId::new("pack", label), &fused, |b, &fused| {
+            b.iter(|| run_exchange_decomposed(N, REPS, VariantId::BaseSeq, BLOCK, fused, 2, true));
+        });
+    }
+    group.finish();
+}
+
+fn rank_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_scaling");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .throughput(Throughput::Elements(N as u64));
+    for nranks in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("ranks", nranks), &nranks, |b, &nranks| {
+            b.iter(|| run_exchange_decomposed(N, REPS, VariantId::BaseSeq, BLOCK, true, nranks, true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, halo_exchange, rank_scaling);
+criterion_main!(benches);

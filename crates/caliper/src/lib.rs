@@ -443,6 +443,15 @@ impl Session {
             .insert(name.to_string(), value.into());
     }
 
+    /// Record this profile's rank identity within a multi-rank campaign,
+    /// using real Caliper's MPI attribute names (`mpi.rank`,
+    /// `mpi.world.size`) so Thicket-side tooling can group and compare
+    /// profiles by rank the way it does for actual MPI runs.
+    pub fn set_rank(&self, rank: usize, world_size: usize) {
+        self.set_global("mpi.rank", rank as i64);
+        self.set_global("mpi.world.size", world_size as i64);
+    }
+
     /// Record the cost of an instrumentation layer (e.g. the simulated-device
     /// sanitizer) as profile metadata: stores `<name>_overhead_pct` — the
     /// percentage slowdown of `instrumented` over `baseline` — together with
@@ -902,6 +911,18 @@ mod tests {
         assert_eq!(
             p.globals.get("degenerate_overhead_pct").and_then(|v| v.as_f64()),
             Some(0.0)
+        );
+    }
+
+    #[test]
+    fn set_rank_stores_mpi_attribute_globals() {
+        let s = Session::new();
+        s.set_rank(3, 8);
+        let p = s.profile();
+        assert_eq!(p.globals.get("mpi.rank").and_then(|v| v.as_i64()), Some(3));
+        assert_eq!(
+            p.globals.get("mpi.world.size").and_then(|v| v.as_i64()),
+            Some(8)
         );
     }
 

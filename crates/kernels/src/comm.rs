@@ -259,7 +259,13 @@ fn exchange_buffers(
 ) {
     let mut reqs = Vec::with_capacity(g.exchanges.len());
     for (tag, e) in g.exchanges.iter().enumerate() {
-        let nbr = decomp.neighbor(comm.rank(), e.offset);
+        // Every rank sends tag `d` towards neighbor(+offset_d), so the copy
+        // addressed to *us* comes from neighbor(-offset_d) — the opposite
+        // neighbour. (With the historical fixed 2-rank decomposition the
+        // two coincide mod 2, which masked a wrong-source irecv here; at 4+
+        // ranks the old matching deadlocked the exchange.)
+        let opp = [-e.offset[0], -e.offset[1], -e.offset[2]];
+        let nbr = decomp.neighbor(comm.rank(), opp);
         reqs.push(comm.irecv(nbr, tag as i32));
     }
     for (tag, e) in g.exchanges.iter().enumerate() {
@@ -471,12 +477,36 @@ impl KernelBase for HaloSendrecv {
     }
 }
 
-/// Shared driver for the two full-exchange kernels.
+/// Shared driver for the two full-exchange kernels: the fixed [`RANKS`]-rank
+/// decomposition with rank-seeded grids (each rank's data is distinct, so
+/// the summed checksum witnesses real inter-rank traffic).
 fn run_exchange(n: usize, reps: usize, variant: VariantId, bs: usize, fused: bool) -> RunResult {
-    let decomp = RankDecomp::new([RANKS, 1, 1]);
-    let outputs = simcomm::run(RANKS, |mut comm| {
+    run_exchange_decomposed(n, reps, variant, bs, fused, RANKS, false)
+}
+
+/// The full pack → exchange → unpack pipeline over an explicit 1-D rank
+/// decomposition (`[nranks, 1, 1]`, periodic). Public for the §IV
+/// rank-decomposition ablation (benches and parity tests).
+///
+/// With `uniform_init` every rank starts from identical (rank-independent)
+/// grids; since the decomposition is periodic and all ranks run the same
+/// geometry, each rank's post-exchange state then equals the single-rank
+/// self-exchange, making `checksum / nranks` independent of `nranks` —
+/// the parity invariant the ablation pins. With `uniform_init = false`
+/// grids are rank-seeded (the kernels' own behavior).
+pub fn run_exchange_decomposed(
+    n: usize,
+    reps: usize,
+    variant: VariantId,
+    bs: usize,
+    fused: bool,
+    nranks: usize,
+    uniform_init: bool,
+) -> RunResult {
+    let decomp = RankDecomp::new([nranks, 1, 1]);
+    let outputs = simcomm::run(nranks, |mut comm| {
         let g = geometry(n);
-        let mut grids = init_grids(&g, comm.rank());
+        let mut grids = init_grids(&g, if uniform_init { 0 } else { comm.rank() });
         let mut send_bufs: Vec<Vec<f64>> = g
             .exchanges
             .iter()
@@ -621,6 +651,28 @@ mod tests {
         assert_eq!(HaloPacking.signature(N).kernel_launches, 52.0);
         assert_eq!(HaloPackingFused.signature(N).kernel_launches, 2.0);
         assert_eq!(HaloExchange.signature(N).mpi_messages, 26.0);
+    }
+
+    #[test]
+    fn exchange_checksum_parity_single_rank_vs_rank_decomposed() {
+        // §IV rank-decomposition ablation invariant: with uniform
+        // (rank-independent) grids and a periodic decomposition, every rank
+        // computes the identical post-exchange state, so the per-rank
+        // checksum is independent of the rank count — exactly, since the
+        // floating-point operations are identical.
+        let single = run_exchange_decomposed(N, 1, VariantId::BaseSeq, 256, false, 1, true);
+        for nranks in [2usize, 4] {
+            let multi =
+                run_exchange_decomposed(N, 1, VariantId::BaseSeq, 256, false, nranks, true);
+            assert_eq!(
+                multi.checksum / nranks as f64,
+                single.checksum,
+                "nranks={nranks}"
+            );
+        }
+        // The fused pipeline moves the same data.
+        let fused = run_exchange_decomposed(N, 1, VariantId::BaseSeq, 256, true, 4, true);
+        assert_eq!(fused.checksum / 4.0, single.checksum);
     }
 
     #[test]

@@ -45,6 +45,12 @@ use std::sync::Arc;
 use std::time::Duration;
 use suite::{RunParams, SuiteExit, SuiteReport};
 
+/// Most ranks a daemon-served sweep may request: each rank is a worker
+/// thread with a full suite execution context, and a shared daemon serves
+/// many concurrent clients, so the admission bound is far below the CLI's
+/// [`suite::params::MAX_RANKS`].
+pub const MAX_SWEEP_RANKS: usize = 8;
+
 /// Lock that survives a poisoned peer: the daemon must keep serving other
 /// clients after one request's thread panics mid-lock.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -637,6 +643,18 @@ fn execute_sweep(id: &str, argv: &[String], stream: &UnixStream, shared: &Arc<Sh
         send(stream, &proto::ev_done(id, SuiteExit::Usage));
         return;
     }
+    if params.ranks > MAX_SWEEP_RANKS {
+        // Each rank is a worker thread holding a full suite execution
+        // context; a shared daemon serves many clients, so it admits far
+        // fewer ranks per sweep than the CLI allows.
+        let msg = format!(
+            "daemon sweeps accept at most --ranks {MAX_SWEEP_RANKS} (requested {})",
+            params.ranks
+        );
+        send(stream, &proto::ev_error(id, ErrorCode::Unsupported, &msg));
+        send(stream, &proto::ev_done(id, SuiteExit::Usage));
+        return;
+    }
     let global_state = params.faults.is_some() || params.sanitize;
     let summary = {
         let _gate = if global_state {
@@ -688,6 +706,23 @@ fn execute_sweep(id: &str, argv: &[String], stream: &UnixStream, shared: &Arc<Sh
         "dir": summary.dir.display().to_string(),
         "manifest": summary.manifest.display().to_string(),
         "quarantined": summary.quarantined.len(),
+        "ranks": params.ranks,
+        "rank_stats": Value::Array(
+            summary
+                .rank_stats
+                .iter()
+                .enumerate()
+                .map(|(rank, s)| {
+                    json!({
+                        "rank": rank,
+                        "messages_sent": s.messages_sent,
+                        "bytes_sent": s.bytes_sent,
+                        "messages_received": s.messages_received,
+                        "bytes_received": s.bytes_received,
+                    })
+                })
+                .collect()
+        ),
         "cells": Value::Array(
             summary
                 .cells

@@ -1,0 +1,92 @@
+//! Daemon-side admission and execution of rank-sharded sweeps (`--ranks`).
+
+use rajaperfd::{protocol::Request, Daemon, DaemonConfig};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn start_daemon(tag: &str) -> (Daemon, PathBuf) {
+    let root = std::env::temp_dir().join(format!("rajaperfd_rank_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let daemon = Daemon::start(DaemonConfig {
+        socket: root.join("d.sock"),
+        store_dir: root.join("store"),
+        queue_capacity: 8,
+        workers: 2,
+    })
+    .expect("daemon starts");
+    (daemon, root)
+}
+
+fn teardown(daemon: Daemon, root: &PathBuf) {
+    let socket = daemon.socket().to_path_buf();
+    rajaperfd::submit(&socket, &Request::Shutdown { id: "end".into() }).unwrap();
+    daemon.wait().unwrap();
+    std::fs::remove_dir_all(root).ok();
+}
+
+fn sweep_request(id: &str, dir: &std::path::Path, extra: &[&str]) -> Request {
+    let mut argv: Vec<String> = [
+        "--sweep",
+        "--sweep-dir",
+        &dir.display().to_string(),
+        "--kernels",
+        "Basic_DAXPY",
+        "--size",
+        "1000",
+        "--reps",
+        "1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    argv.extend(extra.iter().map(|s| s.to_string()));
+    Request::Sweep {
+        id: id.into(),
+        argv,
+    }
+}
+
+#[test]
+fn sweep_rejects_ranks_beyond_daemon_bound() {
+    let (daemon, root) = start_daemon("cap");
+    let socket = daemon.socket().to_path_buf();
+    let over = format!("{}", rajaperfd::server::MAX_SWEEP_RANKS + 1);
+    let resp = rajaperfd::submit(
+        &socket,
+        &sweep_request("over", &root.join("sweep"), &["--ranks", &over]),
+    )
+    .unwrap();
+    let (code, msg) = resp.error().expect("typed error");
+    assert_eq!(code, "unsupported");
+    assert!(msg.contains("--ranks"), "{msg}");
+    assert_eq!(resp.exit_code, 2, "usage exit");
+    teardown(daemon, &root);
+}
+
+#[test]
+fn ranked_sweep_executes_and_reports_rank_traffic() {
+    let (daemon, root) = start_daemon("run");
+    let socket = daemon.socket().to_path_buf();
+    let sweep_dir = root.join("sweep");
+    let resp = rajaperfd::submit(
+        &socket,
+        &sweep_request("rk", &sweep_dir, &["--ranks", "2"]),
+    )
+    .unwrap();
+    assert_eq!(resp.exit_code, 0, "events: {:?}", resp.events);
+    let report = resp.report().expect("sweep result report");
+    assert_eq!(report.get("ranks").and_then(Value::as_i64), Some(2));
+    let stats = report
+        .get("rank_stats")
+        .and_then(Value::as_array)
+        .expect("rank_stats array");
+    assert_eq!(stats.len(), 2);
+    // The gather protocol itself is traffic: rank 1 reports to rank 0.
+    let received: i64 = stats
+        .iter()
+        .filter_map(|s| s.get("messages_received").and_then(Value::as_i64))
+        .sum();
+    assert!(received >= 1, "rank 0 must have received gather reports");
+    assert!(sweep_dir.join("manifest.json").is_file());
+    teardown(daemon, &root);
+}

@@ -155,17 +155,26 @@ fn attempt(
     tuning: Tuning,
     timeout: Option<Duration>,
 ) -> Result<RunResult, AttemptFailure> {
+    // Besides the result, the attempt reports the communication counters it
+    // accrued (`simcomm` stats are thread-local): when the watchdog runs it
+    // on a spawned thread, the delta is relayed back so the runner thread's
+    // totals — which the suite attributes to Caliper regions — still cover
+    // comm-group kernels under `--timeout`.
     let guarded = move || {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let comm_before = simcomm::thread_stats();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Err(e) = simfault::fail_point("suite.kernel") {
                 panic!("simfault: {e}");
             }
             kernel.execute(variant, n, reps, &tuning)
         }))
-        .map_err(|p| AttemptFailure::Panic(panic_message(&*p)))
+        .map_err(|p| AttemptFailure::Panic(panic_message(&*p)));
+        (result, simcomm::thread_stats().since(comm_before))
     };
     match timeout {
-        None => guarded(),
+        // Calling-thread path: counters accrued directly on this thread;
+        // the delta must not be folded in a second time.
+        None => guarded().0,
         Some(limit) => {
             // Watchdog: run the attempt on its own thread and wait with a
             // deadline. A thread cannot be killed, so on timeout it is
@@ -189,7 +198,12 @@ fn attempt(
                 )));
             }
             match rx.recv_timeout(limit) {
-                Ok(r) => r,
+                Ok((r, comm_delta)) => {
+                    simcomm::add_thread_stats(comm_delta);
+                    r
+                }
+                // An abandoned attempt's counters are lost with its thread;
+                // the profile under-counts comm for timed-out kernels.
                 Err(_) => Err(AttemptFailure::Timeout(limit)),
             }
         }

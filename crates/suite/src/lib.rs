@@ -95,6 +95,11 @@ pub fn run_suite_observed(
     session.set_global("tuning", format!("block_{}", params.tuning.gpu_block_size));
     session.set_global("size_factor", params.size_factor);
     session.set_global("suite", "RAJAPerf-rs");
+    // Rank identity inside a `--ranks N` campaign, using real Caliper's MPI
+    // attribute names so Thicket-side tooling can group profiles by rank.
+    if let Some((rank, nranks)) = params.rank_context {
+        session.set_rank(rank, nranks);
+    }
 
     // Event trace: switch collection on before the first region so the
     // timeline covers the whole run — whether requested via `--trace` or a
@@ -152,6 +157,7 @@ pub fn run_suite_observed(
         .filter(|k| k.info().variants.contains(&params.variant))
         .collect();
     let total = executable.len();
+    let suite_comm_before = simcomm::thread_stats();
     let _suite_region = session.region("RAJAPerf");
     for (idx, kernel) in executable.into_iter().enumerate() {
         let info = kernel.info();
@@ -162,9 +168,24 @@ pub fn run_suite_observed(
         // Scope label for `point@kernel` fault filters. Process-global (not
         // thread-local) so a watchdog-spawned attempt still sees it.
         let scope = faults_armed.then(|| simfault::scoped(info.name));
+        let comm_before = simcomm::thread_stats();
         let (outcome, result) =
             exec::execute_guarded(kernel, params.variant, n, reps, &params.tuning, &policy);
         drop(scope);
+        // Communication attributable to this kernel (the HALO family): the
+        // watchdog relays a spawned attempt's counters back to this thread,
+        // so the delta covers both execution paths. Attempts abandoned by a
+        // timeout report nothing — their counters are lost with the thread.
+        let comm_delta = simcomm::thread_stats().since(comm_before);
+        if !comm_delta.is_zero() {
+            session.set_metric("comm.messages_sent", comm_delta.messages_sent as f64);
+            session.set_metric("comm.bytes_sent", comm_delta.bytes_sent as f64);
+            session.set_metric(
+                "comm.messages_received",
+                comm_delta.messages_received as f64,
+            );
+            session.set_metric("comm.bytes_received", comm_delta.bytes_received as f64);
+        }
         if let Some(observer) = progress {
             observer(&KernelProgress {
                 kernel: info.name.to_string(),
@@ -243,6 +264,16 @@ pub fn run_suite_observed(
         session.set_global("fault.kernels_failed", failed as i64);
         session.set_global("fault.retries_total", retries_total as i64);
         session.set_global("fault.injected_total", simfault::fired_total() as i64);
+    }
+
+    // Suite-level communication totals (zero and absent for runs that never
+    // touched simcomm, preserving the historical profile shape).
+    let suite_comm = simcomm::thread_stats().since(suite_comm_before);
+    if !suite_comm.is_zero() {
+        session.set_global("comm.messages_sent", suite_comm.messages_sent as i64);
+        session.set_global("comm.bytes_sent", suite_comm.bytes_sent as i64);
+        session.set_global("comm.messages_received", suite_comm.messages_received as i64);
+        session.set_global("comm.bytes_received", suite_comm.bytes_received as i64);
     }
 
     // Stop collecting before the sanitizer pass and the exports: the trace

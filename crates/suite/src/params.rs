@@ -96,6 +96,15 @@ pub struct RunParams {
     pub sweep_block_sizes: Vec<usize>,
     /// Output directory for sweep profiles, cell caches, and the manifest.
     pub sweep_dir: Option<std::path::PathBuf>,
+    /// Number of simulated ranks to shard the sweep's cell grid across
+    /// (`--ranks`, default 1). Ranks are `simcomm` worker threads with
+    /// cell-granularity work stealing; results are gathered over `simcomm`
+    /// messages and the manifest is byte-identical to a `--ranks 1` run.
+    pub ranks: usize,
+    /// Rank identity of the *current* `run_suite` call inside a ranked
+    /// sweep: `(rank, nranks)`. Set internally by the sweep orchestrator —
+    /// not a CLI flag — so Caliper profiles carry `mpi.rank` metadata.
+    pub rank_context: Option<(usize, usize)>,
     /// Record an event trace of the run and write it as Chrome Trace Event
     /// JSON to this path (loadable in `chrome://tracing` / Perfetto).
     pub trace: Option<std::path::PathBuf>,
@@ -137,6 +146,8 @@ impl Default for RunParams {
             sweep: false,
             sweep_block_sizes: Vec::new(),
             sweep_dir: None,
+            ranks: 1,
+            rank_context: None,
             trace: None,
             trace_folded: None,
             faults: None,
@@ -154,6 +165,11 @@ fn faulty_fixtures() -> &'static [Box<dyn KernelBase>] {
     static FIXTURES: std::sync::OnceLock<Vec<Box<dyn KernelBase>>> = std::sync::OnceLock::new();
     FIXTURES.get_or_init(kernels::faulty::all)
 }
+
+/// Upper bound on `--ranks`: each rank is an OS thread holding a full
+/// suite execution context, so this caps runaway requests (the paper's
+/// largest campaign is 112 ranks).
+pub const MAX_RANKS: usize = 256;
 
 /// Feature names accepted by `--features`, matching [`feature_matches`].
 const FEATURE_NAMES: &[&str] = &[
@@ -382,6 +398,12 @@ impl RunParams {
                 "--sweep-dir" => {
                     p.sweep_dir = Some(std::path::PathBuf::from(value("--sweep-dir")?))
                 }
+                "--ranks" => {
+                    let v = value("--ranks")?;
+                    p.ranks = v
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad rank count '{v}': {e}"))?;
+                }
                 "--trace" => p.trace = Some(std::path::PathBuf::from(value("--trace")?)),
                 "--trace-folded" => {
                     p.trace_folded = Some(std::path::PathBuf::from(value("--trace-folded")?))
@@ -476,6 +498,15 @@ impl RunParams {
                 "--lock-order analyzes a single run; do not combine with --sweep".to_string(),
             );
         }
+        if self.ranks == 0 {
+            return Err("--ranks must be >= 1".to_string());
+        }
+        if self.ranks > MAX_RANKS {
+            return Err(format!("--ranks must be <= {MAX_RANKS}"));
+        }
+        if self.ranks > 1 && !self.sweep {
+            return Err("--ranks shards a sweep's cell grid; it requires --sweep".to_string());
+        }
         if let Some(spec) = &self.faults {
             // Strict at the CLI: a typoed failpoint name must not silently
             // inject nothing.
@@ -531,6 +562,10 @@ impl RunParams {
                                         --gpu-block-size)\n\
            --sweep-dir DIR              sweep output directory\n\
                                         (default target/sweep)\n\
+           --ranks N                    shard the sweep's cell grid across N\n\
+                                        simulated ranks (simcomm worker threads\n\
+                                        with cell work stealing); the manifest is\n\
+                                        byte-identical to --ranks 1 (default 1)\n\
          \n\
          Output:\n\
            --caliper SPEC               e.g. 'runtime-report,output=stdout' or\n\
@@ -682,6 +717,23 @@ mod tests {
             RunParams::parse(&args("--sweep --caliper runtime-report")).is_err(),
             "sweep owns its Caliper outputs"
         );
+    }
+
+    #[test]
+    fn ranks_flag_parses_and_validates() {
+        assert_eq!(RunParams::default().ranks, 1);
+        let p = RunParams::parse(&args("--sweep --ranks 4")).unwrap();
+        assert_eq!(p.ranks, 4);
+        assert!(p.rank_context.is_none(), "rank_context is not a CLI flag");
+        assert!(
+            RunParams::parse(&args("--ranks 4")).is_err(),
+            "--ranks shards a sweep, so it requires --sweep"
+        );
+        assert!(RunParams::parse(&args("--sweep --ranks 0")).is_err());
+        assert!(RunParams::parse(&args("--sweep --ranks 9999")).is_err());
+        assert!(RunParams::parse(&args("--sweep --ranks nope")).is_err());
+        // --ranks 1 without --sweep is the implicit default; allowed.
+        assert!(RunParams::parse(&args("--ranks 1")).is_ok());
     }
 
     #[test]

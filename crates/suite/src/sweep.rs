@@ -18,6 +18,17 @@
 //! configuration) reuses any cell whose key matches and whose profile file
 //! still exists, and re-executes the rest.
 //!
+//! # Distributed campaigns (`--ranks N`)
+//!
+//! With `--ranks N > 1` the pending cells (after the cache scan) are
+//! sharded across N simulated ranks — `simcomm` worker threads — with
+//! cell-granularity work stealing (see [`ranks`]), mirroring the paper's
+//! multi-rank MPI campaigns. Rank-local results travel back to rank 0 as
+//! `simcomm` messages (a gather, not shared memory), and the manifest is
+//! assembled in grid order from the gathered results, so it is
+//! byte-identical to the `--ranks 1` run no matter which rank executed
+//! which cell.
+//!
 //! # Crash safety
 //!
 //! The sweep is built to survive a `kill -9` at any instant and resume:
@@ -32,14 +43,17 @@
 //!   `quarantine/` and the cell re-runs. Corruption is never trusted and
 //!   never fatal.
 //! * The manifest records only deterministic cell facts (no `cached` flags,
-//!   no wall times), so a killed-and-resumed sweep produces a manifest
-//!   byte-identical to an uninterrupted one.
+//!   no wall times, no executing-rank ids), so a killed-and-resumed sweep —
+//!   at any rank count — produces a manifest byte-identical to an
+//!   uninterrupted one.
 
 use crate::{run_suite, RunParams};
 use kernels::VariantId;
 use serde_json::{json, Value};
 use std::io;
 use std::path::{Path, PathBuf};
+
+pub(crate) mod ranks;
 
 /// One (variant, tuning) cell of a sweep.
 #[derive(Debug, Clone)]
@@ -52,6 +66,10 @@ pub struct SweepCell {
     pub profile: PathBuf,
     /// True when the cell was reused from a previous sweep run.
     pub cached: bool,
+    /// The rank that executed this cell in a `--ranks N` campaign; `None`
+    /// for cached cells and single-process sweeps. Diagnostic only — never
+    /// part of the manifest.
+    pub executed_by: Option<usize>,
     /// Kernels that executed and passed in this cell.
     pub kernels_run: usize,
     /// Kernels that failed or timed out in this cell (fault tolerance:
@@ -76,6 +94,9 @@ pub struct SweepSummary {
     /// being moved into the sweep's `quarantine/` directory. Their cells
     /// were re-run.
     pub quarantined: Vec<PathBuf>,
+    /// Per-rank communication counters of the campaign's gather traffic,
+    /// indexed by rank; empty for single-process sweeps.
+    pub rank_stats: Vec<simcomm::CommStats>,
 }
 
 impl SweepSummary {
@@ -102,14 +123,18 @@ impl SweepSummary {
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<12} {:>10} {:>8} {:>8} {:>12.3}  {}{}\n",
+                "{:<12} {:>10} {:>8} {:>8} {:>12.3}  {}{}{}\n",
                 c.variant.name(),
                 c.gpu_block_size,
                 c.kernels_run,
                 c.kernels_failed,
                 c.total_time_s,
                 c.profile.display(),
-                if c.cached { "  (cached)" } else { "" }
+                if c.cached { "  (cached)" } else { "" },
+                match c.executed_by {
+                    Some(r) => format!("  (rank {r})"),
+                    None => String::new(),
+                }
             ));
         }
         for c in &self.cells {
@@ -118,6 +143,15 @@ impl SweepSummary {
                     "  {} block_{}: {kernel} {label}\n",
                     c.variant.name(),
                     c.gpu_block_size
+                ));
+            }
+        }
+        if !self.rank_stats.is_empty() {
+            out.push_str(&format!("Ranks: {}\n", self.rank_stats.len()));
+            for (rank, s) in self.rank_stats.iter().enumerate() {
+                out.push_str(&format!(
+                    "  rank {rank}: sent {} msg / {} B, received {} msg / {} B\n",
+                    s.messages_sent, s.bytes_sent, s.messages_received, s.bytes_received
                 ));
             }
         }
@@ -154,6 +188,9 @@ fn cell_key(base: &RunParams, variant: VariantId, block_size: usize) -> Value {
         "kernels": Value::Array(kernel_keys),
         // A cell computed under fault injection answers a different
         // question than a fault-free cell; never let one satisfy the other.
+        // Note the *rank count* is deliberately absent: a cell's results do
+        // not depend on which (or how many) ranks the campaign used, so a
+        // --ranks 4 resume may reuse cells a --ranks 1 run computed.
         "faults": match &base.faults {
             Some(s) => Value::String(s.clone()),
             None => Value::Null,
@@ -161,15 +198,73 @@ fn cell_key(base: &RunParams, variant: VariantId, block_size: usize) -> Value {
     })
 }
 
+/// Everything needed to execute (or reuse) one cell, precomputed in grid
+/// order so any rank can execute any cell identically.
+#[derive(Debug, Clone)]
+pub(crate) struct CellSpec {
+    /// Position in the (variant × block-size) grid; manifest order.
+    pub(crate) index: usize,
+    pub(crate) variant: VariantId,
+    pub(crate) block_size: usize,
+    /// The cell's Caliper profile path.
+    pub(crate) profile: PathBuf,
+    /// The cell's cache-record path.
+    pub(crate) cache: PathBuf,
+    /// The cell's cache key.
+    pub(crate) key: Value,
+}
+
+/// The deterministic facts a cell execution produces (the manifest's cell
+/// fields plus the wall time, which stays out of the manifest).
+#[derive(Debug, Clone)]
+pub(crate) struct CellOutcome {
+    pub(crate) kernels_run: usize,
+    pub(crate) kernels_failed: usize,
+    pub(crate) failed_kernels: Vec<(String, String)>,
+    pub(crate) total_time_s: f64,
+}
+
+impl CellOutcome {
+    /// Serialize for the rank-0 gather (simcomm byte messages).
+    pub(crate) fn to_json(&self) -> Value {
+        json!({
+            "kernels_run": self.kernels_run,
+            "kernels_failed": self.kernels_failed,
+            "failed_kernels": Value::Array(
+                self.failed_kernels
+                    .iter()
+                    .map(|(k, s)| json!({"kernel": k, "status": s}))
+                    .collect()
+            ),
+            "total_time_s": self.total_time_s,
+        })
+    }
+
+    /// Parse a gathered outcome; `None` on schema mismatch.
+    pub(crate) fn from_json(v: &Value) -> Option<CellOutcome> {
+        Some(CellOutcome {
+            kernels_run: usize::try_from(v.get("kernels_run")?.as_i64()?).ok()?,
+            kernels_failed: usize::try_from(v.get("kernels_failed")?.as_i64()?).ok()?,
+            failed_kernels: v
+                .get("failed_kernels")?
+                .as_array()?
+                .iter()
+                .map(|f| {
+                    Some((
+                        f.get("kernel")?.as_str()?.to_string(),
+                        f.get("status")?.as_str()?.to_string(),
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()?,
+            total_time_s: v.get("total_time_s")?.as_f64()?,
+        })
+    }
+}
+
 /// What loading a cell's cache produced.
 enum CellLoad {
     /// The record matches and the profile is intact: reuse.
-    Hit {
-        kernels_run: usize,
-        kernels_failed: usize,
-        failed_kernels: Vec<(String, String)>,
-        total_time_s: f64,
-    },
+    Hit(CellOutcome),
     /// No usable cache (absent, or stale key): run the cell normally.
     Miss,
     /// Files exist but do not parse — torn by a kill or corrupted on disk.
@@ -195,23 +290,9 @@ fn load_cached_cell(cache: &Path, key: &Value, profile: &Path) -> CellLoad {
         if obj.get("key")? != key {
             return None;
         }
-        let kernels_run = usize::try_from(obj.get("kernels_run")?.as_i64()?).ok()?;
-        let kernels_failed = usize::try_from(obj.get("kernels_failed")?.as_i64()?).ok()?;
-        let failed_kernels = obj
-            .get("failed_kernels")?
-            .as_array()?
-            .iter()
-            .map(|f| {
-                Some((
-                    f.get("kernel")?.as_str()?.to_string(),
-                    f.get("status")?.as_str()?.to_string(),
-                ))
-            })
-            .collect::<Option<Vec<_>>>()?;
-        let total_time_s = obj.get("total_time_s")?.as_f64()?;
-        Some((kernels_run, kernels_failed, failed_kernels, total_time_s))
+        CellOutcome::from_json(&v)
     })();
-    let Some((kernels_run, kernels_failed, failed_kernels, total_time_s)) = parsed else {
+    let Some(outcome) = parsed else {
         return CellLoad::Miss;
     };
     // The record vouches for the profile; verify the profile is actually
@@ -219,12 +300,7 @@ fn load_cached_cell(cache: &Path, key: &Value, profile: &Path) -> CellLoad {
     match std::fs::read_to_string(profile) {
         Err(_) => CellLoad::Miss,
         Ok(text) => match serde_json::from_str::<Value>(&text) {
-            Ok(_) => CellLoad::Hit {
-                kernels_run,
-                kernels_failed,
-                failed_kernels,
-                total_time_s,
-            },
+            Ok(_) => CellLoad::Hit(outcome),
             // Torn profile: quarantine it *and* the record that vouched for
             // it, so neither is ever consulted again.
             Err(_) => CellLoad::Corrupt(vec![profile.to_path_buf(), cache.to_path_buf()]),
@@ -255,13 +331,87 @@ fn json_io(e: serde_json::Error) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
 }
 
+/// Execute one cell: an ordinary [`run_suite`] with the cell's variant and
+/// tuning, its profile as the Caliper output, and — in a ranked campaign —
+/// the executing rank's identity as `rank_ctx` so the profile carries
+/// `mpi.rank` metadata. Writes the cell's atomic cache record.
+///
+/// The cache record and its `key` are identical no matter which rank (or
+/// how many ranks) executed the cell.
+pub(crate) fn execute_cell(
+    base: &RunParams,
+    spec: &CellSpec,
+    rank_ctx: Option<(usize, usize)>,
+) -> io::Result<CellOutcome> {
+    let mut p = base.clone();
+    p.variant = spec.variant;
+    p.tuning.gpu_block_size = spec.block_size;
+    p.sweep = false;
+    p.ranks = 1;
+    p.rank_context = rank_ctx;
+    p.caliper_spec = Some(format!("spot(output={})", spec.profile.display()));
+    let report = run_suite(&p);
+    let total_time_s: f64 = report
+        .entries
+        .iter()
+        .map(|e| e.result.time.as_secs_f64())
+        .sum();
+    let failed_kernels: Vec<(String, String)> = report
+        .outcomes
+        .iter()
+        .filter(|o| !o.outcome.is_pass())
+        .map(|o| (o.kernel.clone(), o.outcome.label()))
+        .collect();
+    let entries: Vec<Value> = report
+        .entries
+        .iter()
+        .map(|e| {
+            json!({
+                "kernel": e.kernel,
+                "size": e.problem_size,
+                "reps": e.reps,
+                "time_per_rep_s": e.result.time_per_rep(),
+                "checksum": e.result.checksum,
+            })
+        })
+        .collect();
+    let outcome = CellOutcome {
+        kernels_run: report.entries.len(),
+        kernels_failed: failed_kernels.len(),
+        failed_kernels,
+        total_time_s,
+    };
+    let record = json!({
+        "key": spec.key.clone(),
+        "profile": spec.profile.display().to_string(),
+        "kernels_run": outcome.kernels_run,
+        "kernels_failed": outcome.kernels_failed,
+        "failed_kernels": Value::Array(
+            outcome
+                .failed_kernels
+                .iter()
+                .map(|(k, s)| json!({"kernel": k, "status": s}))
+                .collect()
+        ),
+        "total_time_s": outcome.total_time_s,
+        "entries": Value::Array(entries),
+    });
+    caliper::write_atomic(
+        &spec.cache,
+        serde_json::to_string_pretty(&record).map_err(json_io)?.as_bytes(),
+    )?;
+    Ok(outcome)
+}
+
 /// Run the full (variant × block-size) cross-product of `base`'s selection.
 ///
 /// `base.sweep_block_sizes` supplies the tunings (falling back to the single
 /// `base.tuning.gpu_block_size`); `base.sweep_dir` the output directory
-/// (default `target/sweep`). Every cell — even one whose selection has no
-/// kernel supporting the variant — emits a distinct profile, so downstream
-/// Thicket-style composition sees the complete grid.
+/// (default `target/sweep`); `base.ranks` the campaign width (cells are
+/// sharded across that many `simcomm` ranks when > 1). Every cell — even
+/// one whose selection has no kernel supporting the variant — emits a
+/// distinct profile, so downstream Thicket-style composition sees the
+/// complete grid.
 pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
     let dir = base
         .sweep_dir
@@ -277,106 +427,67 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
         base.sweep_block_sizes.clone()
     };
 
-    let mut cells = Vec::new();
-    let mut quarantined = Vec::new();
+    // Plan the grid in manifest order, then scan the cache: hits become
+    // finished cells immediately, torn files are quarantined, and the rest
+    // form the pending work-list any execution mode (serial or ranked)
+    // consumes identically.
+    let mut specs = Vec::new();
     for &variant in &VariantId::all() {
         for &bs in &block_sizes {
             let cell_name = format!("{}.block_{bs}", variant.name());
-            let profile = profiles_dir.join(format!("{cell_name}.cali.json"));
-            let cache = cells_dir.join(format!("{cell_name}.json"));
-            let key = cell_key(base, variant, bs);
-
-            match load_cached_cell(&cache, &key, &profile) {
-                CellLoad::Hit {
-                    kernels_run,
-                    kernels_failed,
-                    failed_kernels,
-                    total_time_s,
-                } => {
-                    cells.push(SweepCell {
-                        variant,
-                        gpu_block_size: bs,
-                        profile,
-                        cached: true,
-                        kernels_run,
-                        kernels_failed,
-                        failed_kernels,
-                        total_time_s,
-                    });
-                    continue;
-                }
-                CellLoad::Corrupt(files) => {
-                    for f in files {
-                        quarantined.push(quarantine(&dir, &f)?);
-                    }
-                }
-                CellLoad::Miss => {}
-            }
-
-            let mut p = base.clone();
-            p.variant = variant;
-            p.tuning.gpu_block_size = bs;
-            p.sweep = false;
-            p.caliper_spec = Some(format!("spot(output={})", profile.display()));
-            let report = run_suite(&p);
-            let total_time_s: f64 = report
-                .entries
-                .iter()
-                .map(|e| e.result.time.as_secs_f64())
-                .sum();
-            let failed_kernels: Vec<(String, String)> = report
-                .outcomes
-                .iter()
-                .filter(|o| !o.outcome.is_pass())
-                .map(|o| (o.kernel.clone(), o.outcome.label()))
-                .collect();
-            let entries: Vec<Value> = report
-                .entries
-                .iter()
-                .map(|e| {
-                    json!({
-                        "kernel": e.kernel,
-                        "size": e.problem_size,
-                        "reps": e.reps,
-                        "time_per_rep_s": e.result.time_per_rep(),
-                        "checksum": e.result.checksum,
-                    })
-                })
-                .collect();
-            let record = json!({
-                "key": key,
-                "profile": profile.display().to_string(),
-                "kernels_run": report.entries.len(),
-                "kernels_failed": failed_kernels.len(),
-                "failed_kernels": Value::Array(
-                    failed_kernels
-                        .iter()
-                        .map(|(k, s)| json!({"kernel": k, "status": s}))
-                        .collect()
-                ),
-                "total_time_s": total_time_s,
-                "entries": Value::Array(entries),
-            });
-            caliper::write_atomic(
-                &cache,
-                serde_json::to_string_pretty(&record).map_err(json_io)?.as_bytes(),
-            )?;
-            cells.push(SweepCell {
+            specs.push(CellSpec {
+                index: specs.len(),
                 variant,
-                gpu_block_size: bs,
-                profile,
-                cached: false,
-                kernels_run: report.entries.len(),
-                kernels_failed: failed_kernels.len(),
-                failed_kernels,
-                total_time_s,
+                block_size: bs,
+                profile: profiles_dir.join(format!("{cell_name}.cali.json")),
+                cache: cells_dir.join(format!("{cell_name}.json")),
+                key: cell_key(base, variant, bs),
             });
         }
     }
 
+    let mut quarantined = Vec::new();
+    let mut finished: Vec<Option<SweepCell>> = vec![None; specs.len()];
+    let mut pending: Vec<CellSpec> = Vec::new();
+    for spec in &specs {
+        match load_cached_cell(&spec.cache, &spec.key, &spec.profile) {
+            CellLoad::Hit(outcome) => {
+                finished[spec.index] = Some(cell_from(spec, &outcome, true, None));
+            }
+            CellLoad::Corrupt(files) => {
+                for f in files {
+                    quarantined.push(quarantine(&dir, &f)?);
+                }
+                pending.push(spec.clone());
+            }
+            CellLoad::Miss => pending.push(spec.clone()),
+        }
+    }
+
+    let mut rank_stats = Vec::new();
+    if base.ranks > 1 && !pending.is_empty() {
+        let (executed, stats) = ranks::execute_ranked(base, &pending, base.ranks)?;
+        rank_stats = stats;
+        for (pending_idx, rank, outcome) in executed {
+            let spec = &pending[pending_idx];
+            finished[spec.index] = Some(cell_from(spec, &outcome, false, Some(rank)));
+        }
+    } else {
+        for spec in &pending {
+            let outcome = execute_cell(base, spec, None)?;
+            finished[spec.index] = Some(cell_from(spec, &outcome, false, None));
+        }
+    }
+
+    let cells: Vec<SweepCell> = finished
+        .into_iter()
+        .map(|c| c.expect("every grid cell resolved to cached or executed"))
+        .collect();
+
     // The manifest indexes deterministic cell facts only — no cached flags,
-    // no wall times — so resuming an interrupted sweep reproduces the
-    // uninterrupted manifest byte for byte.
+    // no wall times, no executing ranks — so resuming an interrupted sweep
+    // (at any rank count) reproduces the uninterrupted manifest byte for
+    // byte.
     let manifest = dir.join("manifest.json");
     let manifest_value = json!({
         "suite": "RAJAPerf-rs",
@@ -414,5 +525,25 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
         manifest,
         cells,
         quarantined,
+        rank_stats,
     })
+}
+
+fn cell_from(
+    spec: &CellSpec,
+    outcome: &CellOutcome,
+    cached: bool,
+    executed_by: Option<usize>,
+) -> SweepCell {
+    SweepCell {
+        variant: spec.variant,
+        gpu_block_size: spec.block_size,
+        profile: spec.profile.clone(),
+        cached,
+        executed_by,
+        kernels_run: outcome.kernels_run,
+        kernels_failed: outcome.kernels_failed,
+        failed_kernels: outcome.failed_kernels.clone(),
+        total_time_s: outcome.total_time_s,
+    }
 }

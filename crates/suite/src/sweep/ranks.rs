@@ -1,0 +1,325 @@
+//! Rank-sharded campaign execution: shard a sweep's pending cells across
+//! N simulated `simcomm` ranks with cell-granularity work stealing.
+//!
+//! The paper runs its campaigns as multi-rank MPI jobs (112 ranks on the
+//! CPU systems — Table III); this module is that shape over threads. Each
+//! rank is one `simcomm` worker thread executing whole cells (a cell is an
+//! ordinary [`execute_cell`] with PR 5's per-kernel `catch_unwind` +
+//! watchdog intact), and idle ranks steal cells from busy peers.
+//!
+//! # Stealing discipline
+//!
+//! [`CellScheduler`] reuses the shared pool's deterministic-chunk
+//! discipline (`vendor/rayon/src/pool.rs`) at cell granularity: one deque
+//! of contiguous `[lo, hi)` segments per rank, owner pops at the *back*
+//! (LIFO, locality), thieves pop at the *front* (FIFO — largest segments
+//! first, since splits push progressively smaller halves), scanning peers
+//! round-robin from `me + 1`. Taking a segment repeatedly gives away its
+//! back half (`mid = lo + (hi-lo)/2 + (hi-lo)%2`) until one cell remains,
+//! which the taker executes. Which rank runs which cell is scheduling-
+//! dependent; *what the cell computes* is not, so the gathered results are
+//! order-independent facts.
+//!
+//! # Gather protocol
+//!
+//! Results cross rank boundaries as `simcomm` *messages*, not shared
+//! memory: each rank > 0 serializes its `(cell index, outcome)` list as
+//! JSON bytes and sends it to rank 0 on [`GATHER_TAG`]; rank 0 receives
+//! one report per peer (any arrival order — tag matching sorts it out) and
+//! returns the merged list. The caller reassembles cells in grid order, so
+//! the manifest is byte-identical to a `--ranks 1` run.
+//!
+//! # Crash model
+//!
+//! A rank that panics mid-cell poisons the run: `simcomm`'s hardened
+//! runtime wakes every peer and [`execute_ranked`] surfaces the first
+//! failure as a rank-attributed error. Completed cells are already on disk
+//! (atomic cache records), so a resumed sweep reuses them and re-runs only
+//! the casualties — the same contract as a `kill -9`.
+//!
+//! # Fault-injection serialization
+//!
+//! `simfault` state is process-global and each cell re-installs the spec
+//! (resetting draw counters) at `run_suite` start. Two faulty cells running
+//! concurrently would corrupt each other's deterministic sequences, so
+//! when `base.faults` (or `--sanitize`, whose hazard ledger is also
+//! global) is set, cell execution is serialized under [`FAULT_CELL_GATE`] —
+//! ranks still shard and steal, but only one cell is inside `run_suite` at
+//! a time. Fault replay is then identical per cell regardless of executing
+//! rank, which is what makes seeded `--faults` manifests rank-count
+//! independent.
+
+use super::{execute_cell, CellOutcome, CellSpec};
+use crate::RunParams;
+use serde_json::{json, Value};
+use simsched::sync::Mutex;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::PoisonError;
+
+/// User-space tag carrying each rank's gathered results to rank 0.
+const GATHER_TAG: i32 = 0;
+
+/// Serializes cell execution when process-global state (fault injection,
+/// the sanitizer ledger) is armed; see the module docs.
+static FAULT_CELL_GATE: Mutex<()> = Mutex::labeled((), "sweep.fault_cell_gate");
+
+/// A contiguous range of pending-cell indices `lo..hi`.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    lo: usize,
+    hi: usize,
+}
+
+/// Cell-granularity work-stealing scheduler over `ncells` pending cells,
+/// mirroring the pool's segment discipline (see module docs).
+pub(crate) struct CellScheduler {
+    queues: Vec<Mutex<VecDeque<Segment>>>,
+}
+
+impl CellScheduler {
+    /// Pre-shard `ncells` into one contiguous segment per rank (the same
+    /// block decomposition an MPI campaign would use), empty for ranks
+    /// beyond the cell count.
+    pub(crate) fn new(ncells: usize, nranks: usize) -> CellScheduler {
+        let queues = (0..nranks)
+            .map(|r| {
+                let lo = r * ncells / nranks;
+                let hi = (r + 1) * ncells / nranks;
+                let mut q = VecDeque::new();
+                if hi > lo {
+                    q.push_back(Segment { lo, hi });
+                }
+                Mutex::labeled(q, "sweep.cell_queue")
+            })
+            .collect();
+        CellScheduler { queues }
+    }
+
+    /// Claim the next cell for `me`: own queue from the back, then steal
+    /// peers' fronts round-robin from `me + 1`. A multi-cell segment is
+    /// split like the pool splits chunks — back halves go on `me`'s queue
+    /// for thieves, the front cell is returned.
+    pub(crate) fn next(&self, me: usize) -> Option<usize> {
+        let seg = self.find(me)?;
+        let Segment { lo, mut hi } = seg;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2 + (hi - lo) % 2;
+            self.queues[me]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(Segment { lo: mid, hi });
+            hi = mid;
+        }
+        Some(lo)
+    }
+
+    fn find(&self, me: usize) -> Option<Segment> {
+        if let Some(seg) = self.queues[me]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+        {
+            return Some(seg);
+        }
+        let n = self.queues.len();
+        for k in 0..n {
+            let q = (me + 1 + k) % n;
+            if q == me {
+                continue;
+            }
+            if let Some(seg) = self.queues[q]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                return Some(seg);
+            }
+        }
+        None
+    }
+}
+
+/// One gathered result: `(pending index, executing rank, outcome)`.
+pub(crate) type GatheredCell = (usize, usize, CellOutcome);
+
+/// Execute `pending` cells across `nranks` simulated ranks. Returns the
+/// `(pending index, executing rank, outcome)` triples gathered on rank 0
+/// plus each rank's final communication counters.
+///
+/// Any rank failure — a panicked rank, a cell's `io::Error`, a malformed
+/// gather report — aborts the campaign with an error; cells that finished
+/// before the failure are already on disk, so resuming re-runs only the
+/// remainder.
+pub(crate) fn execute_ranked(
+    base: &RunParams,
+    pending: &[CellSpec],
+    nranks: usize,
+) -> io::Result<(Vec<GatheredCell>, Vec<simcomm::CommStats>)> {
+    let sched = CellScheduler::new(pending.len(), nranks);
+    let serialize = base.faults.is_some() || base.sanitize;
+
+    let run = simcomm::try_run_with_stats(nranks, |mut comm| {
+        let rank = comm.rank();
+        let mut results: Vec<Value> = Vec::new();
+        let mut error: Option<String> = None;
+        while let Some(i) = sched.next(rank) {
+            let spec = &pending[i];
+            let outcome = if serialize {
+                let _gate = FAULT_CELL_GATE
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                execute_cell(base, spec, Some((rank, nranks)))
+            } else {
+                execute_cell(base, spec, Some((rank, nranks)))
+            };
+            match outcome {
+                Ok(out) => results.push(json!({
+                    "pending": i,
+                    "outcome": out.to_json(),
+                })),
+                Err(e) => {
+                    // Stop claiming work but still report: the queue stays
+                    // stealable, and rank 0 must not block on our gather.
+                    error = Some(format!(
+                        "cell {}.block_{}: {e}",
+                        spec.variant.name(),
+                        spec.block_size
+                    ));
+                    break;
+                }
+            }
+        }
+        let report = json!({
+            "rank": rank,
+            "results": Value::Array(results),
+            "error": match error {
+                Some(e) => Value::String(e),
+                None => Value::Null,
+            },
+        });
+        if rank == 0 {
+            let mut reports = vec![report];
+            for src in 1..comm.size() {
+                let bytes = comm.recv_bytes(src, GATHER_TAG);
+                let parsed = std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|s| serde_json::from_str::<Value>(s).ok());
+                match parsed {
+                    Some(v) => reports.push(v),
+                    None => reports.push(json!({
+                        "rank": src,
+                        "results": Value::Array(Vec::new()),
+                        "error": "malformed gather report",
+                    })),
+                }
+            }
+            Some(reports)
+        } else {
+            let bytes = serde_json::to_string(&report)
+                .expect("gather report serializes")
+                .into_bytes();
+            comm.send_bytes(0, GATHER_TAG, &bytes);
+            None
+        }
+    });
+
+    let (mut values, stats) = run.map_err(|p| {
+        io::Error::other(format!("sweep rank {} panicked: {}", p.rank, p.message))
+    })?;
+    let reports = values
+        .first_mut()
+        .and_then(Option::take)
+        .expect("rank 0 returns the gathered reports");
+
+    let mut executed = Vec::new();
+    for report in &reports {
+        let rank = report
+            .get("rank")
+            .and_then(Value::as_i64)
+            .and_then(|r| usize::try_from(r).ok())
+            .unwrap_or(0);
+        if let Some(err) = report.get("error").and_then(Value::as_str) {
+            return Err(io::Error::other(format!("sweep rank {rank} failed: {err}")));
+        }
+        for r in report
+            .get("results")
+            .and_then(Value::as_array)
+            .into_iter()
+            .flatten()
+        {
+            let parsed = (|| {
+                let i = usize::try_from(r.get("pending")?.as_i64()?).ok()?;
+                let outcome = CellOutcome::from_json(r.get("outcome")?)?;
+                Some((i, outcome))
+            })();
+            match parsed {
+                Some((i, outcome)) if i < pending.len() => executed.push((i, rank, outcome)),
+                _ => {
+                    return Err(io::Error::other(format!(
+                        "sweep rank {rank} sent a malformed cell result"
+                    )))
+                }
+            }
+        }
+    }
+    Ok((executed, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain every cell from one rank's viewpoint; with no contention the
+    /// owner must see its own shard LIFO-split front-first.
+    #[test]
+    fn scheduler_hands_out_every_cell_exactly_once() {
+        for (ncells, nranks) in [(12, 4), (7, 3), (5, 8), (1, 1), (0, 4)] {
+            let sched = CellScheduler::new(ncells, nranks);
+            let mut seen = vec![0usize; ncells];
+            // Single consumer draining all queues exercises both the own
+            // pop-back path and the steal path.
+            while let Some(i) = sched.next(0) {
+                seen[i] += 1;
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "ncells={ncells} nranks={nranks}: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_initial_shards_are_contiguous_blocks() {
+        // Rank 1 of 4 over 12 cells owns [3, 6); untouched by rank 1's own
+        // pops, rank 0 steals that whole block front-first.
+        let sched = CellScheduler::new(12, 4);
+        // Drain rank 0's own shard first.
+        for _ in 0..3 {
+            let i = sched.next(0).unwrap();
+            assert!(i < 3, "rank 0 owns [0,3), got {i}");
+        }
+        // Next claim steals from rank 1's queue: cell 3 first (front).
+        assert_eq!(sched.next(0), Some(3));
+    }
+
+    #[test]
+    fn concurrent_ranks_partition_the_cells() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ncells = 37;
+        let claims: Vec<AtomicUsize> = (0..ncells).map(|_| AtomicUsize::new(0)).collect();
+        let sched = CellScheduler::new(ncells, 4);
+        std::thread::scope(|s| {
+            for r in 0..4 {
+                let sched = &sched;
+                let claims = &claims;
+                s.spawn(move || {
+                    while let Some(i) = sched.next(r) {
+                        claims[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(claims.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+}

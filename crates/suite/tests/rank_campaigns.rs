@@ -1,0 +1,224 @@
+//! Rank-sharded campaign tests (`--sweep --ranks N`): manifest
+//! byte-identity across rank counts, kill-9 resume, seeded-fault
+//! determinism independent of rank assignment, and CLI validation.
+//!
+//! All sweep-running tests drive the built `rajaperf` binary in child
+//! processes with a *relative* `--sweep-dir`, so manifests from different
+//! directories are byte-comparable. The one in-process test runs no fault
+//! injection and needs no simfault gate.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::Duration;
+
+fn rajaperf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rajaperf"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rajaperf-rank-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 12-cell grid: every variant × two block-size tunings, one kernel.
+fn grid_args(extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "--sweep",
+        "--sweep-dir",
+        "sweep",
+        "--sweep-block-sizes",
+        "128,256",
+        "--kernels",
+        "Basic_DAXPY",
+        "--size",
+        "1000",
+        "--reps",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+fn run_sweep_in(dir: &Path, args: &[String]) -> std::process::Output {
+    rajaperf()
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("run rajaperf sweep")
+}
+
+fn manifest_bytes(dir: &Path) -> String {
+    String::from_utf8_lossy(&std::fs::read(dir.join("sweep/manifest.json")).unwrap()).into_owned()
+}
+
+fn tree_has_tmp(dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if tree_has_tmp(&p) {
+                return true;
+            }
+        } else if p.file_name().is_some_and(|n| n.to_string_lossy().contains(".tmp.")) {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn e2e_ranked_sweep_manifest_is_byte_identical_to_single_rank() {
+    let single = temp_dir("r1");
+    let ranked = temp_dir("r4");
+
+    let a = run_sweep_in(&single, &grid_args(&["--ranks", "1"]));
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let b = run_sweep_in(&ranked, &grid_args(&["--ranks", "4"]));
+    assert!(b.status.success(), "{}", String::from_utf8_lossy(&b.stderr));
+
+    assert_eq!(
+        manifest_bytes(&single),
+        manifest_bytes(&ranked),
+        "--ranks 4 must gather into the exact --ranks 1 manifest"
+    );
+    // Sharding must not change how many cells the grid has: 6 variants × 2
+    // block sizes, every one with its own profile on disk.
+    let profiles = std::fs::read_dir(ranked.join("sweep/profiles")).unwrap().count();
+    assert_eq!(profiles, 12);
+
+    let _ = std::fs::remove_dir_all(&single);
+    let _ = std::fs::remove_dir_all(&ranked);
+}
+
+#[test]
+fn e2e_killed_ranked_sweep_resumes_to_identical_manifest() {
+    let interrupted = temp_dir("kill");
+    let fresh = temp_dir("fresh");
+    // Stall every kernel execution deterministically so the kill lands
+    // mid-sweep; stalls never fail anything, so the manifest is clean.
+    let faulty = |ranks: &str| {
+        grid_args(&["--faults", "suite.kernel=stall(80),seed=1", "--ranks", ranks])
+    };
+
+    let mut child = rajaperf()
+        .args(faulty("4"))
+        .current_dir(&interrupted)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn ranked sweep");
+    std::thread::sleep(Duration::from_millis(300));
+    child.kill().expect("kill -9 the ranked sweep");
+    let _ = child.wait();
+
+    // Resume at the same rank count: intact cells are reused, the
+    // casualties re-run.
+    let resumed = run_sweep_in(&interrupted, &faulty("4"));
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    // Reference: the same campaign, uninterrupted, at --ranks 1.
+    let reference = run_sweep_in(&fresh, &faulty("1"));
+    assert!(reference.status.success());
+
+    assert_eq!(
+        manifest_bytes(&interrupted),
+        manifest_bytes(&fresh),
+        "kill-9 + ranked resume must reproduce the single-rank manifest byte for byte"
+    );
+    assert!(!tree_has_tmp(&interrupted.join("sweep")));
+
+    let _ = std::fs::remove_dir_all(&interrupted);
+    let _ = std::fs::remove_dir_all(&fresh);
+}
+
+#[test]
+fn e2e_seeded_faults_replay_identically_at_any_rank_count() {
+    // A seeded spec that *fails* kernels: the failures land in the manifest
+    // (failed_kernels are cell facts), so byte-identity across rank counts
+    // proves fault replay does not depend on rank assignment.
+    let single = temp_dir("f1");
+    let ranked = temp_dir("f4");
+    let faulty = |ranks: &str| {
+        grid_args(&["--faults", "suite.kernel=panic:0.5,seed=7", "--ranks", ranks])
+    };
+
+    let a = run_sweep_in(&single, &faulty("1"));
+    let b = run_sweep_in(&ranked, &faulty("4"));
+    // Injected kernel failures exit with the partial-failure code; both
+    // runs must agree on it too.
+    assert_eq!(a.status.code(), b.status.code());
+
+    let single_manifest = manifest_bytes(&single);
+    assert_eq!(
+        single_manifest,
+        manifest_bytes(&ranked),
+        "seeded faults must replay identically regardless of executing rank"
+    );
+    assert!(
+        single_manifest.contains("failed_kernels"),
+        "spec should have failed at least one kernel to make the comparison meaningful"
+    );
+
+    let _ = std::fs::remove_dir_all(&single);
+    let _ = std::fs::remove_dir_all(&ranked);
+}
+
+#[test]
+fn e2e_ranks_without_sweep_is_a_usage_error() {
+    let out = rajaperf()
+        .args(["--ranks", "4", "--kernels", "Basic_DAXPY", "--size", "1000"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--sweep"), "stderr: {stderr}");
+}
+
+#[test]
+fn ranked_sweep_reports_rank_stats_and_executing_ranks() {
+    use suite::{sweep::run_sweep, RunParams, Selection};
+    let dir = temp_dir("inproc");
+    let params = RunParams {
+        selection: Selection::Kernels(vec!["Basic_DAXPY".to_string()]),
+        explicit_size: Some(1000),
+        explicit_reps: Some(1),
+        sweep: true,
+        sweep_dir: Some(dir.join("sweep")),
+        ranks: 2,
+        ..RunParams::default()
+    };
+    let summary = run_sweep(&params).expect("ranked sweep succeeds");
+
+    assert_eq!(summary.rank_stats.len(), 2);
+    // The gather is real traffic: rank 1 sends its report, rank 0 receives.
+    assert!(summary.rank_stats[1].messages_sent >= 1);
+    assert!(summary.rank_stats[0].messages_received >= 1);
+    assert!(summary.rank_stats[0].bytes_received > 0);
+
+    // Every executed (non-cached) cell is attributed to a real rank.
+    assert!(summary.cells.iter().all(|c| c.cached
+        || matches!(c.executed_by, Some(r) if r < 2)));
+    assert!(summary.cells.iter().any(|c| !c.cached));
+
+    // A re-run reuses every cell — no ranks spin up for a fully cached
+    // sweep, and the manifest is unchanged.
+    let before = std::fs::read(summary.manifest.clone()).unwrap();
+    let again = run_sweep(&params).expect("cached sweep succeeds");
+    assert!(again.cells.iter().all(|c| c.cached));
+    assert!(again.rank_stats.is_empty());
+    let after = std::fs::read(&again.manifest).unwrap();
+    assert_eq!(before, after);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

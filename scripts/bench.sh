@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Snapshot a Criterion bench into its committed BENCH_*.json trajectory.
 #
-#   scripts/bench.sh <label> [bench]   # bench: launch (default) | thicket
+#   scripts/bench.sh <label> [bench]   # bench: launch (default) | thicket | comm
 #
 #   scripts/bench.sh pre-pr3           # gpusim launch overhead -> BENCH_gpusim.json
 #   scripts/bench.sh post-pr8 thicket  # thicket corpus engine  -> BENCH_thicket.json
+#   scripts/bench.sh post-pr9 comm     # halo exchange + ranks  -> BENCH_comm.json
 #
 # Runs the selected bench in release mode with CRITERION_JSON pointed at a
 # scratch file, then appends one snapshot object
@@ -14,12 +15,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LABEL="${1:?usage: scripts/bench.sh <snapshot-label> [launch|thicket]}"
+LABEL="${1:?usage: scripts/bench.sh <snapshot-label> [launch|thicket|comm]}"
 BENCH="${2:-launch}"
 case "$BENCH" in
     launch)  OUT="BENCH_gpusim.json" ;;
     thicket) OUT="BENCH_thicket.json" ;;
-    *) echo "bench.sh: unknown bench '$BENCH' (expected launch or thicket)" >&2; exit 2 ;;
+    comm)    OUT="BENCH_comm.json" ;;
+    *) echo "bench.sh: unknown bench '$BENCH' (expected launch, thicket, or comm)" >&2; exit 2 ;;
 esac
 SCRATCH="$(mktemp)"
 trap 'rm -f "$SCRATCH"' EXIT

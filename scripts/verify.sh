@@ -113,6 +113,25 @@ fi
 [[ -f "$SWEEP_DIR/manifest.json" ]] || { echo "verify: FAIL — sweep manifest missing" >&2; exit 1; }
 echo "sweep: 12 distinct profiles + manifest"
 
+echo "== cli: --ranks 4 sweep gathers into the --ranks 1 manifest =="
+RANKS_DIR=$(mktemp -d)
+RAJAPERF_ABS="$PWD/$RAJAPERF"
+for n in 1 4; do
+    mkdir -p "$RANKS_DIR/r$n"
+    (cd "$RANKS_DIR/r$n" && "$RAJAPERF_ABS" --sweep --kernels Basic_DAXPY \
+        --size 100000 --reps 2 --sweep-block-sizes 128,256 \
+        --sweep-dir sweep --ranks "$n" >/dev/null)
+done
+cmp "$RANKS_DIR/r1/sweep/manifest.json" "$RANKS_DIR/r4/sweep/manifest.json" \
+    || { echo "verify: FAIL — ranked sweep manifest diverged from single-rank" >&2; exit 1; }
+rm -rf "$RANKS_DIR"
+echo "ranks: 4-rank campaign manifest byte-identical to single-rank"
+
+# A panicking rank must poison the barrier and abort its peers instead of
+# deadlocking the campaign (regression for the mid-barrier hang).
+echo "== simcomm: rank-panic cannot hang the runtime =="
+cargo test --release -p simcomm rank_panic
+
 echo "== cli: --trace exports a parseable Chrome trace =="
 TRACE_JSON="$SWEEP_DIR/smoke.trace.json"
 "$RAJAPERF" --variants Base_Seq --kernels Stream_TRIAD --size 100000 --reps 2 \
