@@ -429,6 +429,14 @@ fn parse_campaign(argv: &[String]) -> Result<RunParams, (ErrorCode, String)> {
             "--lock-order is a process-global diagnostic; run it via the one-shot CLI".into(),
         ));
     }
+    if params.rank_worker.is_some() {
+        return Err((
+            ErrorCode::Unsupported,
+            "--rank-worker is the internal child mode of a process campaign; \
+             the daemon only supervises, never serves as a worker"
+                .into(),
+        ));
+    }
     Ok(params)
 }
 
@@ -655,14 +663,20 @@ fn execute_sweep(id: &str, argv: &[String], stream: &UnixStream, shared: &Arc<Sh
         send(stream, &proto::ev_done(id, SuiteExit::Usage));
         return;
     }
-    let global_state = params.faults.is_some() || params.sanitize;
+    // Process isolation moves the armed fault/sanitize state into the
+    // spawned children — each owns its own process globals — so the daemon
+    // itself arms nothing: no exclusive gate, no fault-facility ownership.
+    // This is the daemon-level payoff of lifting FAULT_CELL_GATE: fault
+    // sweeps stop serializing the whole service.
+    let process_ranked = params.rank_isolation == suite::params::RankIsolation::Process;
+    let global_state = (params.faults.is_some() || params.sanitize) && !process_ranked;
     let summary = {
         let _gate = if global_state {
             shared.gate.exclusive()
         } else {
             shared.gate.shared()
         };
-        let ownership = if params.faults.is_some() {
+        let ownership = if params.faults.is_some() && !process_ranked {
             match simfault::acquire(id) {
                 Ok(o) => Some(o),
                 Err(e) => {
@@ -707,6 +721,28 @@ fn execute_sweep(id: &str, argv: &[String], stream: &UnixStream, shared: &Arc<Sh
         "manifest": summary.manifest.display().to_string(),
         "quarantined": summary.quarantined.len(),
         "ranks": params.ranks,
+        "isolation": params.rank_isolation.name(),
+        "restart_budget": params.rank_restarts,
+        "rank_restarts": Value::Array(
+            summary
+                .rank_restarts
+                .iter()
+                .map(|&r| Value::from(u64::from(r)))
+                .collect()
+        ),
+        "casualties": Value::Array(
+            summary
+                .casualties
+                .iter()
+                .map(|c| {
+                    json!({
+                        "rank": c.rank,
+                        "restarts": c.restarts,
+                        "last_failure": c.last_failure.clone(),
+                    })
+                })
+                .collect()
+        ),
         "rank_stats": Value::Array(
             summary
                 .rank_stats

@@ -46,6 +46,38 @@ fn sweep_request(id: &str, dir: &std::path::Path, extra: &[&str]) -> Request {
     }
 }
 
+/// The supervisor resolves its worker binary relative to the running
+/// executable; under `cargo test` that is `target/debug/rajaperf` next to
+/// the `deps/` test binary. The binary belongs to the `suite` crate, so a
+/// bare `cargo test -p rajaperfd` may not have built it — skip then.
+fn worker_binary_available() -> bool {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| Some(exe.parent()?.parent()?.join("rajaperf")))
+        .is_some_and(|p| p.is_file())
+}
+
+/// Live `--rank-worker` processes whose cmdline mentions `marker`.
+fn orphan_workers(marker: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let Some(pid) = e.file_name().to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        let cmd = String::from_utf8_lossy(&cmdline).replace('\0', " ");
+        if cmd.contains("--rank-worker") && cmd.contains(marker) {
+            out.push(pid);
+        }
+    }
+    out
+}
+
 #[test]
 fn sweep_rejects_ranks_beyond_daemon_bound() {
     let (daemon, root) = start_daemon("cap");
@@ -88,5 +120,80 @@ fn ranked_sweep_executes_and_reports_rank_traffic() {
         .sum();
     assert!(received >= 1, "rank 0 must have received gather reports");
     assert!(sweep_dir.join("manifest.json").is_file());
+    teardown(daemon, &root);
+}
+
+#[test]
+fn process_ranked_sweep_reports_isolation_and_leaves_no_orphans() {
+    if !worker_binary_available() {
+        eprintln!("skipping: target/debug/rajaperf not built (run the workspace tests)");
+        return;
+    }
+    let (daemon, root) = start_daemon("proc");
+    let socket = daemon.socket().to_path_buf();
+    let sweep_dir = root.join("sweep");
+    // `--rank-restarts` must survive the daemon's request parsing intact.
+    let resp = rajaperfd::submit(
+        &socket,
+        &sweep_request(
+            "proc",
+            &sweep_dir,
+            &[
+                "--rank-isolation",
+                "process",
+                "--ranks",
+                "2",
+                "--rank-restarts",
+                "1",
+            ],
+        ),
+    )
+    .unwrap();
+    assert_eq!(resp.exit_code, 0, "events: {:?}", resp.events);
+    let report = resp.report().expect("sweep result report");
+    assert_eq!(report.get("isolation").and_then(Value::as_str), Some("process"));
+    assert_eq!(report.get("restart_budget").and_then(Value::as_i64), Some(1));
+    let restarts = report
+        .get("rank_restarts")
+        .and_then(Value::as_array)
+        .expect("rank_restarts array");
+    assert_eq!(restarts.len(), 2);
+    assert!(restarts.iter().all(|r| r.as_i64() == Some(0)));
+    let casualties = report
+        .get("casualties")
+        .and_then(Value::as_array)
+        .expect("casualties array");
+    assert!(casualties.is_empty(), "{casualties:?}");
+    let stats = report
+        .get("rank_stats")
+        .and_then(Value::as_array)
+        .expect("rank_stats array");
+    assert_eq!(stats.len(), 2);
+    assert!(sweep_dir.join("manifest.json").is_file());
+
+    // The absolute sweep dir appears in every worker's argv — a unique
+    // marker for this campaign. After daemon shutdown nothing may linger.
+    let marker = sweep_dir.display().to_string();
+    teardown(daemon, &root);
+    let leftovers = orphan_workers(&marker);
+    assert!(
+        leftovers.is_empty(),
+        "daemon shutdown must not leak rank workers: {leftovers:?}"
+    );
+}
+
+#[test]
+fn rank_worker_mode_is_refused_by_the_daemon() {
+    let (daemon, root) = start_daemon("worker");
+    let socket = daemon.socket().to_path_buf();
+    let resp = rajaperfd::submit(
+        &socket,
+        &sweep_request("wk", &root.join("sweep"), &["--rank-worker", "0/2"]),
+    )
+    .unwrap();
+    let (code, msg) = resp.error().expect("typed error");
+    assert_eq!(code, "unsupported");
+    assert!(msg.contains("--rank-worker"), "{msg}");
+    assert_eq!(resp.exit_code, 2, "usage exit");
     teardown(daemon, &root);
 }

@@ -41,6 +41,14 @@
 //! the runtime (collectives, abort sentinels), so user traffic can never
 //! collide with an in-flight `allreduce_sum` again.
 //!
+//! # Transports
+//!
+//! The in-memory channels here are one carrier of the sweep's gather
+//! protocol; [`transport`] is the carrier-independent other half — line-
+//! delimited JSON framing with [`CommStats`] accounting over any
+//! `Read`/`Write` pair — used by process-isolated campaigns to speak the
+//! same protocol over child-process pipes.
+//!
 //! [`halo`] builds the 3-D domain-decomposition geometry: neighbour ranks
 //! and pack/unpack index lists for all 26 adjacencies of a box with ghost
 //! layers — the same lists RAJAPerf's halo kernels compute.
@@ -51,6 +59,7 @@ use std::cell::Cell;
 use std::sync::{Arc, PoisonError};
 
 pub mod halo;
+pub mod transport;
 
 /// Tags below zero belong to the runtime; user-facing operations must use
 /// tags `>= 0`.

@@ -1,0 +1,199 @@
+//! Transport abstraction: the gather protocol's framing, independent of
+//! what carries it.
+//!
+//! The rank-sharded sweep speaks one wire format — JSON objects, one per
+//! line — over two very different carriers: in-memory `simcomm` byte
+//! messages between threads (the default `--rank-isolation=threads`), and
+//! OS pipes between a supervising parent and spawned child-rank processes
+//! (`--rank-isolation=process`). This module is the carrier-independent
+//! half: [`write_frame`]/[`read_frame`] define the framing once, and
+//! [`FrameTransport`] wraps any `Read`/`Write` pair (a child's stdio, a
+//! unix-socket stream, an in-memory cursor in tests) with per-direction
+//! [`CommStats`] accounting so pipe traffic is countable exactly like
+//! thread-rank message traffic.
+//!
+//! # Framing
+//!
+//! One frame = one JSON value serialized without embedded newlines,
+//! terminated by `\n`. Line framing (rather than length prefixes) is
+//! deliberate: it matches the `rajaperfd` wire protocol, keeps frames
+//! greppable in a captured pipe, and makes a torn final line — the
+//! signature of a `kill -9`ed writer — detectable as a frame error rather
+//! than silently parseable garbage.
+//!
+//! # Failure semantics
+//!
+//! * [`read_frame`] returns `Ok(None)` on clean EOF (writer closed the
+//!   carrier between frames) and `Err` on a torn or non-JSON line, so a
+//!   reader can distinguish "peer finished" from "peer died mid-frame".
+//! * [`write_frame`] surfaces `EPIPE`/`BrokenPipe` as an ordinary
+//!   `io::Error`. Rust ignores `SIGPIPE` by default, so writing to a dead
+//!   peer's pipe is an error return, never a process kill — the supervisor
+//!   relies on this to treat a dying child as a restartable event.
+
+use crate::CommStats;
+use serde_json::Value;
+use std::io::{self, BufRead, Write};
+
+/// Serialize `frame` as one newline-terminated line and flush it.
+///
+/// Serde never emits raw newlines inside a JSON string (they escape to
+/// `\n`), so the line boundary is unambiguous.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Value) -> io::Result<u64> {
+    let mut line = serde_json::to_string(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()?;
+    Ok(line.len() as u64)
+}
+
+/// Read one frame. `Ok(None)` on clean EOF; an error for a torn final
+/// line (EOF with no trailing `\n`) or a line that is not valid JSON.
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<(Value, u64)>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "torn frame: carrier closed mid-line",
+        ));
+    }
+    let v: Value = serde_json::from_str(line.trim_end()).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame is not valid JSON: {e}"),
+        )
+    })?;
+    Ok(Some((v, n as u64)))
+}
+
+/// A framed, stat-counting transport over any `Read`/`Write` pair.
+///
+/// The supervisor holds one per child rank (writer = the child's stdin,
+/// reader = its stdout); a child-rank worker holds the mirror image over
+/// its own stdio. `stats` counts sent/received frames and bytes from the
+/// holder's perspective, giving process-mode campaigns the same per-rank
+/// traffic accounting thread-mode campaigns get from [`crate::Comm`].
+#[derive(Debug)]
+pub struct FrameTransport<R, W> {
+    reader: R,
+    writer: W,
+    stats: CommStats,
+}
+
+impl<R: BufRead, W: Write> FrameTransport<R, W> {
+    /// Wrap a reader/writer pair with zeroed counters.
+    pub fn new(reader: R, writer: W) -> FrameTransport<R, W> {
+        FrameTransport {
+            reader,
+            writer,
+            stats: CommStats::new(),
+        }
+    }
+
+    /// Send one frame, counting it.
+    pub fn send(&mut self, frame: &Value) -> io::Result<()> {
+        let bytes = write_frame(&mut self.writer, frame)?;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes;
+        Ok(())
+    }
+
+    /// Receive one frame (`Ok(None)` on clean EOF), counting it.
+    pub fn recv(&mut self) -> io::Result<Option<Value>> {
+        match read_frame(&mut self.reader)? {
+            Some((v, bytes)) => {
+                self.stats.messages_received += 1;
+                self.stats.bytes_received += bytes;
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Traffic counters accumulated so far, from this side's perspective.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_roundtrip_and_count() {
+        let mut wire = Vec::new();
+        let a = json!({"cell": 3});
+        let b = json!({"result": json!({"cell": 3, "outcome": json!({"kernels_run": 1})})});
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+
+        let mut t = FrameTransport::new(BufReader::new(wire.as_slice()), Vec::new());
+        assert_eq!(t.recv().unwrap(), Some(a.clone()));
+        assert_eq!(t.recv().unwrap(), Some(b));
+        assert_eq!(t.recv().unwrap(), None, "clean EOF");
+        let s = t.stats();
+        assert_eq!(s.messages_received, 2);
+        assert_eq!(s.bytes_received, wire.len() as u64);
+
+        t.send(&a).unwrap();
+        assert_eq!(t.stats().messages_sent, 1);
+        assert!(t.stats().bytes_sent > 0);
+    }
+
+    #[test]
+    fn embedded_newlines_escape_and_stay_one_line() {
+        let mut wire = Vec::new();
+        let v = json!({"error": "line one\nline two"});
+        write_frame(&mut wire, &v).unwrap();
+        assert_eq!(
+            wire.iter().filter(|&&b| b == b'\n').count(),
+            1,
+            "newline inside a JSON string must escape, not split the frame"
+        );
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().0, v);
+    }
+
+    #[test]
+    fn torn_final_line_is_an_error_not_eof() {
+        let wire = b"{\"cell\":1}\n{\"cell\":2".to_vec();
+        let mut r = BufReader::new(wire.as_slice());
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().0, json!({"cell": 1}));
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+    }
+
+    #[test]
+    fn non_json_line_is_a_typed_error() {
+        let wire = b"not a frame\n".to_vec();
+        let mut r = BufReader::new(wire.as_slice());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn write_to_closed_carrier_is_an_error_not_a_panic() {
+        // A writer that refuses everything models a dead child's pipe.
+        struct Dead;
+        impl std::io::Write for Dead {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "EPIPE"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut t = FrameTransport::new(BufReader::new(&b""[..]), Dead);
+        let err = t.send(&json!({"cell": 0})).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(t.stats().messages_sent, 0, "failed sends are not counted");
+    }
+}

@@ -40,6 +40,31 @@
 //! — is [`KNOWN_POINTS`]. The spec parser accepts unknown names (tests use
 //! private points), but the CLI rejects them so typos do not silently
 //! inject nothing.
+//!
+//! # Scope of the armed state: one process, one fault world
+//!
+//! All armed state — the installed spec, the draw counters, the kernel
+//! scope — is **process-global**. Within one process, that forces
+//! serialization: the suite's thread-ranked sweeps gate fault-armed cells
+//! one at a time (`FAULT_CELL_GATE`), and the daemon runs fault requests
+//! under an exclusive [`acquire`] claim.
+//!
+//! Process-isolated rank campaigns (`--rank-isolation=process`) are the
+//! other side of that coin: each child-rank `rajaperf` process carries its
+//! *own* copy of this crate's globals, so N ranks are N independent fault
+//! worlds needing no gate and no cross-rank claim. Determinism survives
+//! the split because every cell re-installs the spec (resetting the draw
+//! counters) at `run_suite` start — a cell's fault sequence is a function
+//! of the spec alone, never of which process (or which restart of it)
+//! executed the cell.
+//!
+//! **Ownership handoff:** a supervisor that spawns worker processes must
+//! *not* [`acquire`] or [`install`] on the workers' behalf — the armed
+//! state belongs to the child that executes kernels, and a parent-side
+//! claim would only serialize campaigns that no longer share state. The
+//! daemon follows this: process-mode fault sweeps skip both its exclusive
+//! gate and its `simfault::acquire`, since only the spawned children arm
+//! anything.
 
 use simsched::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use simsched::sync::Mutex;

@@ -47,6 +47,11 @@ fn main() {
             SuiteExit::Usage.exit();
         }
     };
+    if params.rank_worker.is_some() {
+        // Child-rank worker of a process-isolated campaign: speak the
+        // gather protocol on stdio and never print a human report.
+        suite::run_rank_worker(&params).exit();
+    }
     if params.sweep {
         // Batched orchestrator: the full variants x block-size cross-product,
         // one profile per cell plus a manifest, with per-cell caching.
@@ -60,6 +65,12 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: sweep failed: {e}");
+                // A process campaign whose child rejected the supervisor's
+                // command line is a usage disagreement, not an internal
+                // fault; the supervisor tags it InvalidInput.
+                if e.kind() == std::io::ErrorKind::InvalidInput {
+                    SuiteExit::Usage.exit();
+                }
                 SuiteExit::Internal.exit();
             }
         }

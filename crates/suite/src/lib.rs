@@ -25,7 +25,7 @@ pub mod sweep;
 
 pub use exec::{FaultPolicy, KernelOutcome, OutcomeRecord, SuiteExit};
 pub use params::{RunParams, Selection};
-pub use sweep::{run_sweep, SweepCell, SweepSummary};
+pub use sweep::{run_rank_worker, run_sweep, RankCasualty, SweepCell, SweepSummary};
 pub use report::{CheckStatus, ChecksumReport, SanitizeSection, SuiteReport, TimingEntry};
 
 /// Identity of the code that produced a measurement: the crate version plus

@@ -63,6 +63,43 @@ impl Selection {
     }
 }
 
+/// How a ranked sweep's ranks are realized (`--rank-isolation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankIsolation {
+    /// Ranks are `simcomm` worker threads in this process (the default).
+    /// Cheap and deterministic, but a hard fault (abort, OOM kill) in any
+    /// rank kills the whole campaign, and fault-armed/sanitize campaigns
+    /// serialize cell execution because `simfault` state is process-global.
+    #[default]
+    Threads,
+    /// Each rank is a spawned child `rajaperf` process supervised by the
+    /// parent: heartbeat monitoring, exit-status decoding, bounded restart
+    /// with backoff, and graceful degradation past the restart budget. A
+    /// killed rank is a restarted rank, not a killed campaign, and each
+    /// child owns its own `simfault` state so fault-armed campaigns run
+    /// rank-parallel (no `FAULT_CELL_GATE`).
+    Process,
+}
+
+impl RankIsolation {
+    /// Parse a `--rank-isolation` mode name.
+    pub fn parse(s: &str) -> Option<RankIsolation> {
+        match s {
+            "threads" | "thread" => Some(RankIsolation::Threads),
+            "process" => Some(RankIsolation::Process),
+            _ => None,
+        }
+    }
+
+    /// The mode's canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankIsolation::Threads => "threads",
+            RankIsolation::Process => "process",
+        }
+    }
+}
+
 /// Parameters of one suite run (one variant, one tuning — one profile).
 #[derive(Debug, Clone)]
 pub struct RunParams {
@@ -101,6 +138,21 @@ pub struct RunParams {
     /// cell-granularity work stealing; results are gathered over `simcomm`
     /// messages and the manifest is byte-identical to a `--ranks 1` run.
     pub ranks: usize,
+    /// How ranks are realized (`--rank-isolation`, default `threads`):
+    /// `simcomm` worker threads in-process, or supervised child `rajaperf`
+    /// processes with crash isolation and restart (see
+    /// [`crate::sweep::process`]).
+    pub rank_isolation: RankIsolation,
+    /// Restart budget per child rank in a process-isolated campaign
+    /// (`--rank-restarts`, default 2): how many times the supervisor
+    /// respawns a dead rank before retiring it as a casualty and
+    /// redistributing its cells to the survivors.
+    pub rank_restarts: u32,
+    /// Internal: this invocation *is* a child rank worker — `(rank,
+    /// nranks)` from the hidden `--rank-worker R/N` flag the supervisor
+    /// appends when spawning children. The binary enters the worker loop
+    /// ([`crate::run_rank_worker`]) instead of running a sweep.
+    pub rank_worker: Option<(usize, usize)>,
     /// Rank identity of the *current* `run_suite` call inside a ranked
     /// sweep: `(rank, nranks)`. Set internally by the sweep orchestrator —
     /// not a CLI flag — so Caliper profiles carry `mpi.rank` metadata.
@@ -147,6 +199,9 @@ impl Default for RunParams {
             sweep_block_sizes: Vec::new(),
             sweep_dir: None,
             ranks: 1,
+            rank_isolation: RankIsolation::Threads,
+            rank_restarts: 2,
+            rank_worker: None,
             rank_context: None,
             trace: None,
             trace_folded: None,
@@ -170,6 +225,11 @@ fn faulty_fixtures() -> &'static [Box<dyn KernelBase>] {
 /// suite execution context, so this caps runaway requests (the paper's
 /// largest campaign is 112 ranks).
 pub const MAX_RANKS: usize = 256;
+
+/// Upper bound on `--rank-restarts`: each restart respawns a full child
+/// process after backoff, so an unbounded budget could retry a
+/// deterministically-crashing rank for hours.
+pub const MAX_RANK_RESTARTS: u32 = 16;
 
 /// Feature names accepted by `--features`, matching [`feature_matches`].
 const FEATURE_NAMES: &[&str] = &[
@@ -325,6 +385,7 @@ impl RunParams {
             }
             saw_name
         }
+        let mut saw_rank_restarts = false;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -404,6 +465,36 @@ impl RunParams {
                         .parse::<usize>()
                         .map_err(|e| format!("bad rank count '{v}': {e}"))?;
                 }
+                arg if arg == "--rank-isolation" || arg.starts_with("--rank-isolation=") => {
+                    let v = match arg.strip_prefix("--rank-isolation=") {
+                        Some(v) => v.to_string(),
+                        None => value("--rank-isolation")?,
+                    };
+                    p.rank_isolation = RankIsolation::parse(&v).ok_or_else(|| {
+                        format!("unknown rank isolation mode '{v}'; known: threads, process")
+                    })?;
+                }
+                arg if arg == "--rank-restarts" || arg.starts_with("--rank-restarts=") => {
+                    let v = match arg.strip_prefix("--rank-restarts=") {
+                        Some(v) => v.to_string(),
+                        None => value("--rank-restarts")?,
+                    };
+                    p.rank_restarts = v
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad restart budget '{v}': {e}"))?;
+                    saw_rank_restarts = true;
+                }
+                // Internal: appended by the process-mode supervisor when
+                // spawning child ranks; not in the usage text.
+                "--rank-worker" => {
+                    let v = value("--rank-worker")?;
+                    let parsed = v.split_once('/').and_then(|(r, n)| {
+                        Some((r.parse::<usize>().ok()?, n.parse::<usize>().ok()?))
+                    });
+                    p.rank_worker = Some(
+                        parsed.ok_or_else(|| format!("bad --rank-worker '{v}' (want R/N)"))?,
+                    );
+                }
                 "--trace" => p.trace = Some(std::path::PathBuf::from(value("--trace")?)),
                 "--trace-folded" => {
                     p.trace_folded = Some(std::path::PathBuf::from(value("--trace-folded")?))
@@ -448,6 +539,13 @@ impl RunParams {
             1 => parts.remove(0),
             _ => Selection::Union(parts),
         };
+        if saw_rank_restarts && p.rank_isolation != RankIsolation::Process {
+            return Err(
+                "--rank-restarts budgets child-process respawns; it requires \
+                 --rank-isolation process"
+                    .to_string(),
+            );
+        }
         p.validate()?;
         Ok(p)
     }
@@ -507,6 +605,27 @@ impl RunParams {
         if self.ranks > 1 && !self.sweep {
             return Err("--ranks shards a sweep's cell grid; it requires --sweep".to_string());
         }
+        if self.rank_isolation == RankIsolation::Process && !self.sweep {
+            return Err(
+                "--rank-isolation configures a sweep campaign's ranks; it requires --sweep"
+                    .to_string(),
+            );
+        }
+        if self.rank_restarts > MAX_RANK_RESTARTS {
+            return Err(format!("--rank-restarts must be <= {MAX_RANK_RESTARTS}"));
+        }
+        if let Some((r, n)) = self.rank_worker {
+            // Internal flag, but validated like any other: a worker outside
+            // a sweep (or claiming a rank beyond the campaign width) is a
+            // malformed spawn, and the supervisor maps the child's usage
+            // exit back to a parent usage error.
+            if !self.sweep {
+                return Err("--rank-worker is internal to --sweep campaigns".to_string());
+            }
+            if n == 0 || n > MAX_RANKS || r >= n {
+                return Err(format!("--rank-worker {r}/{n} is out of range"));
+            }
+        }
         if let Some(spec) = &self.faults {
             // Strict at the CLI: a typoed failpoint name must not silently
             // inject nothing.
@@ -529,6 +648,125 @@ impl RunParams {
             }
         }
         Ok(())
+    }
+
+    /// Re-serialize these parameters as the CLI argv that parses back to
+    /// them — how the process-mode supervisor hands a child rank exactly
+    /// the campaign configuration it is itself running.
+    ///
+    /// Supervisor-only fields are deliberately absent: `rank_isolation` and
+    /// `rank_restarts` (a child must never recurse into supervising its own
+    /// children) and the internal `rank_worker`/`rank_context` (the
+    /// supervisor appends `--rank-worker R/N` itself).
+    pub fn to_argv(&self) -> Vec<String> {
+        fn selection_argv(sel: &Selection, out: &mut Vec<String>) {
+            match sel {
+                Selection::All => {}
+                Selection::Kernels(names) => {
+                    out.push("--kernels".into());
+                    out.push(names.join(","));
+                }
+                Selection::Groups(names) => {
+                    out.push("--groups".into());
+                    out.push(names.join(","));
+                }
+                Selection::Features(names) => {
+                    out.push("--features".into());
+                    out.push(names.join(","));
+                }
+                Selection::Union(parts) => {
+                    for p in parts {
+                        selection_argv(p, out);
+                    }
+                }
+            }
+        }
+        let defaults = RunParams::default();
+        let mut out = Vec::new();
+        selection_argv(&self.selection, &mut out);
+        if !self.exclude.is_empty() {
+            out.push("--exclude-kernels".into());
+            out.push(self.exclude.join(","));
+        }
+        out.push("--variant".into());
+        out.push(self.variant.name().into());
+        out.push("--gpu-block-size".into());
+        out.push(self.tuning.gpu_block_size.to_string());
+        if let Some(n) = self.explicit_size {
+            out.push("--size".into());
+            out.push(n.to_string());
+        }
+        if self.size_factor != defaults.size_factor {
+            out.push("--size-factor".into());
+            out.push(self.size_factor.to_string());
+        }
+        if let Some(r) = self.explicit_reps {
+            out.push("--reps".into());
+            out.push(r.to_string());
+        }
+        if self.reps_factor != defaults.reps_factor {
+            out.push("--reps-factor".into());
+            out.push(self.reps_factor.to_string());
+        }
+        if let Some(spec) = &self.caliper_spec {
+            out.push("--caliper".into());
+            out.push(spec.clone());
+        }
+        if self.sanitize {
+            out.push("--sanitize".into());
+        }
+        if self.sweep {
+            out.push("--sweep".into());
+        }
+        if !self.sweep_block_sizes.is_empty() {
+            out.push("--sweep-block-sizes".into());
+            out.push(
+                self.sweep_block_sizes
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        if let Some(dir) = &self.sweep_dir {
+            out.push("--sweep-dir".into());
+            out.push(dir.display().to_string());
+        }
+        if self.ranks != defaults.ranks {
+            out.push("--ranks".into());
+            out.push(self.ranks.to_string());
+        }
+        if let Some(t) = &self.trace {
+            out.push("--trace".into());
+            out.push(t.display().to_string());
+        }
+        if let Some(t) = &self.trace_folded {
+            out.push("--trace-folded".into());
+            out.push(t.display().to_string());
+        }
+        if let Some(spec) = &self.faults {
+            out.push("--faults".into());
+            out.push(spec.clone());
+        }
+        if self.lock_order {
+            out.push("--lock-order".into());
+        }
+        if let Some(d) = self.timeout {
+            out.push("--timeout".into());
+            // `{}` on f64 prints the shortest representation that parses
+            // back to the same value, so the child's watchdog deadline is
+            // bit-identical to the parent's.
+            out.push(d.as_secs_f64().to_string());
+        }
+        if self.max_retries != defaults.max_retries {
+            out.push("--retries".into());
+            out.push(self.max_retries.to_string());
+        }
+        if self.retry_backoff != defaults.retry_backoff {
+            out.push("--retry-backoff-ms".into());
+            out.push(self.retry_backoff.as_millis().to_string());
+        }
+        out
     }
 
     /// Usage text for the CLI.
@@ -566,6 +804,20 @@ impl RunParams {
                                         simulated ranks (simcomm worker threads\n\
                                         with cell work stealing); the manifest is\n\
                                         byte-identical to --ranks 1 (default 1)\n\
+           --rank-isolation MODE        threads (default): ranks are worker\n\
+                                        threads in this process; process: each\n\
+                                        rank is a supervised child rajaperf\n\
+                                        process — a crashed rank is restarted\n\
+                                        (with backoff, under --rank-restarts)\n\
+                                        and past its budget its cells\n\
+                                        redistribute to surviving ranks, with\n\
+                                        a per-rank casualty report; fault-armed\n\
+                                        and sanitize campaigns run rank-parallel\n\
+                                        (each child owns its own fault state)\n\
+           --rank-restarts N            respawn budget per child rank before it\n\
+                                        is retired as a casualty (default 2,\n\
+                                        max 16; requires --rank-isolation\n\
+                                        process)\n\
          \n\
          Output:\n\
            --caliper SPEC               e.g. 'runtime-report,output=stdout' or\n\
@@ -734,6 +986,110 @@ mod tests {
         assert!(RunParams::parse(&args("--sweep --ranks nope")).is_err());
         // --ranks 1 without --sweep is the implicit default; allowed.
         assert!(RunParams::parse(&args("--ranks 1")).is_ok());
+    }
+
+    #[test]
+    fn rank_isolation_flag_parses_and_validates() {
+        assert_eq!(RunParams::default().rank_isolation, RankIsolation::Threads);
+        // Both `--rank-isolation process` and `--rank-isolation=process`.
+        let p = RunParams::parse(&args("--sweep --ranks 4 --rank-isolation process")).unwrap();
+        assert_eq!(p.rank_isolation, RankIsolation::Process);
+        let p = RunParams::parse(&args("--sweep --ranks 4 --rank-isolation=process")).unwrap();
+        assert_eq!(p.rank_isolation, RankIsolation::Process);
+        let p = RunParams::parse(&args("--sweep --rank-isolation=threads")).unwrap();
+        assert_eq!(p.rank_isolation, RankIsolation::Threads);
+        // Process isolation of a single rank is still isolation; allowed.
+        assert!(RunParams::parse(&args("--sweep --rank-isolation process")).is_ok());
+
+        let err = RunParams::parse(&args("--sweep --rank-isolation=container")).unwrap_err();
+        assert!(err.contains("unknown rank isolation mode"), "{err}");
+        assert!(err.contains("process"), "lists the modes: {err}");
+        let err = RunParams::parse(&args("--rank-isolation=process")).unwrap_err();
+        assert!(err.contains("--sweep"), "non-sweep use is a usage error: {err}");
+    }
+
+    #[test]
+    fn rank_restarts_flag_parses_and_validates() {
+        assert_eq!(RunParams::default().rank_restarts, 2);
+        let p = RunParams::parse(&args(
+            "--sweep --ranks 2 --rank-isolation=process --rank-restarts 5",
+        ))
+        .unwrap();
+        assert_eq!(p.rank_restarts, 5);
+        let p = RunParams::parse(&args(
+            "--sweep --rank-isolation=process --rank-restarts=0",
+        ))
+        .unwrap();
+        assert_eq!(p.rank_restarts, 0, "a zero budget means no respawns");
+        // The budget only means something when there are child processes.
+        let err = RunParams::parse(&args("--sweep --rank-restarts 3")).unwrap_err();
+        assert!(err.contains("--rank-isolation process"), "{err}");
+        assert!(RunParams::parse(&args("--rank-restarts 3")).is_err());
+        let err = RunParams::parse(&args(
+            "--sweep --rank-isolation=process --rank-restarts 999",
+        ))
+        .unwrap_err();
+        assert!(err.contains("<="), "budget is capped: {err}");
+        assert!(RunParams::parse(&args(
+            "--sweep --rank-isolation=process --rank-restarts nope"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn rank_worker_flag_is_internal_but_validated() {
+        let p = RunParams::parse(&args("--sweep --ranks 4 --rank-worker 2/4")).unwrap();
+        assert_eq!(p.rank_worker, Some((2, 4)));
+        assert!(
+            RunParams::parse(&args("--rank-worker 0/2")).is_err(),
+            "worker mode outside a sweep is a malformed spawn"
+        );
+        assert!(RunParams::parse(&args("--sweep --rank-worker 4/4")).is_err());
+        assert!(RunParams::parse(&args("--sweep --rank-worker 0/0")).is_err());
+        assert!(RunParams::parse(&args("--sweep --rank-worker nope")).is_err());
+        assert!(
+            !RunParams::usage().contains("--rank-worker"),
+            "internal flags stay out of the usage text"
+        );
+    }
+
+    #[test]
+    fn to_argv_roundtrips_through_parse() {
+        // The supervisor respawns children from to_argv(); if any field is
+        // dropped or mis-serialized, a child computes different cells than
+        // its parent planned. Round-trip a spread of configurations and
+        // require a fixed point: parse(to_argv(p)) serializes identically.
+        let cases = [
+            "",
+            "--kernels Stream_TRIAD,Basic_DAXPY --size 1000 --reps 2",
+            "--groups Stream --kernels Basic_DAXPY --exclude-kernels Stream_DOT",
+            "--features sort --variant RAJA_Par --gpu-block-size 128",
+            "--sweep --sweep-block-sizes 128,256 --sweep-dir target/sw --ranks 4",
+            "--sweep --ranks 2 --faults suite.kernel=panic:0.5,seed=7 \
+             --timeout 2.5 --retries 3 --retry-backoff-ms 10",
+            "--size-factor 0.5 --reps-factor 2 --sanitize",
+        ];
+        for case in cases {
+            let p = RunParams::parse(&args(case)).unwrap();
+            let argv = p.to_argv();
+            let reparsed = RunParams::parse(&argv).unwrap_or_else(|e| {
+                panic!("to_argv of '{case}' must reparse, got {e}: {argv:?}")
+            });
+            assert_eq!(reparsed.to_argv(), argv, "fixed point for '{case}'");
+            assert_eq!(reparsed.selection, p.selection, "{case}");
+            assert_eq!(reparsed.faults, p.faults, "{case}");
+            assert_eq!(reparsed.timeout, p.timeout, "{case}");
+        }
+        // Supervisor-only fields must never leak into a child's argv.
+        let p = RunParams::parse(&args(
+            "--sweep --ranks 2 --rank-isolation=process --rank-restarts 1",
+        ))
+        .unwrap();
+        let argv = p.to_argv();
+        assert!(
+            !argv.iter().any(|a| a.contains("rank-isolation") || a.contains("rank-restarts")),
+            "{argv:?}"
+        );
     }
 
     #[test]

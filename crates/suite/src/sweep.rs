@@ -29,6 +29,16 @@
 //! byte-identical to the `--ranks 1` run no matter which rank executed
 //! which cell.
 //!
+//! With `--rank-isolation=process` the ranks are spawned child `rajaperf`
+//! processes instead of threads: the same gather protocol travels as
+//! line-delimited JSON over pipes ([`simcomm::transport`]), the parent
+//! supervises (heartbeats, exit-status decoding, bounded restart,
+//! casualty reporting — see [`process`]), and a hard fault in a rank is a
+//! restarted rank, not a killed campaign. Manifest byte-identity versus
+//! `--ranks 1` holds in both modes, across kills, restarts, and
+//! isolation-mode changes on resume, because the cache key and manifest
+//! never record rank count or isolation mode.
+//!
 //! # Crash safety
 //!
 //! The sweep is built to survive a `kill -9` at any instant and resume:
@@ -47,13 +57,18 @@
 //!   at any rank count — produces a manifest byte-identical to an
 //!   uninterrupted one.
 
+use crate::params::RankIsolation;
 use crate::{run_suite, RunParams};
 use kernels::VariantId;
 use serde_json::{json, Value};
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub(crate) mod process;
 pub(crate) mod ranks;
+pub(crate) mod worker;
+
+pub use process::RankCasualty;
 
 /// One (variant, tuning) cell of a sweep.
 #[derive(Debug, Clone)]
@@ -95,8 +110,20 @@ pub struct SweepSummary {
     /// were re-run.
     pub quarantined: Vec<PathBuf>,
     /// Per-rank communication counters of the campaign's gather traffic,
-    /// indexed by rank; empty for single-process sweeps.
+    /// indexed by rank; empty for single-process sweeps. In a
+    /// process-isolated campaign these count the child's pipe frames
+    /// (cumulative across restarts), from the child's perspective.
     pub rank_stats: Vec<simcomm::CommStats>,
+    /// Times each child rank was respawned after dying, indexed by rank;
+    /// empty unless `--rank-isolation=process`.
+    pub rank_restarts: Vec<u32>,
+    /// Ranks that exhausted their restart budget and were retired; their
+    /// cells were redistributed to the surviving ranks. Empty unless a
+    /// process-isolated campaign degraded.
+    pub casualties: Vec<RankCasualty>,
+    /// Child-rank stderr, each line prefixed `[rank N]`, in arrival order
+    /// (bounded per rank). Process-isolated campaigns only.
+    pub child_output: Vec<String>,
 }
 
 impl SweepSummary {
@@ -150,9 +177,31 @@ impl SweepSummary {
             out.push_str(&format!("Ranks: {}\n", self.rank_stats.len()));
             for (rank, s) in self.rank_stats.iter().enumerate() {
                 out.push_str(&format!(
-                    "  rank {rank}: sent {} msg / {} B, received {} msg / {} B\n",
-                    s.messages_sent, s.bytes_sent, s.messages_received, s.bytes_received
+                    "  rank {rank}: sent {} msg / {} B, received {} msg / {} B{}\n",
+                    s.messages_sent,
+                    s.bytes_sent,
+                    s.messages_received,
+                    s.bytes_received,
+                    match self.rank_restarts.get(rank) {
+                        Some(&r) if r > 0 => format!(", restarts {r}"),
+                        _ => String::new(),
+                    }
                 ));
+            }
+        }
+        if !self.casualties.is_empty() {
+            out.push_str("Casualties (cells redistributed to surviving ranks):\n");
+            for c in &self.casualties {
+                out.push_str(&format!(
+                    "  rank {}: retired after {} restart(s); last failure: {}\n",
+                    c.rank, c.restarts, c.last_failure
+                ));
+            }
+        }
+        if !self.child_output.is_empty() {
+            out.push_str("Rank output:\n");
+            for line in &self.child_output {
+                out.push_str(&format!("  {line}\n"));
             }
         }
         out
@@ -262,7 +311,7 @@ impl CellOutcome {
 }
 
 /// What loading a cell's cache produced.
-enum CellLoad {
+pub(crate) enum CellLoad {
     /// The record matches and the profile is intact: reuse.
     Hit(CellOutcome),
     /// No usable cache (absent, or stale key): run the cell normally.
@@ -274,7 +323,7 @@ enum CellLoad {
 
 /// Load a cell's cache record, integrity-checking both the record and the
 /// profile it vouches for.
-fn load_cached_cell(cache: &Path, key: &Value, profile: &Path) -> CellLoad {
+pub(crate) fn load_cached_cell(cache: &Path, key: &Value, profile: &Path) -> CellLoad {
     let text = match std::fs::read_to_string(cache) {
         Ok(t) => t,
         Err(_) => return CellLoad::Miss,
@@ -412,7 +461,20 @@ pub(crate) fn execute_cell(
 /// one whose selection has no kernel supporting the variant — emits a
 /// distinct profile, so downstream Thicket-style composition sees the
 /// complete grid.
-pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
+/// The planned grid of a sweep: output directory, tunings, and every
+/// cell's spec in manifest order. Derived deterministically from the
+/// parameters alone, so a child-rank worker process re-plans the identical
+/// grid from the argv its supervisor hands it and the two sides can talk
+/// about cells by grid index.
+pub(crate) struct SweepPlan {
+    pub(crate) dir: PathBuf,
+    pub(crate) block_sizes: Vec<usize>,
+    pub(crate) specs: Vec<CellSpec>,
+}
+
+/// Plan the (variant × block-size) grid and create the sweep's output
+/// directories (idempotent).
+pub(crate) fn plan_sweep(base: &RunParams) -> io::Result<SweepPlan> {
     let dir = base
         .sweep_dir
         .clone()
@@ -426,11 +488,6 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
     } else {
         base.sweep_block_sizes.clone()
     };
-
-    // Plan the grid in manifest order, then scan the cache: hits become
-    // finished cells immediately, torn files are quarantined, and the rest
-    // form the pending work-list any execution mode (serial or ranked)
-    // consumes identically.
     let mut specs = Vec::new();
     for &variant in &VariantId::all() {
         for &bs in &block_sizes {
@@ -445,6 +502,30 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
             });
         }
     }
+    Ok(SweepPlan {
+        dir,
+        block_sizes,
+        specs,
+    })
+}
+
+/// Enter the rank-worker child loop (the hidden `--rank-worker R/N` mode a
+/// process-isolated campaign's supervisor spawns); see [`worker`]. Returns
+/// the process exit status for `main`.
+pub fn run_rank_worker(base: &RunParams) -> crate::SuiteExit {
+    worker::run(base)
+}
+
+pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
+    // Plan the grid in manifest order, then scan the cache: hits become
+    // finished cells immediately, torn files are quarantined, and the rest
+    // form the pending work-list any execution mode (serial, thread-ranked,
+    // or process-ranked) consumes identically.
+    let SweepPlan {
+        dir,
+        block_sizes,
+        specs,
+    } = plan_sweep(base)?;
 
     let mut quarantined = Vec::new();
     let mut finished: Vec<Option<SweepCell>> = vec![None; specs.len()];
@@ -465,7 +546,24 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
     }
 
     let mut rank_stats = Vec::new();
-    if base.ranks > 1 && !pending.is_empty() {
+    let mut rank_restarts = Vec::new();
+    let mut casualties = Vec::new();
+    let mut child_output = Vec::new();
+    if base.rank_isolation == RankIsolation::Process && !pending.is_empty() {
+        // Child-process ranks with a supervising restart loop: a crashed
+        // rank is respawned (its in-flight cell re-enqueued), and no
+        // FAULT_CELL_GATE — each child owns its own simfault state, so
+        // fault-armed cells run rank-parallel.
+        let campaign = process::execute_process_ranked(base, &pending)?;
+        rank_stats = campaign.stats;
+        rank_restarts = campaign.restarts;
+        casualties = campaign.casualties;
+        child_output = campaign.child_output;
+        for (pending_idx, rank, outcome) in campaign.executed {
+            let spec = &pending[pending_idx];
+            finished[spec.index] = Some(cell_from(spec, &outcome, false, Some(rank)));
+        }
+    } else if base.ranks > 1 && !pending.is_empty() {
         let (executed, stats) = ranks::execute_ranked(base, &pending, base.ranks)?;
         rank_stats = stats;
         for (pending_idx, rank, outcome) in executed {
@@ -526,6 +624,9 @@ pub fn run_sweep(base: &RunParams) -> io::Result<SweepSummary> {
         cells,
         quarantined,
         rank_stats,
+        rank_restarts,
+        casualties,
+        child_output,
     })
 }
 

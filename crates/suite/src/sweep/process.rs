@@ -1,0 +1,759 @@
+//! Process-isolated rank campaigns: the supervising parent side of
+//! `--rank-isolation=process`.
+//!
+//! Each rank of the campaign is a spawned child `rajaperf` process in
+//! rank-worker mode (see [`super::worker`]); this module is the parent
+//! that supervises them. The division of labor with thread mode is
+//! deliberate: the *scheduler* ([`CellScheduler`]) and the *wire shape*
+//! (the gather protocol's JSON, framed by [`simcomm::transport`]) are
+//! shared, while the carrier changes from in-memory `simcomm` messages to
+//! OS pipes — and the crash model changes from "a panicked rank poisons
+//! the campaign" to "a dead rank is a restartable event".
+//!
+//! # Supervisor state machine (per rank slot)
+//!
+//! ```text
+//!            spawn            ready frame
+//!   Spawned ───────▶ Booting ────────────▶ Ready ◀─────────┐
+//!                       │                    │ assign       │ result
+//!                       │ death              ▼              │
+//!                       │                  Busy ────────────┘
+//!                       │                    │ death (EOF / torn frame /
+//!                       ▼                    ▼  missed heartbeat → kill)
+//!                     Dead ◀─────────────────┘
+//!                       │ restarts < budget: requeue cell, backoff,
+//!                       │ respawn (generation += 1)
+//!                       ├──────────────────────────────▶ Booting
+//!                       │ restarts == budget
+//!                       ▼
+//!                    Retired (casualty; queue drained by the survivors)
+//! ```
+//!
+//! Death is detected two ways: the rank's stdout reader sees EOF or a torn
+//! frame (the `kill -9` signature), or the liveness scan notices no frame
+//! for [`HEARTBEAT_DEADLINE`] and kills the wedged child so the reader
+//! *will* see EOF. Every event is tagged with the slot's generation, so a
+//! restarted rank never has its state corrupted by a previous
+//! incarnation's late events.
+//!
+//! # Exit-status taxonomy
+//!
+//! A dead child's wait status is decoded ([`decode_child_exit`]) before
+//! the supervisor reacts: a signal death, panic (exit 101), or internal
+//! error is a restartable event charged against the rank's budget; a
+//! *usage* exit (2) means supervisor and worker disagree about the command
+//! line — no restart can fix that, so it aborts the campaign as
+//! [`io::ErrorKind::InvalidInput`], which the binary maps to exit 2.
+//!
+//! # Deviations from real MPI/srun
+//!
+//! Real launchers (srun, mpiexec) treat a lost rank as fatal to the whole
+//! job step; restart-on-failure lives a level up (scheduler requeue of the
+//! entire job). This supervisor restarts *within* the campaign instead,
+//! which only works because cells are idempotent facts: the cell cache
+//! (atomic records, keyed by content, indifferent to rank count and
+//! isolation mode) makes re-execution safe and re-reporting cheap, so the
+//! manifest stays byte-identical to an undisturbed `--ranks 1` run no
+//! matter how many children died on the way.
+
+use super::ranks::{CellScheduler, GatheredCell};
+use super::{CellOutcome, CellSpec};
+use crate::RunParams;
+use serde_json::{json, Value};
+use simcomm::transport::{read_frame, write_frame};
+use simcomm::CommStats;
+use simsched::time::Instant;
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, ExitStatus, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// No frame (heartbeats included) for this long means the child is wedged
+/// and gets killed. The worker heartbeats every 500ms from a dedicated
+/// thread even while a cell runs, so 20× that cadence cannot false-positive
+/// on a merely busy rank.
+const HEARTBEAT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Base of the linear restart backoff: respawn `k` waits `k *` this.
+const RESTART_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Event-loop poll granularity (drives the liveness scan cadence).
+const POLL: Duration = Duration::from_millis(50);
+
+/// How long a child that closed stdout gets to actually exit before the
+/// supervisor stops waiting politely and SIGKILLs it.
+const REAP_GRACE: Duration = Duration::from_secs(2);
+
+/// How long clean shutdown waits for all children before force-killing.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Captured stderr cap per rank: enough for real diagnostics, bounded
+/// against a child that floods.
+const MAX_OUTPUT_LINES: usize = 200;
+
+/// Test/daemon override for the worker binary; falls back to resolving a
+/// `rajaperf` next to the current executable.
+pub(crate) const WORKER_BIN_ENV: &str = "RAJAPERF_WORKER_BIN";
+
+/// A rank that exhausted its restart budget and was retired from the
+/// campaign; its unfinished cells were redistributed to surviving ranks.
+#[derive(Debug, Clone)]
+pub struct RankCasualty {
+    /// The retired rank.
+    pub rank: usize,
+    /// Restarts consumed before retirement (the full budget).
+    pub restarts: u32,
+    /// Decoded description of the death that exhausted the budget.
+    pub last_failure: String,
+}
+
+/// What a completed (possibly degraded) process campaign produced.
+pub(crate) struct ProcessCampaign {
+    /// `(pending index, executing rank, outcome)` per executed cell.
+    pub(crate) executed: Vec<GatheredCell>,
+    /// Per-rank pipe traffic, from the child's perspective, cumulative
+    /// across that rank's restarts.
+    pub(crate) stats: Vec<CommStats>,
+    /// Respawns performed per rank.
+    pub(crate) restarts: Vec<u32>,
+    /// Ranks retired after exhausting the restart budget.
+    pub(crate) casualties: Vec<RankCasualty>,
+    /// Child stderr lines, prefixed `[rank N]`, plus supervisor
+    /// annotations, in arrival order.
+    pub(crate) child_output: Vec<String>,
+}
+
+/// A dead child's wait status, decoded into what the supervisor (and the
+/// suite's exit taxonomy) cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ChildExit {
+    /// Exit 0.
+    Clean,
+    /// Exit 2: the worker rejected its command line.
+    Usage,
+    /// Exit 101: the Rust runtime's panic exit.
+    Panic,
+    /// Any other exit code.
+    Internal(i32),
+    /// Terminated by a signal (`kill -9`, SIGABRT, SIGSEGV, ...).
+    Signal(i32),
+}
+
+/// Decode a child's `ExitStatus` (unix: exit code vs terminating signal).
+pub(crate) fn decode_child_exit(status: ExitStatus) -> ChildExit {
+    use std::os::unix::process::ExitStatusExt;
+    match status.code() {
+        Some(0) => ChildExit::Clean,
+        Some(2) => ChildExit::Usage,
+        Some(101) => ChildExit::Panic,
+        Some(c) => ChildExit::Internal(c),
+        None => ChildExit::Signal(status.signal().unwrap_or(-1)),
+    }
+}
+
+impl ChildExit {
+    /// Human description for casualty reports and respawn annotations.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            ChildExit::Clean => "exited cleanly mid-campaign".to_string(),
+            ChildExit::Usage => "usage error (exit 2)".to_string(),
+            ChildExit::Panic => "panicked (exit 101)".to_string(),
+            ChildExit::Internal(c) => format!("exited with internal error (exit {c})"),
+            ChildExit::Signal(s) => {
+                let name = match *s {
+                    6 => " (SIGABRT)",
+                    9 => " (SIGKILL)",
+                    11 => " (SIGSEGV)",
+                    15 => " (SIGTERM)",
+                    _ => "",
+                };
+                format!("killed by signal {s}{name}")
+            }
+        }
+    }
+}
+
+/// Resolve the `rajaperf` binary to spawn workers from: the env override,
+/// the current executable itself (when the supervisor *is* `rajaperf`), or
+/// a `rajaperf` sibling of it (the daemon's layout, and — one level up —
+/// cargo's `target/debug/deps/<test-bin>` layout).
+fn worker_binary() -> io::Result<PathBuf> {
+    if let Ok(p) = std::env::var(WORKER_BIN_ENV) {
+        if !p.is_empty() {
+            return Ok(PathBuf::from(p));
+        }
+    }
+    let exe = std::env::current_exe()?;
+    if exe.file_name().and_then(|n| n.to_str()) == Some("rajaperf") {
+        return Ok(exe);
+    }
+    let mut candidates = Vec::new();
+    if let Some(dir) = exe.parent() {
+        candidates.push(dir.join("rajaperf"));
+        if let Some(up) = dir.parent() {
+            candidates.push(up.join("rajaperf"));
+        }
+    }
+    candidates
+        .into_iter()
+        .find(|c| c.is_file())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "cannot locate the rajaperf worker binary next to {} \
+                     (set {WORKER_BIN_ENV} to override)",
+                    exe.display()
+                ),
+            )
+        })
+}
+
+/// What a rank's reader threads report to the event loop.
+enum Event {
+    /// A protocol frame from the child's stdout, plus its wire bytes.
+    Frame(Value, u64),
+    /// The child's stdout closed (clean EOF or torn frame — both mean the
+    /// child is gone or going).
+    Eof,
+    /// One line of the child's stderr.
+    Stderr(String),
+}
+
+/// Supervisor-side state of one rank.
+struct RankSlot {
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    /// Incarnation counter: events tagged with an older generation are
+    /// late arrivals from a previous (dead) child and are discarded.
+    gen: u64,
+    /// The current incarnation sent its `ready` frame.
+    ready: bool,
+    /// Pending-index of the cell assigned and not yet reported.
+    current: Option<usize>,
+    restarts: u32,
+    retired: bool,
+    /// Pipe traffic from the child's perspective (sent = child → parent),
+    /// cumulative across restarts, mirroring thread mode's per-rank view.
+    stats: CommStats,
+    last_seen: Instant,
+    /// Set when the liveness scan killed this child, to annotate the
+    /// decoded (SIGKILL) status with *why*.
+    kill_note: Option<String>,
+    output_lines: usize,
+}
+
+struct Supervisor<'a> {
+    pending: &'a [CellSpec],
+    nranks: usize,
+    budget: u32,
+    bin: PathBuf,
+    argv: Vec<String>,
+    sched: CellScheduler,
+    slots: Vec<RankSlot>,
+    tx: mpsc::Sender<(usize, u64, Event)>,
+    rx: mpsc::Receiver<(usize, u64, Event)>,
+    /// Grid index (what the wire speaks) → pending index (what the
+    /// scheduler and result vectors speak).
+    grid_to_pending: HashMap<usize, usize>,
+    executed: Vec<GatheredCell>,
+    done: Vec<bool>,
+    completed: usize,
+    casualties: Vec<RankCasualty>,
+    child_output: Vec<String>,
+}
+
+/// RAII backstop: however the supervisor leaves scope — clean return,
+/// campaign-aborting error, panic — no child outlives it unreaped.
+impl Drop for Supervisor<'_> {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            drop(slot.stdin.take());
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Execute `pending` cells across `base.ranks` child processes with a
+/// restart budget of `base.rank_restarts` per rank. See the module docs
+/// for the full contract.
+pub(crate) fn execute_process_ranked(
+    base: &RunParams,
+    pending: &[CellSpec],
+) -> io::Result<ProcessCampaign> {
+    let nranks = base.ranks.max(1);
+    let (tx, rx) = mpsc::channel();
+    let mut sup = Supervisor {
+        pending,
+        nranks,
+        budget: base.rank_restarts,
+        bin: worker_binary()?,
+        argv: base.to_argv(),
+        sched: CellScheduler::new(pending.len(), nranks),
+        slots: (0..nranks)
+            .map(|_| RankSlot {
+                child: None,
+                stdin: None,
+                gen: 0,
+                ready: false,
+                current: None,
+                restarts: 0,
+                retired: false,
+                stats: CommStats::new(),
+                last_seen: Instant::now(),
+                kill_note: None,
+                output_lines: 0,
+            })
+            .collect(),
+        tx,
+        rx,
+        grid_to_pending: pending
+            .iter()
+            .enumerate()
+            .map(|(pi, spec)| (spec.index, pi))
+            .collect(),
+        executed: Vec::new(),
+        done: vec![false; pending.len()],
+        completed: 0,
+        casualties: Vec::new(),
+        child_output: Vec::new(),
+    };
+    sup.run()
+}
+
+impl Supervisor<'_> {
+    fn run(&mut self) -> io::Result<ProcessCampaign> {
+        for rank in 0..self.nranks {
+            self.spawn_rank(rank)?;
+        }
+        while self.completed < self.pending.len() {
+            if self.slots.iter().all(|s| s.retired) {
+                let roster = self
+                    .casualties
+                    .iter()
+                    .map(|c| format!("rank {}: {}", c.rank, c.last_failure))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(io::Error::other(format!(
+                    "all {} ranks retired before campaign completion ({}/{} cells done): {roster}",
+                    self.nranks,
+                    self.completed,
+                    self.pending.len(),
+                )));
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok((rank, gen, ev)) => self.handle(rank, gen, ev)?,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                // Unreachable while `self.tx` is alive, but harmless.
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+            self.liveness_scan();
+        }
+        self.shutdown();
+        Ok(ProcessCampaign {
+            executed: std::mem::take(&mut self.executed),
+            stats: self.slots.iter().map(|s| s.stats).collect(),
+            restarts: self.slots.iter().map(|s| s.restarts).collect(),
+            casualties: std::mem::take(&mut self.casualties),
+            child_output: std::mem::take(&mut self.child_output),
+        })
+    }
+
+    /// Spawn (or respawn) `rank`'s child at the slot's current generation
+    /// and wire its stdout/stderr into the event channel.
+    fn spawn_rank(&mut self, rank: usize) -> io::Result<()> {
+        let gen = self.slots[rank].gen;
+        let mut child = Command::new(&self.bin)
+            .args(&self.argv)
+            .arg("--rank-worker")
+            .arg(format!("{rank}/{}", self.nranks))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!("cannot spawn rank {rank} worker {}: {e}", self.bin.display()),
+                )
+            })?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let stdin = child.stdin.take().expect("stdin piped");
+
+        // Register the child before spawning its readers: if a thread
+        // fails to spawn, the error propagates and the Drop guard still
+        // reaps the child.
+        {
+            let slot = &mut self.slots[rank];
+            slot.child = Some(child);
+            slot.stdin = Some(stdin);
+            slot.ready = false;
+            slot.last_seen = Instant::now();
+        }
+
+        let tx = self.tx.clone();
+        std::thread::Builder::new()
+            .name(format!("rank-{rank}-stdout"))
+            .spawn(move || {
+                let mut r = BufReader::new(stdout);
+                loop {
+                    match read_frame(&mut r) {
+                        Ok(Some((v, n))) => {
+                            if tx.send((rank, gen, Event::Frame(v, n))).is_err() {
+                                return;
+                            }
+                        }
+                        // Clean EOF and a torn frame both mean the child is
+                        // gone; the distinction is recovered from the wait
+                        // status, not the pipe.
+                        Ok(None) | Err(_) => {
+                            let _ = tx.send((rank, gen, Event::Eof));
+                            return;
+                        }
+                    }
+                }
+            })?;
+        let tx = self.tx.clone();
+        std::thread::Builder::new()
+            .name(format!("rank-{rank}-stderr"))
+            .spawn(move || {
+                use std::io::BufRead;
+                for line in BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { return };
+                    if tx.send((rank, gen, Event::Stderr(line))).is_err() {
+                        return;
+                    }
+                }
+            })?;
+        Ok(())
+    }
+
+    fn handle(&mut self, rank: usize, gen: u64, ev: Event) -> io::Result<()> {
+        match ev {
+            // Stderr is captured regardless of generation: a dead
+            // incarnation's last words are diagnostics, not state.
+            Event::Stderr(line) => {
+                self.capture_output(rank, &line);
+                Ok(())
+            }
+            Event::Frame(v, bytes) => {
+                if gen != self.slots[rank].gen {
+                    return Ok(());
+                }
+                let slot = &mut self.slots[rank];
+                slot.last_seen = Instant::now();
+                slot.stats.messages_sent += 1;
+                slot.stats.bytes_sent += bytes;
+                if v.get("ready").is_some() {
+                    slot.ready = true;
+                    self.assign(rank);
+                    return Ok(());
+                }
+                if v.get("heartbeat").is_some() {
+                    return Ok(());
+                }
+                if let Some(result) = v.get("result") {
+                    return self.on_result(rank, result);
+                }
+                if let Some(failed) = v.get("failed") {
+                    // Mirrors thread mode: a cell that *reports* failure
+                    // (as opposed to a rank that dies) aborts the campaign;
+                    // finished cells are on disk for the resume.
+                    let detail = failed
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unspecified failure");
+                    return Err(io::Error::other(format!(
+                        "sweep rank {rank} failed: {detail}"
+                    )));
+                }
+                // Unknown frame kinds are ignored (forward compatibility).
+                Ok(())
+            }
+            Event::Eof => {
+                if gen != self.slots[rank].gen {
+                    return Ok(());
+                }
+                self.on_child_exit(rank)
+            }
+        }
+    }
+
+    fn on_result(&mut self, rank: usize, result: &Value) -> io::Result<()> {
+        let parsed = (|| {
+            let grid = usize::try_from(result.get("cell")?.as_i64()?).ok()?;
+            let outcome = CellOutcome::from_json(result.get("outcome")?)?;
+            Some((grid, outcome))
+        })();
+        let Some((grid, outcome)) = parsed else {
+            return Err(io::Error::other(format!(
+                "sweep rank {rank} sent a malformed cell result"
+            )));
+        };
+        let Some(&pi) = self.grid_to_pending.get(&grid) else {
+            return Err(io::Error::other(format!(
+                "sweep rank {rank} reported cell {grid}, which is not pending"
+            )));
+        };
+        // `done` guards the one legitimate double-report: a child finished
+        // a cell, died before we read the result frame, and the requeued
+        // cell was answered again (from cache) by another rank.
+        if !self.done[pi] {
+            self.done[pi] = true;
+            self.completed += 1;
+            self.executed.push((pi, rank, outcome));
+        }
+        self.slots[rank].current = None;
+        self.assign(rank);
+        Ok(())
+    }
+
+    /// Reap a dead child, decode why it died, requeue its in-flight cell,
+    /// and either respawn it (budget permitting) or retire it.
+    fn on_child_exit(&mut self, rank: usize) -> io::Result<()> {
+        let slot = &mut self.slots[rank];
+        drop(slot.stdin.take());
+        let Some(mut child) = slot.child.take() else {
+            return Ok(());
+        };
+        let status = reap(&mut child)?;
+        slot.ready = false;
+        let exit = decode_child_exit(status);
+        if exit == ChildExit::Usage {
+            // The worker rejected the command line the supervisor built;
+            // restarting cannot fix a parameter disagreement. InvalidInput
+            // maps to the suite's usage exit (2) in the binary.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "rank {rank} worker rejected its command line (exit 2); \
+                     supervisor and worker disagree on parameters"
+                ),
+            ));
+        }
+        let mut reason = exit.describe();
+        if let Some(note) = slot.kill_note.take() {
+            reason = format!("{reason} ({note})");
+        }
+        if let Some(i) = slot.current.take() {
+            if !self.done[i] {
+                self.sched.requeue(rank, i);
+            }
+        }
+        if self.slots[rank].restarts < self.budget {
+            let slot = &mut self.slots[rank];
+            slot.restarts += 1;
+            slot.gen += 1;
+            let attempt = slot.restarts;
+            let backoff = RESTART_BACKOFF * attempt;
+            self.child_output.push(format!(
+                "[rank {rank}] -- supervisor: {reason}; respawn {attempt}/{} after {}ms",
+                self.budget,
+                backoff.as_millis()
+            ));
+            // A blocking backoff is deliberate: it is bounded (≤ budget ×
+            // base per rank over the whole campaign) and keeps the event
+            // loop single-threaded; surviving ranks keep executing their
+            // already-assigned cells meanwhile.
+            std::thread::sleep(backoff);
+            self.spawn_rank(rank)?;
+        } else {
+            let slot = &mut self.slots[rank];
+            slot.retired = true;
+            self.child_output.push(format!(
+                "[rank {rank}] -- supervisor: {reason}; restart budget ({}) exhausted, retiring rank",
+                self.budget
+            ));
+            self.casualties.push(RankCasualty {
+                rank,
+                restarts: self.slots[rank].restarts,
+                last_failure: reason,
+            });
+            // The casualty's queued cells are stealable; nudge every idle
+            // survivor so redistribution does not wait for their next
+            // natural result.
+            self.assign_idle();
+        }
+        Ok(())
+    }
+
+    /// Kill any child that has not produced a frame within the heartbeat
+    /// deadline; the kill surfaces as EOF → `on_child_exit` with the note.
+    fn liveness_scan(&mut self) {
+        for rank in 0..self.nranks {
+            let slot = &mut self.slots[rank];
+            if slot.retired || slot.child.is_none() {
+                continue;
+            }
+            let silent = slot.last_seen.elapsed();
+            if silent > HEARTBEAT_DEADLINE {
+                slot.kill_note = Some(format!(
+                    "supervisor: no frame for {:.1}s, presumed wedged",
+                    silent.as_secs_f64()
+                ));
+                if let Some(child) = slot.child.as_mut() {
+                    let _ = child.kill();
+                }
+                // Reset so the kill is issued once; EOF follows shortly.
+                slot.last_seen = Instant::now();
+            }
+        }
+    }
+
+    /// Hand `rank` its next cell if it is ready and idle. Send failures are
+    /// ignored here: a dying child's EOF event will requeue the cell.
+    fn assign(&mut self, rank: usize) {
+        let slot = &self.slots[rank];
+        if slot.retired || !slot.ready || slot.current.is_some() {
+            return;
+        }
+        let Some(i) = self.sched.next(rank) else {
+            return;
+        };
+        self.slots[rank].current = Some(i);
+        let grid = self.pending[i].index;
+        self.send_to(rank, &json!({"cell": grid}));
+    }
+
+    fn assign_idle(&mut self) {
+        for rank in 0..self.nranks {
+            self.assign(rank);
+        }
+    }
+
+    /// Write one frame to `rank`'s stdin, counting it (as the child's
+    /// "received") on success. Errors are swallowed — a broken pipe means
+    /// the child is dead and its EOF event carries the consequences.
+    fn send_to(&mut self, rank: usize, frame: &Value) {
+        let slot = &mut self.slots[rank];
+        let Some(stdin) = slot.stdin.as_mut() else {
+            return;
+        };
+        if let Ok(bytes) = write_frame(stdin, frame) {
+            slot.stats.messages_received += 1;
+            slot.stats.bytes_received += bytes;
+        }
+    }
+
+    fn capture_output(&mut self, rank: usize, line: &str) {
+        let slot = &mut self.slots[rank];
+        if slot.output_lines > MAX_OUTPUT_LINES {
+            return;
+        }
+        slot.output_lines += 1;
+        if slot.output_lines > MAX_OUTPUT_LINES {
+            self.child_output
+                .push(format!("[rank {rank}] -- supervisor: output truncated"));
+        } else {
+            self.child_output.push(format!("[rank {rank}] {line}"));
+        }
+    }
+
+    /// Campaign complete: ask every surviving child to exit, give them
+    /// [`SHUTDOWN_GRACE`], then force-kill stragglers. Also drains any
+    /// stderr still in flight so the report keeps the children's last
+    /// words.
+    fn shutdown(&mut self) {
+        for rank in 0..self.nranks {
+            self.send_to(rank, &json!({"shutdown": true}));
+            // Closing stdin is the EOF backstop for a worker that missed
+            // the frame (and the orphan contract's trigger).
+            drop(self.slots[rank].stdin.take());
+        }
+        let grace = Instant::now();
+        loop {
+            let mut alive = false;
+            for slot in &mut self.slots {
+                if let Some(child) = slot.child.as_mut() {
+                    match child.try_wait() {
+                        Ok(Some(_)) => slot.child = None,
+                        Ok(None) => alive = true,
+                        Err(_) => slot.child = None,
+                    }
+                }
+            }
+            if !alive {
+                break;
+            }
+            if grace.elapsed() > SHUTDOWN_GRACE {
+                for slot in &mut self.slots {
+                    if let Some(mut child) = slot.child.take() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        while let Ok((rank, _gen, ev)) = self.rx.try_recv() {
+            if let Event::Stderr(line) = ev {
+                self.capture_output(rank, &line);
+            }
+        }
+    }
+}
+
+/// Wait for a child whose stdout already closed: poll politely for
+/// [`REAP_GRACE`] (a cleanly-exiting child is milliseconds away), then
+/// SIGKILL — a child that closed stdout but will not exit is wedged, and
+/// blocking the supervisor forever on `wait()` is not an option.
+fn reap(child: &mut Child) -> io::Result<ExitStatus> {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(status);
+        }
+        if start.elapsed() > REAP_GRACE {
+            let _ = child.kill();
+            return child.wait();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::process::ExitStatusExt;
+
+    /// Build an `ExitStatus` from a raw wait status: `code << 8` for an
+    /// exit, the bare signal number for a signal death.
+    fn raw(status: i32) -> ExitStatus {
+        ExitStatus::from_raw(status)
+    }
+
+    #[test]
+    fn exit_status_decodes_to_the_taxonomy() {
+        assert_eq!(decode_child_exit(raw(0)), ChildExit::Clean);
+        assert_eq!(decode_child_exit(raw(2 << 8)), ChildExit::Usage);
+        assert_eq!(decode_child_exit(raw(101 << 8)), ChildExit::Panic);
+        assert_eq!(decode_child_exit(raw(3 << 8)), ChildExit::Internal(3));
+        assert_eq!(decode_child_exit(raw(9)), ChildExit::Signal(9));
+        assert_eq!(decode_child_exit(raw(6)), ChildExit::Signal(6));
+    }
+
+    #[test]
+    fn signal_descriptions_name_the_common_signals() {
+        assert_eq!(
+            ChildExit::Signal(9).describe(),
+            "killed by signal 9 (SIGKILL)"
+        );
+        assert_eq!(
+            ChildExit::Signal(6).describe(),
+            "killed by signal 6 (SIGABRT)"
+        );
+        assert_eq!(ChildExit::Signal(42).describe(), "killed by signal 42");
+        assert_eq!(ChildExit::Panic.describe(), "panicked (exit 101)");
+        assert_eq!(
+            ChildExit::Internal(7).describe(),
+            "exited with internal error (exit 7)"
+        );
+    }
+}

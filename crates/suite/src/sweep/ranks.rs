@@ -48,6 +48,12 @@
 //! a time. Fault replay is then identical per cell regardless of executing
 //! rank, which is what makes seeded `--faults` manifests rank-count
 //! independent.
+//!
+//! The gate is a *thread-mode* cost: under `--rank-isolation=process`
+//! (see [`super::process`]) every rank is its own OS process with its own
+//! process-global fault state, so process-mode campaigns skip the gate
+//! entirely and fault-armed cells run rank-parallel with the same seeded
+//! replay guarantee.
 
 use super::{execute_cell, CellOutcome, CellSpec};
 use crate::RunParams;
@@ -112,6 +118,20 @@ impl CellScheduler {
             hi = mid;
         }
         Some(lo)
+    }
+
+    /// Hand a claimed cell back to `rank`'s queue. The process-mode
+    /// supervisor re-enqueues a dead child's in-flight cell here: pushed at
+    /// the *front*, so a thief (or the respawned rank) picks it up before
+    /// any untouched segment behind it.
+    pub(crate) fn requeue(&self, rank: usize, cell: usize) {
+        self.queues[rank]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_front(Segment {
+                lo: cell,
+                hi: cell + 1,
+            });
     }
 
     fn find(&self, me: usize) -> Option<Segment> {
@@ -301,6 +321,20 @@ mod tests {
         }
         // Next claim steals from rank 1's queue: cell 3 first (front).
         assert_eq!(sched.next(0), Some(3));
+    }
+
+    #[test]
+    fn requeue_hands_a_cell_back_exactly_once() {
+        // Claim a cell (as a child rank would), pretend its executor died,
+        // and hand it back: a full drain must still see every cell once.
+        let sched = CellScheduler::new(6, 2);
+        let first = sched.next(0).unwrap();
+        sched.requeue(0, first);
+        let mut seen = vec![0usize; 6];
+        while let Some(i) = sched.next(1) {
+            seen[i] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
     }
 
     #[test]

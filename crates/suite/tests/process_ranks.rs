@@ -1,0 +1,462 @@
+//! Process-isolated rank campaign tests (`--sweep --rank-isolation
+//! process`): manifest byte-identity versus `--ranks 1`, kill -9 of a
+//! child mid-campaign (supervised restart, same run), kill -9 of the
+//! parent (orphan-free, byte-identical resume under the *other* isolation
+//! mode), restart-budget exhaustion (graceful degradation + casualty
+//! report), gate-free seeded-fault determinism, and the exit-status
+//! taxonomy (child usage error → parent exit 2).
+//!
+//! Sweep-running tests drive the built `rajaperf` binary with a relative
+//! `--sweep-dir` (manifests from different directories stay
+//! byte-comparable); children inherit the parent's working directory, so
+//! supervisor and workers agree on every relative path.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn rajaperf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rajaperf"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rajaperf-proc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 12-cell grid: every variant × two block-size tunings, one kernel.
+fn grid_args(extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "--sweep",
+        "--sweep-dir",
+        "sweep",
+        "--sweep-block-sizes",
+        "128,256",
+        "--kernels",
+        "Basic_DAXPY",
+        "--size",
+        "1000",
+        "--reps",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+fn run_sweep_in(dir: &Path, args: &[String]) -> std::process::Output {
+    rajaperf()
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("run rajaperf sweep")
+}
+
+fn manifest_bytes(dir: &Path) -> String {
+    String::from_utf8_lossy(&std::fs::read(dir.join("sweep/manifest.json")).unwrap()).into_owned()
+}
+
+/// Live `--rank-worker` processes, optionally restricted to children of
+/// `parent` (pass `None` after the parent is dead — orphans reparent).
+/// `marker` narrows to this test's own campaign (tests run concurrently).
+fn worker_pids(parent: Option<u32>, marker: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let Some(pid) = e.file_name().to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        let cmd = String::from_utf8_lossy(&cmdline).replace('\0', " ");
+        if !cmd.contains("--rank-worker") || !cmd.contains(marker) {
+            continue;
+        }
+        if let Some(ppid_want) = parent {
+            // /proc/<pid>/stat: pid (comm) state ppid ... — comm is
+            // parenthesized and may hold spaces, so split after the ')'.
+            let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+                continue;
+            };
+            let after = stat.rsplit_once(')').map(|(_, r)| r).unwrap_or("");
+            let ppid: Option<u32> = after.split_whitespace().nth(1).and_then(|s| s.parse().ok());
+            if ppid != Some(ppid_want) {
+                continue;
+            }
+        }
+        out.push(pid);
+    }
+    out
+}
+
+fn kill9(pid: u32) {
+    let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+}
+
+/// Poll until `f` returns `Some`, up to `limit`.
+fn wait_for<T>(limit: Duration, mut f: impl FnMut() -> Option<T>) -> Option<T> {
+    let start = Instant::now();
+    loop {
+        if let Some(v) = f() {
+            return Some(v);
+        }
+        if start.elapsed() > limit {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn e2e_process_ranked_sweep_manifest_is_byte_identical_to_single_rank() {
+    let single = temp_dir("p1");
+    let ranked = temp_dir("p4");
+
+    let a = run_sweep_in(&single, &grid_args(&["--ranks", "1"]));
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let b = run_sweep_in(
+        &ranked,
+        &grid_args(&["--rank-isolation", "process", "--ranks", "4"]),
+    );
+    assert!(b.status.success(), "{}", String::from_utf8_lossy(&b.stderr));
+
+    assert_eq!(
+        manifest_bytes(&single),
+        manifest_bytes(&ranked),
+        "process-isolated campaign must produce the exact --ranks 1 manifest"
+    );
+    let profiles = std::fs::read_dir(ranked.join("sweep/profiles")).unwrap().count();
+    assert_eq!(profiles, 12);
+
+    let _ = std::fs::remove_dir_all(&single);
+    let _ = std::fs::remove_dir_all(&ranked);
+}
+
+#[test]
+fn e2e_kill9_of_a_child_rank_is_survived_within_the_same_campaign() {
+    let dir = temp_dir("childkill");
+    let fresh = temp_dir("childkill-ref");
+    // Deterministic stalls widen the kill window without failing anything;
+    // faults being armed also proves fault-armed process campaigns run
+    // rank-parallel (no FAULT_CELL_GATE) and still complete.
+    let faulty = |extra: &[&str]| {
+        let mut a = grid_args(&["--faults", "suite.kernel=stall(120),seed=1"]);
+        a.extend(extra.iter().map(|s| s.to_string()));
+        a
+    };
+
+    let parent = rajaperf()
+        .args(faulty(&["--rank-isolation", "process", "--ranks", "4"]))
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn process campaign");
+    // The relative --sweep-dir keeps the temp dir out of the children's
+    // cmdlines, so the parent pid is the campaign discriminator.
+    let ppid = parent.id();
+    let victim = wait_for(Duration::from_secs(30), || {
+        worker_pids(Some(ppid), "--rank-worker").first().copied()
+    })
+    .expect("a child rank worker should appear");
+    kill9(victim);
+
+    let out = parent.wait_with_output().expect("campaign completes");
+    assert!(
+        out.status.success(),
+        "a signal-killed child must be retried, not abort the campaign: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("respawn"),
+        "the supervisor should report the respawn:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("SIGKILL"),
+        "the decoded exit status should name the signal:\n{stdout}"
+    );
+
+    // Reference: the same campaign, undisturbed, single-rank threads.
+    let reference = run_sweep_in(&fresh, &faulty(&["--ranks", "1"]));
+    assert!(reference.status.success());
+    assert_eq!(
+        manifest_bytes(&dir),
+        manifest_bytes(&fresh),
+        "kill -9 of a child mid-campaign must not perturb the manifest"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh);
+}
+
+#[test]
+fn e2e_kill9_of_the_parent_leaves_no_orphans_and_resumes_byte_identically() {
+    let dir = temp_dir("parentkill");
+    let fresh = temp_dir("parentkill-ref");
+    let faulty = |extra: &[&str]| {
+        let mut a = grid_args(&["--faults", "suite.kernel=stall(120),seed=1"]);
+        a.extend(extra.iter().map(|s| s.to_string()));
+        a
+    };
+
+    let mut parent = rajaperf()
+        .args(faulty(&["--rank-isolation", "process", "--ranks", "4"]))
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn process campaign");
+    let ppid = parent.id();
+    wait_for(Duration::from_secs(30), || {
+        let n = worker_pids(Some(ppid), "--rank-worker").len();
+        (n >= 2).then_some(())
+    })
+    .expect("child rank workers should appear");
+    kill9(ppid);
+    let _ = parent.wait();
+
+    // Orphan contract: with their supervisor gone, workers see stdin EOF
+    // (or EPIPE from the heartbeat) and exit on their own — no leaked
+    // children. The stall keeps one mid-cell, so allow it to finish.
+    let none_left = wait_for(Duration::from_secs(30), || {
+        worker_pids(None, "--rank-worker").is_empty().then_some(())
+    });
+    assert!(
+        none_left.is_some(),
+        "workers must exit after their supervisor is killed: {:?}",
+        worker_pids(None, "--rank-worker")
+    );
+
+    // Resume under the *other* isolation mode: intact cells reused, the
+    // rest re-run, manifest byte-identical — isolation is not in the key.
+    let resumed = run_sweep_in(&dir, &faulty(&["--ranks", "2"]));
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let reference = run_sweep_in(&fresh, &faulty(&["--ranks", "1"]));
+    assert!(reference.status.success());
+    assert_eq!(
+        manifest_bytes(&dir),
+        manifest_bytes(&fresh),
+        "parent kill + thread-mode resume must reproduce the single-rank manifest"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh);
+}
+
+#[test]
+fn e2e_restart_budget_exhaustion_redistributes_and_reports_casualty() {
+    let dir = temp_dir("budget");
+    let fresh = temp_dir("budget-ref");
+
+    // Rank 2 aborts at boot, every incarnation: initial boot + 1 respawn
+    // exhausts --rank-restarts 1, so it retires and its shard is stolen by
+    // the survivors. The campaign must still complete cleanly.
+    let out = rajaperf()
+        .args(grid_args(&[
+            "--rank-isolation",
+            "process",
+            "--ranks",
+            "3",
+            "--rank-restarts",
+            "1",
+        ]))
+        .env("RAJAPERF_TEST_WORKER_ABORT_RANK", "2")
+        .current_dir(&dir)
+        .output()
+        .expect("run degraded campaign");
+    assert!(
+        out.status.success(),
+        "budget exhaustion must degrade, not fail: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Casualties (cells redistributed to surviving ranks):"),
+        "casualty report missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("rank 2: retired after 1 restart(s)"),
+        "casualty attribution missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("SIGABRT"),
+        "the decoded abort should be named:\n{stdout}"
+    );
+
+    let reference = run_sweep_in(&fresh, &grid_args(&["--ranks", "1"]));
+    assert!(reference.status.success());
+    assert_eq!(
+        manifest_bytes(&dir),
+        manifest_bytes(&fresh),
+        "a degraded campaign's manifest must still match the single-rank run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh);
+}
+
+#[test]
+fn e2e_seeded_fault_failures_replay_identically_without_the_cell_gate() {
+    // Kernel-failing seeded faults, executed rank-parallel in separate
+    // processes (no FAULT_CELL_GATE serialization): the failures are cell
+    // facts and must land in the manifest exactly as in a serial run.
+    let single = temp_dir("pf1");
+    let ranked = temp_dir("pf4");
+    let faulty = |extra: &[&str]| {
+        let mut a = grid_args(&["--faults", "suite.kernel=panic:0.5,seed=7"]);
+        a.extend(extra.iter().map(|s| s.to_string()));
+        a
+    };
+
+    let a = run_sweep_in(&single, &faulty(&["--ranks", "1"]));
+    let b = run_sweep_in(
+        &ranked,
+        &faulty(&["--rank-isolation", "process", "--ranks", "4"]),
+    );
+    assert_eq!(
+        a.status.code(),
+        b.status.code(),
+        "both runs must agree on the exit code\nstderr: {}",
+        String::from_utf8_lossy(&b.stderr)
+    );
+
+    let single_manifest = manifest_bytes(&single);
+    assert_eq!(
+        single_manifest,
+        manifest_bytes(&ranked),
+        "gate-free process-parallel fault replay must match the serial manifest"
+    );
+    assert!(
+        single_manifest.contains("failed_kernels"),
+        "spec should have failed at least one kernel to make the comparison meaningful"
+    );
+
+    let _ = std::fs::remove_dir_all(&single);
+    let _ = std::fs::remove_dir_all(&ranked);
+}
+
+#[test]
+fn e2e_child_usage_exit_decodes_to_parent_usage_exit() {
+    use std::os::unix::fs::PermissionsExt;
+    let dir = temp_dir("usage");
+    // A stand-in worker that rejects any command line: the supervisor must
+    // decode its exit 2 as a parameter disagreement and abort with the
+    // suite's usage exit — restarting could never fix it.
+    let fake = dir.join("fake-rajaperf");
+    std::fs::write(&fake, "#!/bin/sh\necho 'error: unknown flag' >&2\nexit 2\n").unwrap();
+    std::fs::set_permissions(&fake, std::fs::Permissions::from_mode(0o755)).unwrap();
+
+    let out = rajaperf()
+        .args(grid_args(&["--rank-isolation", "process", "--ranks", "2"]))
+        .env("RAJAPERF_WORKER_BIN", &fake)
+        .current_dir(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "child usage exit must become parent usage exit, not internal (1):\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rejected its command line"),
+        "stderr: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn e2e_rank_isolation_flag_validation_exits_2() {
+    // Unknown mode.
+    let out = rajaperf()
+        .args(grid_args(&["--rank-isolation", "containers"]))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rank isolation mode"), "{stderr}");
+
+    // Process isolation outside a sweep.
+    let out = rajaperf()
+        .args([
+            "--rank-isolation",
+            "process",
+            "--kernels",
+            "Basic_DAXPY",
+            "--size",
+            "1000",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--sweep"), "{stderr}");
+
+    // A restart budget without process isolation budgets nothing.
+    let out = rajaperf()
+        .args(grid_args(&["--rank-restarts", "3"]))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--rank-isolation process"), "{stderr}");
+}
+
+#[test]
+fn process_sweep_reports_stats_restarts_and_rank_attribution() {
+    use suite::params::RankIsolation;
+    use suite::{run_sweep, RunParams, Selection};
+    let dir = temp_dir("inproc");
+    let params = RunParams {
+        selection: Selection::Kernels(vec!["Basic_DAXPY".to_string()]),
+        explicit_size: Some(1000),
+        explicit_reps: Some(1),
+        sweep: true,
+        sweep_dir: Some(dir.join("sweep")),
+        ranks: 2,
+        rank_isolation: RankIsolation::Process,
+        ..RunParams::default()
+    };
+    let summary = run_sweep(&params).expect("process-ranked sweep succeeds");
+
+    assert_eq!(summary.rank_stats.len(), 2);
+    // Pipe traffic is counted from the child's perspective, like thread
+    // mode counts the gather: every rank at least announced itself ready
+    // and received at least one frame (an assignment or the shutdown).
+    for s in &summary.rank_stats {
+        assert!(s.messages_sent >= 1, "{s:?}");
+        assert!(s.messages_received >= 1, "{s:?}");
+        assert!(s.bytes_sent > 0, "{s:?}");
+    }
+    assert_eq!(summary.rank_restarts, vec![0, 0]);
+    assert!(summary.casualties.is_empty());
+    assert!(summary.cells.iter().all(|c| c.cached
+        || matches!(c.executed_by, Some(r) if r < 2)));
+    assert!(summary.cells.iter().any(|c| !c.cached));
+
+    // A fully cached re-run spawns no children at all.
+    let before = std::fs::read(summary.manifest.clone()).unwrap();
+    let again = run_sweep(&params).expect("cached sweep succeeds");
+    assert!(again.cells.iter().all(|c| c.cached));
+    assert!(again.rank_stats.is_empty());
+    assert!(again.rank_restarts.is_empty());
+    let after = std::fs::read(&again.manifest).unwrap();
+    assert_eq!(before, after);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

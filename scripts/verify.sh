@@ -127,6 +127,45 @@ cmp "$RANKS_DIR/r1/sweep/manifest.json" "$RANKS_DIR/r4/sweep/manifest.json" \
 rm -rf "$RANKS_DIR"
 echo "ranks: 4-rank campaign manifest byte-identical to single-rank"
 
+# Process-isolated ranks: each rank is a spawned child under a supervising
+# restart loop. Kill -9 one child mid-campaign; the supervisor must requeue
+# its cell, respawn it, and finish with the single-rank golden manifest.
+# Deterministic stall faults widen the kill window without failing kernels.
+echo "== cli: --rank-isolation=process survives kill -9 of a child rank =="
+PROC_DIR=$(mktemp -d)
+PROC_FAULTS='suite.kernel=stall(150),seed=1'
+mkdir -p "$PROC_DIR/golden" "$PROC_DIR/proc"
+(cd "$PROC_DIR/golden" && "$RAJAPERF_ABS" --sweep --kernels Basic_DAXPY \
+    --size 100000 --reps 2 --sweep-block-sizes 128,256 \
+    --sweep-dir sweep --ranks 1 --faults "$PROC_FAULTS" >/dev/null)
+(cd "$PROC_DIR/proc" && "$RAJAPERF_ABS" --sweep --kernels Basic_DAXPY \
+    --size 100000 --reps 2 --sweep-block-sizes 128,256 \
+    --sweep-dir sweep --ranks 4 --rank-isolation process \
+    --faults "$PROC_FAULTS" >"$PROC_DIR/proc.out") &
+PROC_PID=$!
+VICTIM=""
+for _ in $(seq 1 100); do
+    VICTIM=$(pgrep -P "$PROC_PID" -f -- "--rank-worker" 2>/dev/null | head -1) \
+        && [[ -n "$VICTIM" ]] && break
+    # The sweep runs in a subshell: its rajaperf child is the supervisor.
+    SUPERVISOR=$(pgrep -P "$PROC_PID" 2>/dev/null | head -1) || true
+    if [[ -n "${SUPERVISOR:-}" ]]; then
+        VICTIM=$(pgrep -P "$SUPERVISOR" -f -- "--rank-worker" 2>/dev/null | head -1) || true
+        [[ -n "$VICTIM" ]] && break
+    fi
+    sleep 0.05
+done
+[[ -n "$VICTIM" ]] || { echo "verify: FAIL — no rank worker appeared to kill" >&2; exit 1; }
+kill -9 "$VICTIM"
+wait "$PROC_PID" \
+    || { echo "verify: FAIL — process campaign died with its killed child" >&2; exit 1; }
+grep -q "respawn" "$PROC_DIR/proc.out" \
+    || { echo "verify: FAIL — supervisor did not report the respawn" >&2; exit 1; }
+cmp "$PROC_DIR/golden/sweep/manifest.json" "$PROC_DIR/proc/sweep/manifest.json" \
+    || { echo "verify: FAIL — process-ranked manifest diverged after child kill" >&2; exit 1; }
+rm -rf "$PROC_DIR"
+echo "process ranks: child killed mid-campaign, respawned, manifest byte-identical"
+
 # A panicking rank must poison the barrier and abort its peers instead of
 # deadlocking the campaign (regression for the mid-barrier hang).
 echo "== simcomm: rank-panic cannot hang the runtime =="
@@ -218,10 +257,24 @@ if echo "$RUN2" | grep -q '"event":"progress"'; then
     echo "verify: FAIL — store hit re-executed kernels (progress events seen)" >&2
     exit 1
 fi
+# A process-ranked sweep through the daemon: the daemon supervises child
+# rank processes; after shutdown none may survive as orphans.
+PSWEEP_DIR="$DAEMON_DIR/psweep"
+"$CLIENT" --socket "$DSOCK" sweep -- --sweep --sweep-dir "$PSWEEP_DIR" \
+    --kernels Basic_DAXPY --size 100000 --reps 1 \
+    --rank-isolation process --ranks 2 | grep -q '"isolation":"process"' \
+    || { echo "verify: FAIL — daemon sweep did not report process isolation" >&2; exit 1; }
+[[ -f "$PSWEEP_DIR/manifest.json" ]] \
+    || { echo "verify: FAIL — daemon process-ranked sweep wrote no manifest" >&2; exit 1; }
 "$CLIENT" --socket "$DSOCK" shutdown >/dev/null
 wait "$DAEMON_PID"
 [[ ! -S "$DSOCK" ]] || { echo "verify: FAIL — socket file left behind after shutdown" >&2; exit 1; }
-echo "daemon: run streamed, store hit replayed without re-execution, clean shutdown"
+if pgrep -f "$PSWEEP_DIR" >/dev/null 2>&1; then
+    echo "verify: FAIL — daemon shutdown left orphan rank workers:" >&2
+    pgrep -af "$PSWEEP_DIR" >&2
+    exit 1
+fi
+echo "daemon: run streamed, store hit replayed, process-ranked sweep left no orphans, clean shutdown"
 
 # Corpus-scale columnar engine smoke: 50k synthetic profiles through
 # streaming ingest, parallel groupby+stats, and feature clustering, under a
